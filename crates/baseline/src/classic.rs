@@ -1,0 +1,306 @@
+//! Classical database histograms: equi-width, equi-depth, MaxDiff and
+//! bottom-up greedy-merge.
+//!
+//! These are the families the paper's introduction contrasts with v-optimal
+//! histograms (CMN98, GMP97; survey Ioa03). All of them pick a partition
+//! by a heuristic and then assign each piece its flattening density
+//! `p(I)/|I|` (so each output is a valid distribution); they differ only in
+//! how the `k−1` interior cuts are chosen:
+//!
+//! * **equi-width** — cuts at equal domain spacing;
+//! * **equi-depth** — cuts at the `j/k` quantiles of the cdf;
+//! * **MaxDiff** — cuts at the `k−1` largest adjacent differences
+//!   `|p_{i+1} − p_i|`;
+//! * **greedy-merge** — start from singletons, repeatedly merge the adjacent
+//!   pair whose merge increases the squared error the least (the classical
+//!   bottom-up agglomerative construction; an `O(n log n)` heap sweep).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use khist_dist::{interval, DenseDistribution, DistError, Interval, TilingHistogram};
+
+/// Equi-width `k`-histogram: pieces of (near-)equal length.
+pub fn equi_width(p: &DenseDistribution, k: usize) -> Result<TilingHistogram, DistError> {
+    let parts = interval::equal_partition(p.n(), k.min(p.n()))?;
+    let cuts: Vec<usize> = parts.iter().skip(1).map(|iv| iv.lo()).collect();
+    TilingHistogram::project(p, &cuts)
+}
+
+/// Equi-depth (quantile) `k`-histogram: each piece carries ≈ `1/k` of the
+/// probability mass.
+pub fn equi_depth(p: &DenseDistribution, k: usize) -> Result<TilingHistogram, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+    let mut cuts: Vec<usize> = Vec::with_capacity(k - 1);
+    let mut acc = 0.0f64;
+    let mut next_target = 1.0 / k as f64;
+    for i in 0..n {
+        acc += p.mass(i);
+        // Cut *after* element i once the running mass reaches the target.
+        while acc >= next_target - 1e-12 && cuts.len() < k - 1 {
+            let cut = i + 1;
+            if cut < n && cuts.last().is_none_or(|&c| c < cut) {
+                cuts.push(cut);
+            }
+            next_target += 1.0 / k as f64;
+        }
+    }
+    TilingHistogram::project(p, &cuts)
+}
+
+/// MaxDiff `k`-histogram: boundaries at the `k−1` largest adjacent
+/// differences of the pmf.
+pub fn max_diff(p: &DenseDistribution, k: usize) -> Result<TilingHistogram, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+    // Differences between neighbours; cut after the largest k−1.
+    let mut diffs: Vec<(f64, usize)> = (0..n - 1)
+        .map(|i| ((p.mass(i + 1) - p.mass(i)).abs(), i + 1))
+        .collect();
+    diffs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
+    let mut cuts: Vec<usize> = diffs.iter().take(k - 1).map(|&(_, c)| c).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    TilingHistogram::project(p, &cuts)
+}
+
+/// Bottom-up greedy merge to `k` pieces, minimizing the SSE increase of each
+/// merge. `O(n log n)` with a lazy-deletion heap.
+pub fn greedy_merge(p: &DenseDistribution, k: usize) -> Result<TilingHistogram, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+    if k == n {
+        let cuts: Vec<usize> = (1..n).collect();
+        return TilingHistogram::project(p, &cuts);
+    }
+
+    // Active pieces are identified by their start index. Because pieces tile
+    // the domain, the right neighbour of a piece [s, end[s]] always starts at
+    // end[s] + 1; only the left links need explicit maintenance.
+    let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect(); // MAX = none
+    let mut end: Vec<usize> = (0..n).collect();
+    let mut alive = vec![true; n];
+    // version counter per start to invalidate stale heap entries
+    let mut version = vec![0u32; n];
+
+    let merge_cost = |p: &DenseDistribution, a: usize, a_end: usize, b_end: usize| -> f64 {
+        let merged = p.flatten_sse(Interval::new(a, b_end).expect("a ≤ b_end"));
+        let left = p.flatten_sse(Interval::new(a, a_end).expect("piece"));
+        let right = p.flatten_sse(Interval::new(a_end + 1, b_end).expect("piece"));
+        merged - left - right
+    };
+
+    // Min-heap of (cost, left_start, left_version, right_version).
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        left: usize,
+        lv: u32,
+        rv: u32,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.cost
+                .partial_cmp(&other.cost)
+                .expect("no NaN")
+                .then(self.left.cmp(&other.left))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(n);
+    for s in 0..n - 1 {
+        heap.push(Reverse(Entry {
+            cost: merge_cost(p, s, s, s + 1),
+            left: s,
+            lv: 0,
+            rv: 0,
+        }));
+    }
+
+    let mut pieces = n;
+    while pieces > k {
+        let Reverse(e) = heap.pop().expect("heap cannot exhaust before k pieces");
+        let l = e.left;
+        if !alive[l] || version[l] != e.lv {
+            continue;
+        }
+        let r = end[l] + 1; // start of right neighbour
+        if r >= n || !alive[r] || version[r] != e.rv {
+            continue;
+        }
+        // Merge piece starting at r into piece starting at l.
+        alive[r] = false;
+        end[l] = end[r];
+        let rn = end[l] + 1; // start of the piece now following l
+        if rn < n {
+            prev[rn] = l;
+        }
+        version[l] += 1;
+        pieces -= 1;
+
+        // New candidate merges with both neighbours.
+        let right_start = end[l] + 1;
+        if right_start < n && alive[right_start] {
+            heap.push(Reverse(Entry {
+                cost: merge_cost(p, l, end[l], end[right_start]),
+                left: l,
+                lv: version[l],
+                rv: version[right_start],
+            }));
+        }
+        let left_start = prev[l];
+        if left_start != usize::MAX && alive[left_start] {
+            heap.push(Reverse(Entry {
+                cost: merge_cost(p, left_start, end[left_start], end[l]),
+                left: left_start,
+                lv: version[left_start],
+                rv: version[l],
+            }));
+        }
+    }
+
+    let cuts: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &a)| a)
+        .map(|(s, _)| s)
+        .collect();
+    TilingHistogram::project(p, &cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voptimal::v_optimal;
+    use khist_dist::generators;
+
+    fn dist(w: &[f64]) -> DenseDistribution {
+        DenseDistribution::from_weights(w).unwrap()
+    }
+
+    #[test]
+    fn equi_width_pieces_have_equal_length() {
+        let p = generators::zipf(12, 1.0).unwrap();
+        let h = equi_width(&p, 4).unwrap();
+        assert_eq!(h.piece_count(), 4);
+        for (iv, _) in h.pieces() {
+            assert_eq!(iv.len(), 3);
+        }
+        assert!(h.is_distribution(1e-9));
+    }
+
+    #[test]
+    fn equi_depth_balances_mass() {
+        let p = generators::zipf(100, 1.0).unwrap();
+        let h = equi_depth(&p, 4).unwrap();
+        assert!(h.piece_count() <= 4);
+        for (iv, _) in h.pieces() {
+            let mass = p.interval_mass(iv);
+            // each piece's mass should be ≲ 1/k plus one element's overshoot
+            assert!(
+                mass < 0.25 + p.mass(iv.lo()) + 1e-9,
+                "piece {iv} mass {mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn equi_depth_on_point_mass() {
+        // all mass on one element: quantile cuts collapse; must not panic
+        let p = dist(&[0.0, 0.0, 1.0, 0.0]);
+        let h = equi_depth(&p, 3).unwrap();
+        assert!(h.is_distribution(1e-9));
+    }
+
+    #[test]
+    fn max_diff_cuts_at_jumps() {
+        // One huge jump at index 3 → first cut must be there.
+        let p = dist(&[1.0, 1.0, 1.0, 9.0, 9.0, 9.0]);
+        let h = max_diff(&p, 2).unwrap();
+        assert_eq!(h.interior_cuts(), &[3]);
+        // perfect 2-histogram → zero error
+        assert!(h.l2_sq_to(&p) < 1e-15);
+    }
+
+    #[test]
+    fn greedy_merge_recovers_exact_histogram() {
+        let p = dist(&[2.0, 2.0, 7.0, 7.0, 7.0, 1.0, 1.0, 1.0]);
+        let h = greedy_merge(&p, 3).unwrap();
+        assert_eq!(h.piece_count(), 3);
+        assert!(h.l2_sq_to(&p) < 1e-15, "err = {}", h.l2_sq_to(&p));
+    }
+
+    #[test]
+    fn greedy_merge_k_equals_n() {
+        let p = dist(&[1.0, 2.0, 3.0]);
+        let h = greedy_merge(&p, 3).unwrap();
+        assert_eq!(h.piece_count(), 3);
+        assert!(h.l2_sq_to(&p) < 1e-15);
+    }
+
+    #[test]
+    fn greedy_merge_k1_flattens_all() {
+        let p = generators::zipf(16, 1.0).unwrap();
+        let h = greedy_merge(&p, 1).unwrap();
+        assert_eq!(h.piece_count(), 1);
+    }
+
+    #[test]
+    fn all_heuristics_are_dominated_by_voptimal() {
+        let p = generators::discrete_gaussian(60, 25.0, 6.0).unwrap();
+        let k = 5;
+        let opt = v_optimal(&p, k).unwrap().sse;
+        for (name, h) in [
+            ("equi_width", equi_width(&p, k).unwrap()),
+            ("equi_depth", equi_depth(&p, k).unwrap()),
+            ("max_diff", max_diff(&p, k).unwrap()),
+            ("greedy_merge", greedy_merge(&p, k).unwrap()),
+        ] {
+            let err = h.l2_sq_to(&p);
+            assert!(err + 1e-12 >= opt, "{name} beat the optimum: {err} < {opt}");
+            assert!(h.piece_count() <= k, "{name} used too many pieces");
+        }
+    }
+
+    #[test]
+    fn greedy_merge_beats_equi_width_on_skew() {
+        // On a heavily skewed distribution, error-driven merging should beat
+        // blind equal-width pieces.
+        let p = generators::zipf(128, 1.5).unwrap();
+        let k = 6;
+        let gm = greedy_merge(&p, k).unwrap().l2_sq_to(&p);
+        let ew = equi_width(&p, k).unwrap().l2_sq_to(&p);
+        assert!(gm < ew, "greedy_merge {gm} not better than equi_width {ew}");
+    }
+
+    #[test]
+    fn zero_k_rejected_everywhere() {
+        let p = dist(&[1.0, 1.0]);
+        assert!(equi_depth(&p, 0).is_err());
+        assert!(max_diff(&p, 0).is_err());
+        assert!(greedy_merge(&p, 0).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! A Fenwick (binary indexed) tree over value ranks, tracking counts and
+//! sums.
+//!
+//! Used by the `ℓ₁` flattening DP: for a fixed left endpoint it inserts pmf
+//! values one at a time and answers "how many inserted values are ≤ x, and
+//! what do they sum to" in `O(log n)` — exactly what evaluating
+//! `Σ_{i∈I} |p_i − μ|` around the running mean `μ` needs.
+
+/// Fenwick tree over `1..=capacity` ranks with per-rank counts and sums.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+}
+
+impl Fenwick {
+    /// Creates an empty tree over ranks `1..=capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Fenwick {
+            counts: vec![0; capacity + 1],
+            sums: vec![0.0; capacity + 1],
+        }
+    }
+
+    /// Number of representable ranks.
+    pub fn capacity(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Inserts one occurrence of `value` at `rank` (1-based).
+    ///
+    /// # Panics
+    /// Panics when `rank` is zero or exceeds the capacity.
+    pub fn add(&mut self, rank: usize, value: f64) {
+        assert!(
+            rank >= 1 && rank < self.counts.len(),
+            "rank {rank} out of range"
+        );
+        let mut i = rank;
+        while i < self.counts.len() {
+            self.counts[i] += 1;
+            self.sums[i] += value;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Returns `(count, sum)` of all insertions with rank ≤ `rank`.
+    /// `rank = 0` yields `(0, 0.0)`.
+    pub fn prefix(&self, rank: usize) -> (u64, f64) {
+        let mut i = rank.min(self.capacity());
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        while i > 0 {
+            count += self.counts[i];
+            sum += self.sums[i];
+            i -= i & i.wrapping_neg();
+        }
+        (count, sum)
+    }
+
+    /// Total `(count, sum)` over all ranks.
+    pub fn total(&self) -> (u64, f64) {
+        self.prefix(self.capacity())
+    }
+
+    /// Resets the tree to empty without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.sums.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree_prefixes_are_zero() {
+        let f = Fenwick::new(8);
+        assert_eq!(f.prefix(0), (0, 0.0));
+        assert_eq!(f.prefix(8), (0, 0.0));
+        assert_eq!(f.capacity(), 8);
+    }
+
+    #[test]
+    fn single_insert() {
+        let mut f = Fenwick::new(4);
+        f.add(2, 0.5);
+        assert_eq!(f.prefix(1), (0, 0.0));
+        assert_eq!(f.prefix(2), (1, 0.5));
+        assert_eq!(f.prefix(4), (1, 0.5));
+    }
+
+    #[test]
+    fn duplicate_ranks_accumulate() {
+        let mut f = Fenwick::new(4);
+        f.add(3, 1.0);
+        f.add(3, 2.0);
+        let (c, s) = f.prefix(3);
+        assert_eq!(c, 2);
+        assert!((s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 1.0);
+        f.clear();
+        assert_eq!(f.total(), (0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_zero_panics_on_add() {
+        Fenwick::new(4).add(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_above_capacity_panics() {
+        Fenwick::new(4).add(5, 1.0);
+    }
+
+    #[test]
+    fn prefix_clamps_above_capacity() {
+        let mut f = Fenwick::new(4);
+        f.add(4, 2.0);
+        assert_eq!(f.prefix(100), (1, 2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(ops in proptest::collection::vec((1usize..30, 0.0f64..10.0), 0..200),
+                              query in 0usize..31) {
+            let mut f = Fenwick::new(30);
+            let mut naive: Vec<(usize, f64)> = Vec::new();
+            for &(rank, value) in &ops {
+                f.add(rank, value);
+                naive.push((rank, value));
+            }
+            let expect_count = naive.iter().filter(|(r, _)| *r <= query).count() as u64;
+            let expect_sum: f64 = naive.iter().filter(|(r, _)| *r <= query).map(|(_, v)| v).sum();
+            let (c, s) = f.prefix(query);
+            prop_assert_eq!(c, expect_count);
+            prop_assert!((s - expect_sum).abs() < 1e-9);
+        }
+    }
+}

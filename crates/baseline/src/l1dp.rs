@@ -1,0 +1,288 @@
+//! Optimal `ℓ₁` *flattening* of a distribution into `k` pieces.
+//!
+//! The `ℓ₁` testing problem (Theorem 4) needs ground truth: is `p` really
+//! `ε`-far in `ℓ₁` from every tiling `k`-histogram? The true distance
+//! minimizes over both partitions and piece values; restricting piece values
+//! to the *flattening* `p(I)/|I|` (the conditional-uniform projection used
+//! throughout the paper's proofs) gives
+//!
+//! `F(k) = min over k-partitions of Σ_I Σ_{i∈I} |p_i − p(I)/|I||`.
+//!
+//! `F(k)` is a certified 2-approximation: for any histogram `H` on partition
+//! `T`, the flattening of `p` on `T` is within `2·‖p − H‖₁` by the triangle
+//! inequality, and flattening is itself a valid `k`-histogram distribution,
+//! so `OPT ≤ F(k) ≤ 2·OPT`. Certifying `F(k) > 2ε` therefore proves `p` is
+//! `ε`-far.
+//!
+//! Complexity: the interval cost `Σ |p_i − μ|` is evaluated for all `O(n²)`
+//! intervals with a [`Fenwick`] tree over value ranks (`O(n² log n)`), then
+//! a standard `O(n²k)` partition DP runs on the cached matrix. Memory is
+//! `O(n²)`, fine at certification scale (`n ≤ 2048`).
+
+use khist_dist::{DenseDistribution, DistError, TilingHistogram};
+
+use crate::fenwick::Fenwick;
+
+/// Result of the `ℓ₁` flattening DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1DpResult {
+    /// The optimal flattening histogram.
+    pub histogram: TilingHistogram,
+    /// The optimal flattening cost `F(k)` (an `ℓ₁` value in `[0, 2]`).
+    pub flatten_cost: f64,
+}
+
+impl L1DpResult {
+    /// Lower bound on the true `ℓ₁` distance to the `k`-histogram class.
+    pub fn l1_lower_bound(&self) -> f64 {
+        self.flatten_cost / 2.0
+    }
+
+    /// Upper bound on the true `ℓ₁` distance (flattening is achievable).
+    pub fn l1_upper_bound(&self) -> f64 {
+        self.flatten_cost
+    }
+
+    /// Whether this result certifies `p` to be `eps`-far in `ℓ₁` from every
+    /// tiling `k`-histogram.
+    pub fn certifies_far(&self, eps: f64) -> bool {
+        self.l1_lower_bound() > eps
+    }
+}
+
+/// Computes `F(k)` and the optimal flattening partition.
+pub fn l1_flatten_optimal(p: &DenseDistribution, k: usize) -> Result<L1DpResult, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+
+    // Rank pmf values for the Fenwick tree.
+    let mut sorted: Vec<f64> = p.pmf().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("pmf has no NaN"));
+    sorted.dedup();
+    let rank_of = |x: f64| -> usize {
+        // 1-based rank of the largest sorted value ≤ x.
+        sorted.partition_point(|&v| v <= x)
+    };
+
+    // cost[a][b − a] = Σ_{i∈[a,b]} |p_i − mean|.
+    let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut fen = Fenwick::new(sorted.len());
+    for a in 0..n {
+        fen.clear();
+        let mut row = Vec::with_capacity(n - a);
+        let mut mass = 0.0f64;
+        for b in a..n {
+            let pb = p.mass(b);
+            fen.add(rank_of(pb).max(1), pb);
+            mass += pb;
+            let len = (b - a + 1) as f64;
+            let mu = mass / len;
+            let (c_below, s_below) = fen.prefix(rank_of(mu));
+            let (c_total, s_total) = fen.total();
+            let c_above = c_total - c_below;
+            let s_above = s_total - s_below;
+            let dev = (mu * c_below as f64 - s_below) + (s_above - mu * c_above as f64);
+            row.push(dev.max(0.0));
+        }
+        cost.push(row);
+    }
+
+    // Partition DP (at most k pieces).
+    let mut dp: Vec<f64> = (0..n).map(|b| cost[0][b]).collect();
+    let mut parents: Vec<Vec<usize>> = vec![vec![0; n]];
+    for _j in 2..=k {
+        let mut next = dp.clone(); // "at most j" inherits "at most j−1"
+        let mut par = vec![usize::MAX; n]; // MAX = inherited
+        for b in 0..n {
+            for a in 1..=b {
+                let cand = dp[a - 1] + cost[a][b - a];
+                if cand < next[b] {
+                    next[b] = cand;
+                    par[b] = a;
+                }
+            }
+        }
+        dp = next;
+        parents.push(par);
+    }
+
+    // Reconstruct cuts.
+    let mut cuts = Vec::new();
+    let mut j = k;
+    let mut b = n - 1;
+    while j > 1 {
+        let a = parents[j - 1][b];
+        if a == usize::MAX {
+            j -= 1;
+            continue;
+        }
+        cuts.push(a);
+        b = a - 1;
+        j -= 1;
+        if b == 0 && j > 1 {
+            // prefix of one element: only one piece possible
+            j = 1;
+        }
+    }
+    cuts.reverse();
+    let histogram = TilingHistogram::project(p, &cuts)?;
+    Ok(L1DpResult {
+        histogram,
+        flatten_cost: dp[n - 1].max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khist_dist::distance::l1_fn;
+    use khist_dist::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist(w: &[f64]) -> DenseDistribution {
+        DenseDistribution::from_weights(w).unwrap()
+    }
+
+    /// Brute-force flattening optimum over all partitions (tiny n only).
+    fn brute_force(p: &DenseDistribution, k: usize) -> f64 {
+        fn flatten_cost(p: &DenseDistribution, cuts: &[usize]) -> f64 {
+            let h = TilingHistogram::project(p, cuts).unwrap();
+            l1_fn(&p.to_vec(), &h.to_vec())
+        }
+        let n = p.n();
+        let k = k.min(n);
+        let mut best = f64::INFINITY;
+        let mut stack: Vec<Vec<usize>> = vec![vec![]];
+        while let Some(cuts) = stack.pop() {
+            if cuts.len() == k - 1 {
+                best = best.min(flatten_cost(p, &cuts));
+                continue;
+            }
+            best = best.min(flatten_cost(p, &cuts)); // fewer pieces allowed
+            let start = cuts.last().map_or(1, |&c| c + 1);
+            for c in start..n {
+                let mut next = cuts.clone();
+                next.push(c);
+                stack.push(next);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn exact_histogram_has_zero_cost() {
+        let p = dist(&[2.0, 2.0, 5.0, 5.0, 1.0, 1.0]);
+        let r = l1_flatten_optimal(&p, 3).unwrap();
+        assert!(r.flatten_cost < 1e-12, "cost = {}", r.flatten_cost);
+        assert_eq!(r.histogram.interior_cuts(), &[2, 4]);
+    }
+
+    #[test]
+    fn k1_flattens_to_uniform() {
+        let p = dist(&[3.0, 1.0]);
+        let r = l1_flatten_optimal(&p, 1).unwrap();
+        // flattening = uniform(2); cost = |0.75−0.5| + |0.25−0.5| = 0.5
+        assert!((r.flatten_cost - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..15 {
+            let weights: Vec<f64> = (0..8)
+                .map(|_| rand::Rng::random_range(&mut rng, 0.01..1.0))
+                .collect();
+            let p = dist(&weights);
+            for k in 1..=4 {
+                let dp = l1_flatten_optimal(&p, k).unwrap();
+                let bf = brute_force(&p, k);
+                assert!(
+                    (dp.flatten_cost - bf).abs() < 1e-9,
+                    "k = {k}: dp {} vs bf {bf}",
+                    dp.flatten_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let p = generators::zipf(50, 1.0).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let r = l1_flatten_optimal(&p, k).unwrap();
+            assert!(r.flatten_cost <= prev + 1e-12);
+            prev = r.flatten_cost;
+        }
+    }
+
+    #[test]
+    fn zigzag_certified_far() {
+        // zigzag c: flattening cost vs any k ≪ n histogram ≈ c.
+        let p = generators::zigzag(128, 0.9).unwrap();
+        let r = l1_flatten_optimal(&p, 4).unwrap();
+        assert!(r.flatten_cost > 0.8, "cost = {}", r.flatten_cost);
+        assert!(r.certifies_far(0.4));
+        assert!((r.l1_lower_bound() - r.flatten_cost / 2.0).abs() < 1e-15);
+        assert!((r.l1_upper_bound() - r.flatten_cost).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_bound_instance_certified_far() {
+        // The Theorem 5 NO instance is far from k-histograms in ℓ₁: the
+        // perturbed bucket alone contributes ~2/k... with k buckets allowed
+        // the flattening of the perturbed bucket costs ~1/k... use small k
+        // and check positivity with margin.
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = generators::no_instance(64, 4, &mut rng).unwrap();
+        let r = l1_flatten_optimal(&inst.dist, 4).unwrap();
+        // perturbed bucket mass 1/2, flattening it costs 1/2 in ℓ₁
+        assert!(r.flatten_cost > 0.2, "cost = {}", r.flatten_cost);
+        // and the YES instance costs 0
+        let yes = generators::yes_instance(64, 4).unwrap();
+        let ry = l1_flatten_optimal(&yes.dist, 4).unwrap();
+        assert!(ry.flatten_cost < 1e-12);
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(l1_flatten_optimal(&dist(&[1.0, 1.0]), 0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_dp_matches_brute_force(
+            ws in proptest::collection::vec(0.01f64..1.0, 3..8),
+            k in 1usize..4,
+        ) {
+            let p = dist(&ws);
+            let dp = l1_flatten_optimal(&p, k).unwrap();
+            let bf = brute_force(&p, k);
+            prop_assert!((dp.flatten_cost - bf).abs() < 1e-9,
+                         "dp {} vs bf {}", dp.flatten_cost, bf);
+        }
+
+        #[test]
+        fn prop_flatten_cost_bounds_distance(
+            ws in proptest::collection::vec(0.01f64..1.0, 4..20),
+            k in 1usize..5,
+        ) {
+            let p = dist(&ws);
+            let r = l1_flatten_optimal(&p, k).unwrap();
+            // The returned histogram achieves exactly flatten_cost.
+            let achieved = l1_fn(&p.to_vec(), &r.histogram.to_vec());
+            prop_assert!((achieved - r.flatten_cost).abs() < 1e-9,
+                         "achieved {} vs reported {}", achieved, r.flatten_cost);
+            // Bounds are consistent.
+            prop_assert!(r.l1_lower_bound() <= r.l1_upper_bound() + 1e-15);
+        }
+    }
+}

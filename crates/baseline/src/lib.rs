@@ -1,0 +1,33 @@
+//! Offline baselines: exact v-optimal DP and classical database histograms.
+//!
+//! The paper's guarantees are all *relative to the optimal tiling
+//! `k`-histogram `H*`* (Theorems 1–2) or to the distance from the
+//! `k`-histogram class (Theorems 3–5). At experiment scale those optima are
+//! computable exactly offline; this crate provides them, together with the
+//! classical histogram families the database literature (and the paper's
+//! introduction) compares against:
+//!
+//! * [`voptimal`] — exact `O(n²k)` dynamic program for the v-optimal
+//!   (`ℓ₂²`) histogram [JPK+98], plus a brute-force verifier for tiny `n`;
+//! * [`l1dp`] — dynamic program over `ℓ₁` *flattening* cost, a certified
+//!   2-approximation of the true `ℓ₁` distance to the `k`-histogram class
+//!   (used to certify that NO-instances really are `ε`-far);
+//! * [`classic`] — equi-width, equi-depth, MaxDiff and bottom-up
+//!   greedy-merge histograms [CMN98, GMP97, Ioa03];
+//! * [`sample_dp`] — the "sample, then solve exactly on the empirical
+//!   distribution" strawman the paper's sampling approach is measured
+//!   against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod fenwick;
+pub mod l1dp;
+pub mod sample_dp;
+pub mod voptimal;
+
+pub use classic::{equi_depth, equi_width, greedy_merge, max_diff};
+pub use l1dp::{l1_flatten_optimal, L1DpResult};
+pub use sample_dp::sample_then_dp;
+pub use voptimal::{v_optimal, v_optimal_brute_force, VOptimalResult};

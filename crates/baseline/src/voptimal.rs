@@ -1,0 +1,317 @@
+//! Exact v-optimal histograms via dynamic programming [JPK+98].
+//!
+//! The v-optimal `k`-histogram minimizes `‖p − H‖₂²` over all tiling
+//! `k`-histograms. Because the optimal constant on a fixed interval is the
+//! interval mean `p(I)/|I|` (Equation 11 of the paper), the problem reduces
+//! to choosing the partition:
+//!
+//! `OPT(k) = min over partitions into k intervals of Σ_I SSE(I)`,
+//! `SSE(I) = Σ_{i∈I} p_i² − p(I)²/|I|` (Equation 12).
+//!
+//! With prefix sums both of `p` and of `p²`, `SSE(I)` is `O(1)` and the DP
+//! runs in `O(n²k)` time, `O(nk)` space. The optimal piece values are means
+//! of a distribution, so the optimum is itself a distribution — the returned
+//! histogram is exactly the `H*` of Theorems 1–2.
+
+use khist_dist::{DenseDistribution, DistError, Interval, TilingHistogram};
+
+/// Result of an exact v-optimal computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VOptimalResult {
+    /// The optimal tiling histogram (piece values = interval means).
+    pub histogram: TilingHistogram,
+    /// The optimal squared `ℓ₂` error `‖p − H*‖₂²`.
+    pub sse: f64,
+}
+
+impl VOptimalResult {
+    /// `ℓ₂` distance (square root of the optimal SSE).
+    pub fn l2_distance(&self) -> f64 {
+        self.sse.sqrt()
+    }
+}
+
+/// Computes the exact v-optimal `k`-piece histogram of `p` in `O(n²k)`.
+///
+/// `k` is clamped to `n` (more pieces than points cannot help). Fails only
+/// on `k = 0`.
+pub fn v_optimal(p: &DenseDistribution, k: usize) -> Result<VOptimalResult, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+
+    let sse = |a: usize, b: usize| -> f64 {
+        // SSE of piece covering elements a..=b.
+        p.flatten_sse(Interval::new(a, b).expect("a ≤ b by construction"))
+    };
+
+    // dp[b] = best cost covering the first b elements with the current piece
+    // count; parent[j][b] = start of the last piece in that solution.
+    let mut dp: Vec<f64> = (1..=n).map(|b| sse(0, b - 1)).collect();
+    let mut parent: Vec<Vec<usize>> = Vec::with_capacity(k);
+    parent.push(vec![0; n]);
+
+    for _j in 2..=k {
+        let mut next = vec![f64::INFINITY; n];
+        let mut par = vec![0usize; n];
+        for b in 0..n {
+            // last piece starts at a (0-based element index), covering a..=b;
+            // prefix of length a must be coverable by j−1 pieces: a ≥ 1.
+            for a in 1..=b {
+                let cand = dp[a - 1] + sse(a, b);
+                if cand < next[b] {
+                    next[b] = cand;
+                    par[b] = a;
+                }
+            }
+            // Fewer pieces than j is also allowed implicitly: splitting a
+            // piece never increases cost, so dp stays monotone in j and we
+            // can keep the strict-j recurrence. For b+1 < j the strict
+            // recurrence has no solution; inherit the previous row.
+            if next[b].is_infinite() {
+                next[b] = dp[b];
+                par[b] = usize::MAX; // sentinel: piece structure from row j−1
+            }
+        }
+        dp = next;
+        parent.push(par);
+    }
+
+    // Reconstruct the partition by walking parents from (k, n−1).
+    let mut cuts: Vec<usize> = Vec::new();
+    let mut j = k;
+    let mut b = n - 1;
+    loop {
+        let par = &parent[j - 1];
+        let a = par[b];
+        if a == usize::MAX {
+            // Inherited from a smaller piece count; continue in row j−1.
+            j -= 1;
+            continue;
+        }
+        if a == 0 || j == 1 {
+            break;
+        }
+        cuts.push(a);
+        b = a - 1;
+        j -= 1;
+    }
+    cuts.reverse();
+    let histogram = TilingHistogram::project(p, &cuts)?;
+    let total_sse = dp[n - 1].max(0.0);
+    debug_assert!(
+        (histogram.l2_sq_to(p) - total_sse).abs() < 1e-9,
+        "reconstructed partition cost {} disagrees with DP value {}",
+        histogram.l2_sq_to(p),
+        total_sse
+    );
+    Ok(VOptimalResult {
+        histogram,
+        sse: total_sse,
+    })
+}
+
+/// Brute-force v-optimal by enumerating all `C(n−1, k−1)` partitions.
+///
+/// Exponential — only for cross-checking the DP on tiny inputs in tests.
+pub fn v_optimal_brute_force(p: &DenseDistribution, k: usize) -> Result<VOptimalResult, DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    let n = p.n();
+    let k = k.min(n);
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut cuts: Vec<usize> = Vec::with_capacity(k - 1);
+    enumerate(p, 1, k - 1, n, &mut cuts, &mut best);
+    let (sse, cuts) = best.expect("at least one partition exists");
+    let histogram = TilingHistogram::project(p, &cuts)?;
+    Ok(VOptimalResult { histogram, sse })
+}
+
+fn enumerate(
+    p: &DenseDistribution,
+    min_cut: usize,
+    remaining: usize,
+    n: usize,
+    cuts: &mut Vec<usize>,
+    best: &mut Option<(f64, Vec<usize>)>,
+) {
+    if remaining == 0 {
+        let h = TilingHistogram::project(p, cuts).expect("valid cuts");
+        let cost = h.l2_sq_to(p);
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            *best = Some((cost, cuts.clone()));
+        }
+        return;
+    }
+    for c in min_cut..n {
+        // Leave room for the remaining cuts.
+        if c + remaining > n {
+            break;
+        }
+        cuts.push(c);
+        enumerate(p, c + 1, remaining - 1, n, cuts, best);
+        cuts.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khist_dist::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist(w: &[f64]) -> DenseDistribution {
+        DenseDistribution::from_weights(w).unwrap()
+    }
+
+    #[test]
+    fn k1_is_uniform_flattening() {
+        let p = dist(&[4.0, 2.0, 1.0, 1.0]);
+        let r = v_optimal(&p, 1).unwrap();
+        assert_eq!(r.histogram.piece_count(), 1);
+        // SSE = Σp² − 1/n
+        let expect = p.l2_norm_sq() - 0.25;
+        assert!((r.sse - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_recovery_of_true_histogram() {
+        // p is a 3-histogram; v_optimal with k = 3 must recover SSE 0.
+        let p = dist(&[2.0, 2.0, 5.0, 5.0, 5.0, 1.0, 1.0, 1.0]);
+        let r = v_optimal(&p, 3).unwrap();
+        assert!(r.sse < 1e-15, "sse = {}", r.sse);
+        assert_eq!(r.histogram.interior_cuts(), &[2, 5]);
+    }
+
+    #[test]
+    fn k_greater_than_needed_stays_zero() {
+        let p = dist(&[2.0, 2.0, 6.0, 6.0]);
+        for k in 2..=4 {
+            let r = v_optimal(&p, k).unwrap();
+            assert!(r.sse < 1e-15, "k = {k}: sse = {}", r.sse);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let p = dist(&[1.0, 2.0, 3.0]);
+        let r = v_optimal(&p, 10).unwrap();
+        assert!(r.sse < 1e-15);
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        let p = dist(&[1.0, 1.0]);
+        assert!(v_optimal(&p, 0).is_err());
+        assert!(v_optimal_brute_force(&p, 0).is_err());
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let p = generators::zipf(40, 1.1).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=10 {
+            let r = v_optimal(&p, k).unwrap();
+            assert!(r.sse <= prev + 1e-12, "k = {k}: {} > {prev}", r.sse);
+            prev = r.sse;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let weights: Vec<f64> = (0..9)
+                .map(|_| rand::Rng::random_range(&mut rng, 0.0..1.0))
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            if sum < 1e-9 {
+                continue;
+            }
+            let p = dist(&weights);
+            for k in 1..=4 {
+                let dp = v_optimal(&p, k).unwrap();
+                let bf = v_optimal_brute_force(&p, k).unwrap();
+                assert!(
+                    (dp.sse - bf.sse).abs() < 1e-10,
+                    "k = {k}: dp {} vs brute force {}",
+                    dp.sse,
+                    bf.sse
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_is_distribution() {
+        let p = generators::discrete_gaussian(64, 30.0, 8.0).unwrap();
+        let r = v_optimal(&p, 5).unwrap();
+        assert!(r.histogram.is_distribution(1e-9));
+        assert_eq!(r.histogram.piece_count(), 5);
+        assert!((r.l2_distance() - r.sse.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spike_comb_is_l2_far_certified() {
+        // The far-instance generator's analytic claim, verified exactly:
+        // s = 8 spikes vs k = 2 pieces → SSE ≥ (s − ⌈k/2⌉)/(2s²).
+        let p = generators::spike_comb(64, 8).unwrap();
+        let r = v_optimal(&p, 2).unwrap();
+        let bound = (8.0 - 1.0) / (2.0 * 64.0);
+        assert!(r.sse >= bound, "sse = {} < analytic bound {bound}", r.sse);
+    }
+
+    #[test]
+    fn zigzag_sse_formula() {
+        // zigzag amplitude c over uniform: every k≪n histogram keeps
+        // SSE ≈ c²/n. For k = 1 exactly: Σ (±c/n)² = c²/n.
+        let c = 0.8;
+        let n = 64;
+        let p = generators::zigzag(n, c).unwrap();
+        let r = v_optimal(&p, 1).unwrap();
+        let expect = c * c / n as f64;
+        assert!(
+            (r.sse - expect).abs() < 1e-12,
+            "sse = {}, expect {expect}",
+            r.sse
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_dp_matches_brute_force(
+            ws in proptest::collection::vec(0.01f64..1.0, 4..10),
+            k in 1usize..5,
+        ) {
+            let p = dist(&ws);
+            let dp = v_optimal(&p, k).unwrap();
+            let bf = v_optimal_brute_force(&p, k).unwrap();
+            prop_assert!((dp.sse - bf.sse).abs() < 1e-10,
+                         "dp {} vs bf {}", dp.sse, bf.sse);
+        }
+
+        #[test]
+        fn prop_optimum_beats_equal_partition(
+            ws in proptest::collection::vec(0.01f64..1.0, 6..40),
+            k in 1usize..6,
+        ) {
+            let p = dist(&ws);
+            prop_assume!(k <= p.n());
+            let opt = v_optimal(&p, k).unwrap();
+            let parts = khist_dist::interval::equal_partition(p.n(), k).unwrap();
+            let cuts: Vec<usize> = parts.iter().skip(1).map(|iv| iv.lo()).collect();
+            let eq = TilingHistogram::project(&p, &cuts).unwrap();
+            prop_assert!(opt.sse <= eq.l2_sq_to(&p) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: distance computations and histogram evaluation.
+//!
+//! The experiment harness evaluates millions of distances; this bench pins
+//! the `O(n)` dense-distance kernels against the `O(k)` prefix-sum
+//! histogram distance (`TilingHistogram::l2_sq_to`), which is the reason
+//! experiment sweeps stay cheap at large `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_baseline::v_optimal;
+use khist_dist::{distance, generators};
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_distances");
+    for &n in &[1024usize, 16384] {
+        let p = generators::zipf(n, 1.1).expect("valid zipf").to_vec();
+        let q = generators::discrete_gaussian(n, n as f64 / 2.0, n as f64 / 10.0)
+            .expect("valid gaussian")
+            .to_vec();
+        group.bench_with_input(BenchmarkId::new("l1", n), &n, |b, _| {
+            b.iter(|| distance::l1_fn(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq", n), &n, |b, _| {
+            b.iter(|| distance::l2_sq_fn(&p, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("hellinger", n), &n, |b, _| {
+            b.iter(|| distance::hellinger(&p, &q))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("histogram_l2_via_prefix_sums");
+    for &n in &[1024usize, 16384] {
+        let p = generators::zipf(n, 1.1).expect("valid zipf");
+        let h = v_optimal(&p, 16).expect("DP succeeds").histogram;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            // O(k) per call regardless of n — contrast with dense_distances.
+            b.iter(|| h.l2_sq_to(&p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the offline baselines — exact v-optimal DP (`O(n²k)`),
+//! the `ℓ₁` flattening DP (`O(n² log n + n²k)`), and the `O(n log n)`
+//! greedy-merge heuristic.
+//!
+//! These are the running times the paper's sub-linear algorithms avoid
+//! paying; the n-scaling measured here is the contrast baseline for E2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_baseline::{greedy_merge, l1_flatten_optimal, v_optimal};
+use khist_core::compress::compress_to_k;
+use khist_dist::generators;
+
+fn bench_dp(c: &mut Criterion) {
+    let k = 8;
+
+    let mut group = c.benchmark_group("voptimal_dp");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let p = generators::zipf(n, 1.1).expect("valid zipf");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| v_optimal(&p, k).expect("DP succeeds"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("l1_flatten_dp");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let p = generators::zipf(n, 1.1).expect("valid zipf");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| l1_flatten_optimal(&p, k).expect("DP succeeds"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("greedy_merge");
+    for &n in &[1024usize, 4096, 16384] {
+        let p = generators::zipf(n, 1.1).expect("valid zipf");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| greedy_merge(&p, k).expect("merge succeeds"));
+        });
+    }
+    group.finish();
+
+    // compress_to_k runs on the learner's output size (segments, not n):
+    // O(s²k) for s = piece count, independent of the domain.
+    let mut group = c.benchmark_group("compress_to_k");
+    for &segments in &[16usize, 64, 256] {
+        let p = generators::zipf(segments * 8, 1.1).expect("valid zipf");
+        let cuts: Vec<usize> = (1..segments).map(|j| j * 8).collect();
+        let h = khist_dist::TilingHistogram::project(&p, &cuts).expect("valid projection");
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, _| {
+            b.iter(|| compress_to_k(&h, k).expect("compression succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

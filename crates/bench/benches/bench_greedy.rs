@@ -1,0 +1,52 @@
+//! Criterion bench: greedy learner runtime (Theorem 1 vs Theorem 2).
+//!
+//! Benchmarks the full learn-from-samples path (sampling excluded — samples
+//! are drawn once per size outside the timed region) for the exhaustive and
+//! the sample-endpoint candidate policies across domain sizes. The paper's
+//! claim: exhaustive grows ~n², fast stays budget-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_core::greedy::{learn_from_samples, CandidatePolicy, GreedyParams};
+use khist_dist::generators;
+use khist_oracle::{LearnerBudget, SampleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_learner");
+    group.sample_size(10);
+    let k = 4;
+    let eps = 0.1;
+    for &n in &[128usize, 256, 512] {
+        let p = generators::zipf(n, 1.2).expect("valid zipf");
+        let budget = LearnerBudget::calibrated(n, k, eps, 0.02);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let main = SampleSet::draw(&p, budget.ell, &mut rng);
+        let sets = SampleSet::draw_many(&p, budget.m, budget.r, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            let params = GreedyParams {
+                k,
+                eps,
+                budget,
+                policy: CandidatePolicy::All,
+                max_endpoints: 0,
+            };
+            b.iter(|| learn_from_samples(n, &main, &sets, &params).expect("learner runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("sample_endpoints", n), &n, |b, _| {
+            let params = GreedyParams {
+                k,
+                eps,
+                budget,
+                policy: CandidatePolicy::SampleEndpoints,
+                max_endpoints: 128,
+            };
+            b.iter(|| learn_from_samples(n, &main, &sets, &params).expect("learner runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

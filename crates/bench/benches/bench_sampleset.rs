@@ -1,0 +1,95 @@
+//! Criterion bench: the `SampleSet` data structure.
+//!
+//! Every algorithm's inner loop is interval hit/collision queries; this
+//! bench pins their `O(log m)` cost (construction, point queries, and the
+//! two interval queries) so regressions in the hot path are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_dist::{generators, Interval};
+use khist_oracle::SampleSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_sampleset(c: &mut Criterion) {
+    let n = 65536;
+    let p = generators::zipf(n, 1.05).expect("valid zipf");
+
+    let mut group = c.benchmark_group("sampleset_build");
+    group.sample_size(20);
+    for &m in &[10_000usize, 100_000, 1_000_000] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let raw = p.sample_many(m, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| SampleSet::from_samples(raw.clone()));
+        });
+    }
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let set = SampleSet::draw(&p, 1_000_000, &mut rng);
+    let queries: Vec<Interval> = (0..1024)
+        .map(|_| {
+            let lo = rng.random_range(0..n - 1);
+            let hi = rng.random_range(lo..n);
+            Interval::new(lo, hi).expect("valid interval")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("sampleset_queries");
+    group.bench_function("count_in_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &iv in &queries {
+                acc = acc.wrapping_add(set.count_in(iv));
+            }
+            acc
+        })
+    });
+    group.bench_function("collisions_in_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &iv in &queries {
+                acc = acc.wrapping_add(set.collisions_in(iv));
+            }
+            acc
+        })
+    });
+    group.bench_function("empirical_mass_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &iv in &queries {
+                acc += set.empirical_mass(iv);
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    // Sampling throughput: inverse-CDF O(log n) vs alias O(1).
+    let mut group = c.benchmark_group("sampling_throughput_100k");
+    let alias = khist_dist::sampler::AliasSampler::new(&p);
+    group.bench_function("inverse_cdf", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(p.sample(&mut rng));
+            }
+            acc
+        })
+    });
+    group.bench_function("alias", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(alias.sample(&mut rng));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampleset);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: tester running time (Theorems 3–4).
+//!
+//! Times the decision procedure itself (`partition_search` over pre-drawn
+//! sample sets), isolating the paper's `O(ε⁻⁴ k ln³ n)` query path from
+//! sampling cost. The sweep over `n` should show polylogarithmic growth for
+//! the ℓ₂ tester at fixed per-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_core::tester::{test_l1_from_sets, test_l2_from_sets};
+use khist_dist::generators;
+use khist_oracle::{L1TesterBudget, L2TesterBudget, SampleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tester(c: &mut Criterion) {
+    let k = 4;
+
+    let mut group = c.benchmark_group("l2_tester_decision");
+    for &n in &[256usize, 1024, 4096] {
+        let eps = 0.2;
+        let budget = L2TesterBudget::calibrated(n, eps, 0.05);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (_, p) =
+            generators::random_tiling_histogram_distinct(n, k, &mut rng).expect("valid instance");
+        let sets = SampleSet::draw_many(&p, budget.m, budget.r, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| test_l2_from_sets(n, k, eps, budget.m, &sets).expect("tester runs"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("l1_tester_decision");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let eps = 0.4;
+        let budget = L1TesterBudget::calibrated(n, k, eps, 0.005);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = generators::yes_instance(n, k).expect("valid instance");
+        let sets = SampleSet::draw_many(&inst.dist, budget.m, budget.r, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tester);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment driver: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments [e1 … e9 | all] [--quick] [--csv DIR]
+//! ```
+//!
+//! * `--quick` shrinks grids/trials for a fast smoke pass;
+//! * `--csv DIR` additionally writes each table as CSV under `DIR`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use khist_bench::experiments::{run_by_name, ALL};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => names.extend(ALL.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!("usage: experiments [e1 … e9 | all] [--quick] [--csv DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    names.dedup();
+
+    let started = std::time::Instant::now();
+    for name in &names {
+        let t0 = std::time::Instant::now();
+        let Some(tables) = run_by_name(name, quick) else {
+            eprintln!("unknown experiment '{name}' (expected e1 … e9 or all)");
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "######## {name}{} ({:.1}s) ########\n",
+            if quick { " (quick)" } else { "" },
+            t0.elapsed().as_secs_f64()
+        );
+        for table in &tables {
+            table.print();
+            if let Some(dir) = &csv_dir {
+                match table.save_csv(dir) {
+                    Ok(path) => println!("   [csv] {}", path.display()),
+                    Err(err) => eprintln!("   [csv] failed: {err}"),
+                }
+            }
+        }
+    }
+    eprintln!("total: {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! E5 — Theorem 5: the `Ω(√(kn))` distinguishing lower bound.
+//!
+//! **Paper claim.** Testing tiling `k`-histogram-ness in `ℓ₁` needs
+//! `Ω(√(kn))` samples (for `k ≤ 1/ε`), via the YES/NO ensemble whose NO
+//! instance hides a half-empty perturbation in one random heavy bucket.
+//!
+//! **Reproduction.** Runs the strongest natural collision distinguisher
+//! (it even knows the bucket partition) over a grid of `(n, k)` and locates
+//! the sample threshold `m*` at which it reaches 85 % accuracy. The log–log
+//! fit of `m*` against `nk` reproduces the square-root exponent; a table of
+//! success-vs-budget curves shows the chance→certainty transition moving
+//! right as `nk` grows.
+
+use khist_core::lower_bound::{distinguishing_rate, threshold_samples, CollisionDistinguisher};
+use khist_stats::log_log_fit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runner::{parallel_map, seed_for};
+use crate::table::{fmt, Table};
+
+/// Runs E5 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let grid: Vec<(usize, usize)> = if quick {
+        vec![(256, 4), (1024, 4), (4096, 4)]
+    } else {
+        vec![
+            (256, 4),
+            (1024, 4),
+            (4096, 4),
+            (16384, 4),
+            (512, 8),
+            (2048, 8),
+            (8192, 8),
+            (1024, 16),
+        ]
+    };
+    let trials = if quick { 60 } else { 150 };
+    let target = 0.85;
+    let d = CollisionDistinguisher::default();
+
+    let points = parallel_map(grid, |&(n, k)| {
+        let mut rng = StdRng::seed_from_u64(seed_for(5, &[n, k]));
+        let m = threshold_samples(n, k, target, trials, &d, &mut rng).expect("threshold exists");
+        (n, k, m)
+    });
+
+    let mut thresholds = Table::new(
+        "E5 Theorem 5 distinguishing thresholds",
+        format!(
+            "m* = samples for {}% accuracy of the collision distinguisher over the YES/NO ensemble",
+            (target * 100.0) as u32
+        ),
+        &["n", "k", "nk", "m*", "m*/sqrt(nk)"],
+    );
+    let mut nk: Vec<f64> = Vec::new();
+    let mut ms: Vec<f64> = Vec::new();
+    for &(n, k, m) in &points {
+        let prod = (n * k) as f64;
+        nk.push(prod);
+        ms.push(m as f64);
+        thresholds.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt::int(n * k),
+            fmt::int(m),
+            fmt::f3(m as f64 / prod.sqrt()),
+        ]);
+    }
+    let fit = log_log_fit(&nk, &ms);
+    let mut fit_t = Table::new(
+        "E5 fitted exponent",
+        "slope of log(m*) vs log(nk); Theorem 5 predicts ≈ 0.5",
+        &["slope", "r^2", "prediction"],
+    );
+    fit_t.push_row(vec![
+        fmt::f3(fit.slope),
+        fmt::f3(fit.r_squared),
+        "0.5".into(),
+    ]);
+
+    // Transition curves for two domains (the "figure" as a table).
+    let budgets: &[usize] = if quick {
+        &[16, 64, 256, 1024, 4096]
+    } else {
+        &[16, 64, 256, 1024, 4096, 16384, 65536]
+    };
+    let curve_domains: &[usize] = &[256, 4096];
+    let k = 4;
+    let mut curves = Table::new(
+        "E5 success transition curves",
+        format!("distinguishing accuracy vs samples, k = {k}; the 0.5→1.0 transition shifts right by ≈ sqrt(n ratio)"),
+        &["samples", "n=256", "n=4096"],
+    );
+    let curve_rows = parallel_map(budgets.to_vec(), |&m| {
+        let rates: Vec<f64> = curve_domains
+            .iter()
+            .map(|&n| {
+                let mut rng = StdRng::seed_from_u64(seed_for(51, &[n, m]));
+                distinguishing_rate(n, k, m, trials, &d, &mut rng).expect("rate computable")
+            })
+            .collect();
+        (m, rates)
+    });
+    for (m, rates) in curve_rows {
+        curves.push_row(vec![fmt::int(m), fmt::f3(rates[0]), fmt::f3(rates[1])]);
+    }
+
+    vec![thresholds, fit_t, curves]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_recovers_sqrt_exponent_roughly() {
+        let tables = run(true);
+        let slope: f64 = tables[1].rows[0][0].parse().unwrap();
+        assert!(
+            slope > 0.2 && slope < 0.9,
+            "fitted exponent {slope} inconsistent with the sqrt(kn) lower bound"
+        );
+    }
+
+    #[test]
+    fn transition_curves_are_monotone_ish() {
+        let tables = run(true);
+        let curves = &tables[2];
+        let first: f64 = curves.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = curves.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last >= first, "accuracy should rise with budget");
+        assert!(last > 0.9, "n=256 should be solved at the top budget");
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness reproducing every quantitative claim of the paper.
+//!
+//! The paper is a theory paper — it publishes theorems, not measurement
+//! tables — so the "evaluation" this crate regenerates is the set of
+//! quantitative statements behind Theorems 1–5 and Lemma 1 (see DESIGN.md
+//! §5 for the experiment index):
+//!
+//! | experiment | claim reproduced |
+//! |---|---|
+//! | [`experiments::e1`] | Theorem 1: greedy `ℓ₂²` gap ≤ 5ε vs the exact optimum |
+//! | [`experiments::e2`] | Theorem 2: sample-endpoint candidates match quality at `n`-independent cost |
+//! | [`experiments::e3`] | Theorem 3: `ℓ₂` tester correctness + `ln² n` budget growth |
+//! | [`experiments::e4`] | Theorem 4: `ℓ₁` tester correctness + `√(kn)` budget growth |
+//! | [`experiments::e5`] | Theorem 5: distinguishing threshold grows as `√(nk)` |
+//! | [`experiments::e6`] | §1 motivation: v-optimal vs classical DB histograms |
+//! | [`experiments::e7`] | §3: error vs sample budget (learning curve) |
+//! | [`experiments::e8`] | Lemma 1: collision-estimator concentration |
+//! | [`experiments::e9`] | ablations: median boosting, candidate policies, iteration count, piece growth |
+//!
+//! Run `cargo run --release -p khist-bench --bin experiments -- all` (or a
+//! specific `e1`…`e9`, with `--quick` for a fast pass, `--csv DIR` to dump
+//! CSVs). Criterion benches for the running-time claims live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use table::Table;

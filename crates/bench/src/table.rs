@@ -1,0 +1,228 @@
+//! Result tables: aligned console output and CSV export.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A titled table of experiment results.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Table {
+    /// Table title (printed as a header and used for the CSV filename).
+    pub title: String,
+    /// One-line interpretation of what the table shows.
+    pub caption: String,
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Row-major cells, stringified by the producer.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title, caption and headers.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count must match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.caption.is_empty() {
+            out.push_str(&format!("   {}\n", self.caption));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w + 2))
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = writeln!(lock, "{}", self.render());
+    }
+
+    /// CSV serialization (headers + rows; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir` as `<slug(title)>.csv`.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Numeric cell formatting helpers used by all experiments.
+pub mod fmt {
+    /// Fixed 6-decimal float.
+    pub fn f6(x: f64) -> String {
+        format!("{x:.6}")
+    }
+
+    /// Fixed 3-decimal float.
+    pub fn f3(x: f64) -> String {
+        format!("{x:.3}")
+    }
+
+    /// Scientific notation with 2 significant decimals.
+    pub fn sci(x: f64) -> String {
+        format!("{x:.2e}")
+    }
+
+    /// Integer with thousands separators.
+    pub fn int(x: usize) -> String {
+        let s = x.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push('_');
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// A pass/fail marker.
+    pub fn ok(b: bool) -> String {
+        if b {
+            "yes".into()
+        } else {
+            "NO".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", "caption here", &["a", "b"]);
+        t.push_row(vec!["1".into(), "long-cell".into()]);
+        t.push_row(vec!["2".into(), "x".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("caption here"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header line and row lines have equal width
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("t", "", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_lines() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "a,b");
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("khist_table_test");
+        let path = sample().save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt::f3(1.23456), "1.235");
+        assert_eq!(fmt::int(1234567), "1_234_567");
+        assert_eq!(fmt::int(123), "123");
+        assert_eq!(fmt::ok(true), "yes");
+        assert_eq!(fmt::ok(false), "NO");
+        assert!(fmt::sci(0.000123).contains('e'));
+    }
+}

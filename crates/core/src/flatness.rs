@@ -1,0 +1,308 @@
+//! Interval flatness tests: Algorithm 3 (`ℓ₂`) and Algorithm 4 (`ℓ₁`).
+//!
+//! An interval is *flat* when its conditional distribution is uniform or it
+//! carries no weight (§2). Both tests decide flatness from the same two
+//! signals:
+//!
+//! 1. **Lightness** — too few samples hit `I`, so `p(I)` is small enough to
+//!    ignore (its contribution to the distance is bounded in the proofs of
+//!    Theorems 3–4);
+//! 2. **Collision probability** — the conditional estimate
+//!    `z_I ≈ ‖p_I‖₂²` is compared against the uniform floor `1/|I|`:
+//!    equality characterizes uniformity, excess means structure inside `I`.
+//!
+//! The thresholds are expressed as *fractions of the per-set sample size*
+//! so they remain meaningful under the calibrated budgets: under the
+//! theoretical budgets they reduce exactly to the paper's counts (e.g.
+//! Algorithm 4's `|Sⁱ_I| < 16³·√|I|/ε⁴` with `m = 2¹³·√(kn)·ε⁻⁵` is the
+//! fraction `(ε/2)·√(|I|/(kn))`).
+
+use khist_dist::Interval;
+use khist_oracle::{MedianBooster, SampleSet};
+
+/// Decision interface shared by the two flatness tests: `true` ⇒ the
+/// interval is accepted as flat.
+pub trait FlatnessTest {
+    /// Tests whether `iv` should be treated as flat.
+    fn is_flat(&self, iv: Interval) -> bool;
+}
+
+/// `testFlatness-ℓ₂` (Algorithm 3).
+///
+/// Accepts when some set sees `|Sⁱ_I|/m < ε²/2` (light interval: Fact 1
+/// bounds `p(I) < ε²`), otherwise compares the median conditional collision
+/// estimate against `1/|I| + max_i ε²/(2·p̂ᵢ(I))` with `p̂ᵢ(I) = 2|Sⁱ_I|/m`.
+pub struct L2Flatness<'a> {
+    booster: MedianBooster<'a>,
+    m: usize,
+    eps: f64,
+}
+
+impl<'a> L2Flatness<'a> {
+    /// Wraps `r` sample sets of size `m` each with accuracy `ε`.
+    pub fn new(sets: &'a [SampleSet], m: usize, eps: f64) -> Self {
+        assert!(!sets.is_empty(), "need at least one sample set");
+        assert!(m > 0, "per-set size must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        L2Flatness {
+            booster: MedianBooster::new(sets),
+            m,
+            eps,
+        }
+    }
+}
+
+impl FlatnessTest for L2Flatness<'_> {
+    fn is_flat(&self, iv: Interval) -> bool {
+        let m = self.m as f64;
+        let eps2 = self.eps * self.eps;
+        // Step 2: light-interval early accept + collect the slack term.
+        let mut max_slack = 0.0f64;
+        for set in self.booster.sets() {
+            let frac = set.count_in(iv) as f64 / m;
+            if frac < eps2 / 2.0 {
+                return true;
+            }
+            let p_hat = 2.0 * frac;
+            max_slack = max_slack.max(eps2 / (2.0 * p_hat));
+        }
+        // Steps 3–4: conditional collision median vs uniform floor.
+        match self.booster.conditional_median(iv) {
+            // Every set has ≥ m·ε²/2 ≥ 2 hits under the paper's budgets;
+            // if a calibrated budget is too small to form pairs, there is
+            // no collision evidence against flatness.
+            None => true,
+            Some(z) => z <= 1.0 / iv.len() as f64 + max_slack,
+        }
+    }
+}
+
+/// `testFlatness-ℓ₁` (Algorithm 4).
+///
+/// Accepts when some set sees `|Sⁱ_I|/m < (ε/2)·√(|I|/(kn))` (the paper's
+/// `|Sⁱ_I| < 16³·√|I|/ε⁴` under the theoretical `m`), otherwise compares
+/// the median conditional collision estimate against `(1/|I|)(1 + ε²/4)`.
+pub struct L1Flatness<'a> {
+    booster: MedianBooster<'a>,
+    m: usize,
+    eps: f64,
+    k: usize,
+    n: usize,
+}
+
+impl<'a> L1Flatness<'a> {
+    /// Wraps `r` sample sets of size `m` for testing `k`-histograms over
+    /// `[n]` at accuracy `ε`.
+    pub fn new(sets: &'a [SampleSet], m: usize, eps: f64, k: usize, n: usize) -> Self {
+        assert!(!sets.is_empty(), "need at least one sample set");
+        assert!(m > 0, "per-set size must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        assert!(k >= 1 && n >= 1, "k and n must be positive");
+        L1Flatness {
+            booster: MedianBooster::new(sets),
+            m,
+            eps,
+            k,
+            n,
+        }
+    }
+
+    /// The lightness threshold as a fraction of `m` for an interval of the
+    /// given length.
+    pub fn light_fraction(&self, len: usize) -> f64 {
+        (self.eps / 2.0) * ((len as f64) / (self.k as f64 * self.n as f64)).sqrt()
+    }
+}
+
+impl FlatnessTest for L1Flatness<'_> {
+    fn is_flat(&self, iv: Interval) -> bool {
+        let m = self.m as f64;
+        let light = self.light_fraction(iv.len());
+        for set in self.booster.sets() {
+            if (set.count_in(iv) as f64) / m < light {
+                return true;
+            }
+        }
+        match self.booster.conditional_median(iv) {
+            None => true,
+            Some(z) => {
+                let eps2 = self.eps * self.eps;
+                z <= (1.0 + eps2 / 4.0) / iv.len() as f64
+            }
+        }
+    }
+}
+
+/// Flatness against the *true* distribution (noise-free reference used by
+/// tests and ablations): flat iff `p_I` uniform or `p(I) = 0` within
+/// tolerance.
+pub struct ExactFlatness<'a> {
+    p: &'a khist_dist::DenseDistribution,
+    tol: f64,
+}
+
+impl<'a> ExactFlatness<'a> {
+    /// Wraps a distribution with the given relative tolerance.
+    pub fn new(p: &'a khist_dist::DenseDistribution, tol: f64) -> Self {
+        ExactFlatness { p, tol }
+    }
+}
+
+impl FlatnessTest for ExactFlatness<'_> {
+    fn is_flat(&self, iv: Interval) -> bool {
+        self.p.is_flat(iv, self.tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khist_dist::{generators, DenseDistribution};
+    use khist_oracle::{L1TesterBudget, L2TesterBudget};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iv(lo: usize, hi: usize) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn draw_sets(p: &DenseDistribution, m: usize, r: usize, seed: u64) -> Vec<SampleSet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SampleSet::draw_many(p, m, r, &mut rng)
+    }
+
+    #[test]
+    fn l2_accepts_flat_interval_of_uniform() {
+        let p = DenseDistribution::uniform(64).unwrap();
+        let b = L2TesterBudget::calibrated(64, 0.25, 0.05);
+        let sets = draw_sets(&p, b.m, b.r, 1);
+        let t = L2Flatness::new(&sets, b.m, 0.25);
+        assert!(t.is_flat(iv(0, 63)));
+        assert!(t.is_flat(iv(10, 40)));
+        assert!(t.is_flat(iv(5, 5)));
+    }
+
+    #[test]
+    fn l2_rejects_grossly_non_flat_interval() {
+        // Half the mass on one element inside the interval.
+        let mut w = vec![1.0f64; 64];
+        w[20] = 200.0;
+        let p = DenseDistribution::from_weights(&w).unwrap();
+        let b = L2TesterBudget::calibrated(64, 0.25, 0.05);
+        let sets = draw_sets(&p, b.m, b.r, 2);
+        let t = L2Flatness::new(&sets, b.m, 0.25);
+        assert!(!t.is_flat(iv(0, 63)), "spiked interval must not be flat");
+        // but intervals avoiding the spike are flat
+        assert!(t.is_flat(iv(30, 63)));
+    }
+
+    #[test]
+    fn l2_accepts_light_interval_regardless_of_shape() {
+        // All mass in [0, 7]; the tail is light and accepted even though a
+        // zero-mass region is (vacuously) flat anyway.
+        let mut w = vec![0.0f64; 64];
+        for (i, slot) in w.iter_mut().enumerate().take(8) {
+            *slot = (i + 1) as f64;
+        }
+        w[40] = 0.001; // trace mass, far below ε²/2
+        let p = DenseDistribution::from_weights(&w).unwrap();
+        let b = L2TesterBudget::calibrated(64, 0.3, 0.05);
+        let sets = draw_sets(&p, b.m, b.r, 3);
+        let t = L2Flatness::new(&sets, b.m, 0.3);
+        assert!(t.is_flat(iv(32, 63)));
+    }
+
+    #[test]
+    fn l1_accepts_flat_and_rejects_spiked() {
+        let uniform = DenseDistribution::uniform(128).unwrap();
+        let b = L1TesterBudget::calibrated(128, 4, 0.3, 0.01);
+        let sets = draw_sets(&uniform, b.m, b.r, 4);
+        let t = L1Flatness::new(&sets, b.m, 0.3, 4, 128);
+        assert!(t.is_flat(iv(0, 127)));
+
+        let mut w = vec![1.0f64; 128];
+        w[60] = 300.0;
+        let spiked = DenseDistribution::from_weights(&w).unwrap();
+        let sets = draw_sets(&spiked, b.m, b.r, 5);
+        let t = L1Flatness::new(&sets, b.m, 0.3, 4, 128);
+        assert!(!t.is_flat(iv(0, 127)));
+    }
+
+    #[test]
+    fn l1_light_fraction_matches_paper_constant() {
+        // Under the theoretical budget m = 2¹³√(kn)ε⁻⁵ the fractional
+        // threshold (ε/2)√(|I|/(kn)) equals the paper's 16³√|I|/ε⁴ count.
+        let n = 256;
+        let k = 4;
+        let eps = 0.5;
+        let b = L1TesterBudget::theoretical(n, k, eps);
+        let sets = vec![SampleSet::from_samples(vec![0])];
+        let t = L1Flatness::new(&sets, b.m, eps, k, n);
+        for len in [1usize, 16, 100, 256] {
+            let count_threshold = 4096.0 * (len as f64).sqrt() / eps.powi(4);
+            let fraction_threshold = t.light_fraction(len) * b.m as f64;
+            let rel = (count_threshold - fraction_threshold).abs() / count_threshold;
+            assert!(
+                rel < 0.01,
+                "len {len}: {count_threshold} vs {fraction_threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn l1_detects_half_empty_bucket() {
+        // The Theorem 5 NO perturbation inside one bucket: conditional
+        // collision probability doubles, so the bucket must fail flatness.
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = generators::no_instance(128, 4, &mut rng).unwrap();
+        let bucket = inst.perturbed.unwrap();
+        let b = L1TesterBudget::calibrated(128, 4, 0.4, 0.02);
+        let sets = draw_sets(&inst.dist, b.m, b.r, 7);
+        let t = L1Flatness::new(&sets, b.m, 0.4, 4, 128);
+        assert!(!t.is_flat(bucket), "perturbed bucket must fail flatness");
+        // an unperturbed heavy bucket stays flat
+        let other = inst
+            .partition
+            .iter()
+            .find(|&&ivl| ivl != bucket && inst.dist.interval_mass(ivl) > 0.1)
+            .copied()
+            .expect("another heavy bucket exists");
+        assert!(t.is_flat(other));
+    }
+
+    #[test]
+    fn single_point_intervals_are_always_flat() {
+        let mut w = vec![1.0f64; 16];
+        w[3] = 100.0;
+        let p = DenseDistribution::from_weights(&w).unwrap();
+        let sets = draw_sets(&p, 2000, 5, 8);
+        let t2 = L2Flatness::new(&sets, 2000, 0.3);
+        let t1 = L1Flatness::new(&sets, 2000, 0.3, 2, 16);
+        for i in 0..16 {
+            assert!(t2.is_flat(iv(i, i)), "l2 point {i}");
+            assert!(t1.is_flat(iv(i, i)), "l1 point {i}");
+        }
+    }
+
+    #[test]
+    fn exact_flatness_reference() {
+        let p = generators::staircase(12, 3).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        assert!(t.is_flat(iv(0, 3)));
+        assert!(t.is_flat(iv(4, 7)));
+        assert!(!t.is_flat(iv(2, 6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample set")]
+    fn l2_requires_sets() {
+        L2Flatness::new(&[], 10, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie in (0, 1)")]
+    fn l1_requires_valid_eps() {
+        let sets = vec![SampleSet::from_samples(vec![0])];
+        L1Flatness::new(&sets, 10, 1.5, 2, 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Theorem 5: the `Ω(√(kn))` lower-bound distinguishing harness.
+//!
+//! The proof reduces testing to distinguishing the YES/NO ensemble of
+//! `khist_dist::generators::lower_bound`: identical bucket masses, but the
+//! NO instance hides a "uniform on a random half" perturbation inside one
+//! random heavy bucket. Information-theoretically, any tester needs
+//! `Ω(√(n/k))` hits *inside the perturbed bucket* (the uniformity-testing
+//! lower bound) and hits arrive at rate `Θ(1/k)`, so `Ω(√(nk))` samples
+//! overall.
+//!
+//! The E5 experiment runs the strongest natural collision distinguisher —
+//! scan every heavy bucket's conditional collision estimate and flag the
+//! ensemble as NO when any bucket's normalized collision rate exceeds a
+//! threshold between 1 (uniform) and 2 (half-empty) — and locates the
+//! sample count where its success rate crosses a target. Plotting that
+//! threshold against `nk` on a log–log scale reproduces the `√(kn)` shape.
+
+use rand::Rng;
+
+use khist_dist::generators::{no_instance, yes_instance, LowerBoundInstance};
+use khist_dist::{DistError, Interval};
+use khist_oracle::{conditional_collision_estimate, SampleSet};
+
+/// A collision-based YES/NO distinguisher for the Theorem 5 ensemble.
+#[derive(Debug, Clone, Copy)]
+pub struct CollisionDistinguisher {
+    /// Decision threshold on the normalized collision rate `z_I · |I|`:
+    /// YES buckets concentrate near 1, the NO bucket near 2. Default `1.5`.
+    pub threshold: f64,
+}
+
+impl Default for CollisionDistinguisher {
+    fn default() -> Self {
+        CollisionDistinguisher { threshold: 1.5 }
+    }
+}
+
+impl CollisionDistinguisher {
+    /// Guesses whether `set` was drawn from a NO instance, given the public
+    /// partition (known to the distinguisher in the lower-bound game; only
+    /// the location of the perturbation is secret).
+    ///
+    /// Returns `true` for "NO" (perturbation detected).
+    pub fn guess_is_no(&self, set: &SampleSet, partition: &[Interval]) -> bool {
+        let mut max_normalized = 0.0f64;
+        for &iv in partition {
+            if let Some(z) = conditional_collision_estimate(set, iv) {
+                let normalized = z * iv.len() as f64;
+                if normalized > max_normalized {
+                    max_normalized = normalized;
+                }
+            }
+        }
+        max_normalized > self.threshold
+    }
+}
+
+/// One labelled trial: draw an instance (YES with probability 1/2), sample
+/// `m` points, ask the distinguisher, return whether it was correct.
+pub fn distinguishing_trial<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    m: usize,
+    distinguisher: &CollisionDistinguisher,
+    rng: &mut R,
+) -> Result<bool, DistError> {
+    let truth_is_no = rng.random::<bool>();
+    let inst: LowerBoundInstance = if truth_is_no {
+        no_instance(n, k, rng)?
+    } else {
+        yes_instance(n, k)?
+    };
+    let set = SampleSet::draw(&inst.dist, m, rng);
+    let guess = distinguisher.guess_is_no(&set, &inst.partition);
+    Ok(guess == truth_is_no)
+}
+
+/// Success probability of the distinguisher at sample size `m`, estimated
+/// over `trials` labelled trials.
+pub fn distinguishing_rate<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    m: usize,
+    trials: usize,
+    distinguisher: &CollisionDistinguisher,
+    rng: &mut R,
+) -> Result<f64, DistError> {
+    let mut correct = 0usize;
+    for _ in 0..trials {
+        if distinguishing_trial(n, k, m, distinguisher, rng)? {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / trials as f64)
+}
+
+/// Finds (by doubling + bisection over `m`) the smallest sample size whose
+/// distinguishing success rate reaches `target` (e.g. `0.9`). This is the
+/// `m*(n, k)` whose growth E5 fits against `√(nk)`.
+pub fn threshold_samples<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    target: f64,
+    trials: usize,
+    distinguisher: &CollisionDistinguisher,
+    rng: &mut R,
+) -> Result<usize, DistError> {
+    assert!(
+        (0.5..1.0).contains(&target),
+        "target rate must lie in [0.5, 1)"
+    );
+    // Doubling phase.
+    let mut hi = 8usize;
+    let cap = 1 << 26; // safety net: give up past ~67M samples
+    while distinguishing_rate(n, k, hi, trials, distinguisher, rng)? < target {
+        hi *= 2;
+        if hi > cap {
+            return Err(DistError::BadParameter {
+                reason: format!("no threshold below {cap} samples for n={n}, k={k}"),
+            });
+        }
+    }
+    // Bisection phase (rates are noisy; a coarse 8-step bisection is enough
+    // for exponent fitting).
+    let mut lo = hi / 2;
+    for _ in 0..8 {
+        if hi - lo <= hi / 16 {
+            break;
+        }
+        let mid = (lo + hi) / 2;
+        if distinguishing_rate(n, k, mid, trials, distinguisher, rng)? >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distinguisher_confident_with_many_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = CollisionDistinguisher::default();
+        let rate = distinguishing_rate(128, 4, 20_000, 40, &d, &mut rng).unwrap();
+        assert!(rate > 0.9, "rate = {rate}");
+    }
+
+    #[test]
+    fn distinguisher_at_chance_with_few_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = CollisionDistinguisher::default();
+        // 4 samples cannot reveal a within-bucket perturbation of a 128-point
+        // domain; accuracy should be near 1/2 (NO-guesses are never
+        // triggered, YES half always right).
+        let rate = distinguishing_rate(128, 4, 4, 200, &d, &mut rng).unwrap();
+        assert!(rate < 0.75, "rate = {rate}");
+    }
+
+    #[test]
+    fn success_rate_increases_with_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = CollisionDistinguisher::default();
+        let low = distinguishing_rate(256, 4, 12, 150, &d, &mut rng).unwrap();
+        let high = distinguishing_rate(256, 4, 16_384, 150, &d, &mut rng).unwrap();
+        assert!(low < 0.9, "low-budget rate {low} suspiciously high");
+        assert!(high > low + 0.1, "low {low}, high {high}");
+        assert!(high > 0.9, "high-budget rate {high} should be near 1");
+    }
+
+    #[test]
+    fn threshold_samples_scale_with_domain() {
+        // m*(4n, k) should exceed m*(n, k) — the √(nk) growth in miniature.
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = CollisionDistinguisher::default();
+        let small = threshold_samples(64, 4, 0.8, 60, &d, &mut rng).unwrap();
+        let large = threshold_samples(1024, 4, 0.8, 60, &d, &mut rng).unwrap();
+        assert!(
+            large > small,
+            "threshold should grow with n: m*(64) = {small}, m*(1024) = {large}"
+        );
+    }
+
+    #[test]
+    fn trial_is_deterministic_per_seed() {
+        let d = CollisionDistinguisher::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(
+                distinguishing_trial(64, 4, 256, &d, &mut a).unwrap(),
+                distinguishing_trial(64, 4, 256, &d, &mut b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target rate")]
+    fn threshold_rejects_bad_target() {
+        let d = CollisionDistinguisher::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = threshold_samples(64, 4, 0.3, 10, &d, &mut rng);
+    }
+}

@@ -1,0 +1,199 @@
+//! Algorithm 2: binary-search partitioning into flat intervals.
+//!
+//! The tester tries to cover `[n]` with at most `k` flat intervals. Each
+//! round starts at the first uncovered point and binary-searches for the
+//! farthest endpoint `e` such that `[start, e]` still passes the flatness
+//! test, in the same way one searches for a value: `mid := (low + high)/2`;
+//! flat ⇒ `low := mid + 1`, else `high := mid − 1`. When the `k` rounds
+//! consume the whole domain the tester accepts; if uncovered points remain,
+//! there were more than `k` "bucket boundaries" and it rejects.
+//!
+//! Soundness side (paper, proof of Theorem 3): every rejected probe interval
+//! provably contains a true bucket boundary, so a reject implies more than
+//! `k` buckets. Completeness side: within one true bucket every prefix is
+//! flat, so each round advances at least to the next true boundary.
+
+use crate::flatness::FlatnessTest;
+
+/// Outcome of a partition search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionOutcome {
+    /// Whether `[n]` was covered by at most `k` flat intervals.
+    pub accepted: bool,
+    /// Starts of the buckets found after the first (i.e. the interior cuts
+    /// discovered); covers the prefix of the domain the search reached.
+    pub cuts: Vec<usize>,
+    /// Number of flatness queries issued (the tester's query complexity,
+    /// `O(k log n)`).
+    pub probes: usize,
+}
+
+/// Runs Algorithm 2's partition loop over an arbitrary flatness test.
+///
+/// # Panics
+/// Panics when `n == 0` or `k == 0` — callers validate domain parameters.
+pub fn partition_search(n: usize, k: usize, flat: &impl FlatnessTest) -> PartitionOutcome {
+    assert!(n > 0, "empty domain");
+    assert!(k > 0, "k must be positive");
+    let mut probes = 0usize;
+    let mut cuts = Vec::new();
+    let mut start = 0usize;
+    for _ in 0..k {
+        if start >= n {
+            break;
+        }
+        // Binary search the largest e ∈ [start, n−1] with [start, e] flat.
+        // `lo` ends at (largest flat e) + 1, i.e. the next bucket start; if
+        // even [start, start] fails, lo stays at `start` and the round makes
+        // no progress (consuming one of the k buckets, as in the paper).
+        let mut lo = start as i64;
+        let mut hi = (n - 1) as i64;
+        while lo <= hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            let iv = khist_dist::Interval::new(start, mid as usize).expect("start ≤ mid");
+            if flat.is_flat(iv) {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let next = lo as usize;
+        if next == start {
+            // No progress possible: even the single point failed (can only
+            // happen with adversarial noise); the remaining rounds cannot
+            // advance either, so reject immediately.
+            return PartitionOutcome {
+                accepted: false,
+                cuts,
+                probes,
+            };
+        }
+        start = next;
+        if start < n {
+            cuts.push(start);
+        }
+    }
+    PartitionOutcome {
+        accepted: start >= n,
+        cuts,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatness::ExactFlatness;
+    use khist_dist::{generators, DenseDistribution, Interval};
+
+    /// Flatness by explicit predicate — lets tests control the geometry.
+    struct Fake<F: Fn(Interval) -> bool>(F);
+    impl<F: Fn(Interval) -> bool> FlatnessTest for Fake<F> {
+        fn is_flat(&self, iv: Interval) -> bool {
+            (self.0)(iv)
+        }
+    }
+
+    #[test]
+    fn accepts_everything_flat_with_one_bucket() {
+        let t = Fake(|_| true);
+        let out = partition_search(100, 1, &t);
+        assert!(out.accepted);
+        assert!(out.cuts.is_empty());
+        // one binary search costs about log₂(100) ≈ 7 probes
+        assert!(out.probes <= 8, "probes = {}", out.probes);
+    }
+
+    #[test]
+    fn rejects_when_nothing_flat() {
+        let t = Fake(|iv: Interval| iv.len() == 1);
+        // every bucket is a single point; 3 buckets cannot cover 10 points
+        let out = partition_search(10, 3, &t);
+        assert!(!out.accepted);
+        assert_eq!(out.cuts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exact_boundaries_recovered_on_staircase() {
+        let p = generators::staircase(12, 3).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        let out = partition_search(12, 3, &t);
+        assert!(out.accepted);
+        assert_eq!(out.cuts, vec![4, 8]);
+    }
+
+    #[test]
+    fn staircase_with_too_small_k_rejected() {
+        let p = generators::staircase(12, 3).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        let out = partition_search(12, 2, &t);
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn extra_budget_is_harmless() {
+        let p = generators::staircase(20, 4).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        let out = partition_search(20, 10, &t);
+        assert!(out.accepted);
+        assert_eq!(out.cuts.len(), 3);
+    }
+
+    #[test]
+    fn uniform_accepted_with_k1() {
+        let p = DenseDistribution::uniform(64).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        assert!(partition_search(64, 1, &t).accepted);
+    }
+
+    #[test]
+    fn zigzag_rejected_for_small_k() {
+        let p = generators::zigzag(64, 0.9).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        let out = partition_search(64, 8, &t);
+        assert!(!out.accepted, "zigzag needs ≥ n/2 buckets");
+    }
+
+    #[test]
+    fn probe_count_scales_logarithmically() {
+        let t = Fake(|_| true);
+        let small = partition_search(1 << 8, 1, &t).probes;
+        let large = partition_search(1 << 16, 1, &t).probes;
+        // doubling the exponent should roughly double probes, not square
+        assert!(large <= 2 * small + 2, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn no_progress_rejects_early() {
+        let t = Fake(|_| false);
+        let out = partition_search(100, 5, &t);
+        assert!(!out.accepted);
+        // first round's binary search probes ≈ log n, then bail
+        assert!(out.probes <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn rejects_empty_domain() {
+        partition_search(0, 1, &Fake(|_| true));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        partition_search(10, 0, &Fake(|_| true));
+    }
+
+    #[test]
+    fn point_mass_segments() {
+        // distribution: flat on [0,4], big point at 5, flat on [6,11]
+        let mut w = vec![1.0f64; 12];
+        w[5] = 50.0;
+        let p = DenseDistribution::from_weights(&w).unwrap();
+        let t = ExactFlatness::new(&p, 1e-9);
+        // needs 3 buckets: [0,4], [5,5], [6,11]
+        assert!(!partition_search(12, 2, &t).accepted);
+        assert!(partition_search(12, 3, &t).accepted);
+    }
+}

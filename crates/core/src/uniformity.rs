@@ -1,0 +1,208 @@
+//! Collision-based uniformity testing — the `k = 1` ancestor of the
+//! paper's testers (§1.3).
+//!
+//! A uniform distribution is a tiling 1-histogram, so uniformity testing is
+//! the base case of the paper's problem. The lineage the paper cites:
+//! Goldreich–Ron observed that the pairwise collision rate of a sample
+//! estimates `‖p‖₂²`, Batu et al. turned that into an `Õ(√n)` `ℓ₁`
+//! uniformity tester, and Paninski proved `Θ(√n)` optimal. This module
+//! implements the classic standalone collision tester; its agreement with
+//! the general tester at `k = 1` is verified in tests and it serves as an
+//! independent cross-check in the harness.
+//!
+//! Decision rule: accept iff the collision statistic
+//! `ẑ = coll(S)/C(m, 2)` satisfies `ẑ ≤ (1 + ε²) / n`. Under uniformity
+//! `E[ẑ] = 1/n`; any `p` with `‖p − u‖₂² > 2ε²/n` (in particular any `p`
+//! that is `ε√2`-far in `ℓ₁` scaled appropriately) pushes
+//! `E[ẑ] = ‖p‖₂² = 1/n + ‖p − u‖₂²` past the threshold.
+
+use rand::Rng;
+
+use khist_dist::{DenseDistribution, DistError, Interval};
+use khist_oracle::{absolute_collision_estimate, SampleSet};
+
+use crate::tester::TestOutcome;
+
+/// Budget for the standalone uniformity tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformityBudget {
+    /// Number of samples drawn.
+    pub m: usize,
+}
+
+impl UniformityBudget {
+    /// The `Õ(√n/ε⁴)` budget from the Goldreich–Ron analysis (constant
+    /// from [BFR+10]'s presentation), scaled by `scale` like the other
+    /// calibrated budgets.
+    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Self {
+        assert!(n >= 2, "domain too small to test");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let m = 16.0 * (n as f64).sqrt() / eps.powi(4);
+        UniformityBudget {
+            m: ((m * scale).ceil() as usize).max(16),
+        }
+    }
+
+    /// The unscaled theoretical budget.
+    pub fn theoretical(n: usize, eps: f64) -> Self {
+        Self::calibrated(n, eps, 1.0)
+    }
+}
+
+/// Report of a uniformity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    /// Accept (looks uniform) or reject (collision excess detected).
+    pub outcome: TestOutcome,
+    /// The measured collision statistic `ẑ`.
+    pub statistic: f64,
+    /// The decision threshold `(1 + ε²)/n`.
+    pub threshold: f64,
+    /// Samples consumed.
+    pub samples_used: usize,
+}
+
+/// Tests uniformity of `p` from fresh samples.
+pub fn test_uniformity<R: Rng + ?Sized>(
+    p: &DenseDistribution,
+    eps: f64,
+    budget: UniformityBudget,
+    rng: &mut R,
+) -> Result<UniformityReport, DistError> {
+    let set = SampleSet::draw(p, budget.m, rng);
+    test_uniformity_from_set(p.n(), eps, &set)
+}
+
+/// Tests uniformity from a pre-drawn sample multiset.
+pub fn test_uniformity_from_set(
+    n: usize,
+    eps: f64,
+    set: &SampleSet,
+) -> Result<UniformityReport, DistError> {
+    if n == 0 {
+        return Err(DistError::EmptyDomain);
+    }
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("ε = {eps} must lie in (0, 1)"),
+        });
+    }
+    if set.total() < 2 {
+        return Err(DistError::BadParameter {
+            reason: "need at least two samples".into(),
+        });
+    }
+    let full = Interval::full(n)?;
+    let statistic = absolute_collision_estimate(set, full);
+    let threshold = (1.0 + eps * eps) / n as f64;
+    Ok(UniformityReport {
+        outcome: if statistic <= threshold {
+            TestOutcome::Accept
+        } else {
+            TestOutcome::Reject
+        },
+        statistic,
+        threshold,
+        samples_used: set.total() as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khist_dist::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority(p: &DenseDistribution, eps: f64, scale: f64, seed: u64) -> TestOutcome {
+        let budget = UniformityBudget::calibrated(p.n(), eps, scale);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let accepts = (0..9)
+            .filter(|_| {
+                test_uniformity(p, eps, budget, &mut rng)
+                    .unwrap()
+                    .outcome
+                    .is_accept()
+            })
+            .count();
+        if accepts > 4 {
+            TestOutcome::Accept
+        } else {
+            TestOutcome::Reject
+        }
+    }
+
+    #[test]
+    fn accepts_uniform() {
+        let p = DenseDistribution::uniform(1024).unwrap();
+        assert_eq!(majority(&p, 0.4, 0.1, 1), TestOutcome::Accept);
+    }
+
+    #[test]
+    fn rejects_half_support_uniform() {
+        // The classical hard instance at its own threshold scale.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = generators::half_empty_perturbation(1024, 1, 1, &mut rng).unwrap();
+        // ‖p‖₂² = 2/n, double the uniform collision rate → strongly rejected.
+        assert_eq!(majority(&p, 0.4, 0.1, 3), TestOutcome::Reject);
+    }
+
+    #[test]
+    fn rejects_zipf() {
+        let p = generators::zipf(512, 1.0).unwrap();
+        assert_eq!(majority(&p, 0.3, 0.1, 4), TestOutcome::Reject);
+    }
+
+    #[test]
+    fn statistic_estimates_l2_norm() {
+        let p = generators::two_level(256, 0.5, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let budget = UniformityBudget { m: 50_000 };
+        let rep = test_uniformity(&p, 0.3, budget, &mut rng).unwrap();
+        assert!((rep.statistic - p.l2_norm_sq()).abs() < 0.002);
+        assert_eq!(rep.samples_used, 50_000);
+    }
+
+    #[test]
+    fn agrees_with_general_tester_at_k1() {
+        // The k = 1 instance of the paper's ℓ₂ tester and the standalone
+        // uniformity tester should agree on clear-cut instances. The far
+        // instance must be far *in ℓ₂ at the general tester's ε*: six
+        // elements sharing 90% of the mass give ‖p − u‖₂ ≈ 0.36 > 0.3.
+        // (A milder skew like two_level(256, 0.1, 0.8) is only ≈ 0.15-far
+        // in ℓ₂ and the general tester rightly accepts it at ε = 0.3.)
+        use crate::tester::test_l2;
+        use khist_oracle::L2TesterBudget;
+        let mut rng = StdRng::seed_from_u64(6);
+        let uniform = DenseDistribution::uniform(256).unwrap();
+        let skewed = generators::two_level(256, 0.02, 0.9).unwrap();
+        let l2_budget = L2TesterBudget::calibrated(256, 0.3, 0.05);
+        for (p, expect_accept) in [(&uniform, true), (&skewed, false)] {
+            let general = test_l2(p, 1, 0.3, l2_budget, &mut rng)
+                .unwrap()
+                .outcome
+                .is_accept();
+            let standalone = majority(p, 0.3, 0.1, 7).is_accept();
+            assert_eq!(general, expect_accept, "general tester wrong");
+            assert_eq!(standalone, expect_accept, "standalone tester wrong");
+        }
+    }
+
+    #[test]
+    fn budget_scales_with_sqrt_n() {
+        let b1 = UniformityBudget::theoretical(1 << 10, 0.5);
+        let b2 = UniformityBudget::theoretical(1 << 14, 0.5);
+        let ratio = b2.m as f64 / b1.m as f64;
+        assert!((ratio - 4.0).abs() < 0.05, "√n scaling broken: {ratio}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let set = SampleSet::from_samples(vec![0, 1, 2]);
+        assert!(test_uniformity_from_set(0, 0.3, &set).is_err());
+        assert!(test_uniformity_from_set(8, 1.2, &set).is_err());
+        let tiny = SampleSet::from_samples(vec![0]);
+        assert!(test_uniformity_from_set(8, 0.3, &tiny).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Sample-size budgets: the paper's formulas and calibrated profiles.
+//!
+//! Every algorithm's analysis fixes explicit sample counts:
+//!
+//! | symbol | Algorithm 1 (learning)              | Algorithm 2/3 (`ℓ₂` test) | Algorithm 4 (`ℓ₁` test)          |
+//! |--------|-------------------------------------|---------------------------|----------------------------------|
+//! | `ξ`    | `ε / (k·ln(1/ε))`                   | —                         | —                                |
+//! | `ℓ`    | `ln(12n²) / (2ξ²)`                  | —                         | —                                |
+//! | `r`    | `ln(6n²)` sets                      | `16·ln(6n²)` sets         | `16·ln(6n²)` sets                |
+//! | `m`    | `24/ξ²` per set                     | `64·ln n · ε⁻⁴` per set    | `2¹³·√(kn)·ε⁻⁵` per set          |
+//! | `q`    | `k·ln(1/ε)` greedy iterations       | —                         | —                                |
+//!
+//! These constants guarantee the stated 2/3 success probability but are far
+//! too conservative to execute at experiment scale (`m` reaches 10⁸ for
+//! modest `n`). Each budget therefore exposes
+//!
+//! * `theoretical(…)` — the formulas verbatim, and
+//! * `calibrated(…, scale)` — identical functional form with the sample
+//!   counts multiplied by `scale` (floored at small minima, `r` kept odd so
+//!   medians are unambiguous).
+//!
+//! Scaling experiments hold `scale` fixed while sweeping `n`, `k`, `ε`, so
+//! measured growth exponents reflect the formulas' `ln n`, `√(kn)`, `ε⁻ᶜ`
+//! dependence rather than the constant.
+
+/// Budget for the greedy learner (Algorithm 1 / Theorem 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnerBudget {
+    /// Error-splitting parameter `ξ = ε / (k ln(1/ε))`.
+    pub xi: f64,
+    /// Size of the main sample `S` used for interval weights `y_I`.
+    pub ell: usize,
+    /// Number of independent collision sets `S¹, …, Sʳ`.
+    pub r: usize,
+    /// Size of each collision set.
+    pub m: usize,
+    /// Greedy iterations `q = ⌈k·ln(1/ε)⌉`.
+    pub q: usize,
+}
+
+fn xi_param(k: usize, eps: f64) -> f64 {
+    // ln(1/ε) degenerates for ε ≥ 1/e; clamp the log factor at 1 so budgets
+    // stay monotone in ε.
+    let log_term = (1.0 / eps).ln().max(1.0);
+    eps / (k as f64 * log_term)
+}
+
+fn odd_at_least(x: f64, min: usize) -> usize {
+    let v = (x.ceil() as usize).max(min);
+    if v.is_multiple_of(2) {
+        v + 1
+    } else {
+        v
+    }
+}
+
+impl LearnerBudget {
+    /// The paper's constants, verbatim.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 1`, `k ≥ 1` and `0 < ε < 1`.
+    pub fn theoretical(n: usize, k: usize, eps: f64) -> Self {
+        Self::calibrated(n, k, eps, 1.0)
+    }
+
+    /// The paper's formulas with sample counts scaled by `scale ∈ (0, 1]`.
+    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(k >= 1, "k must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let xi = xi_param(k, eps);
+        let nf = n as f64;
+        let ell_exact = (12.0 * nf * nf).ln() / (2.0 * xi * xi);
+        let r_exact = (6.0 * nf * nf).ln();
+        let m_exact = 24.0 / (xi * xi);
+        let q = (k as f64 * (1.0 / eps).ln().max(1.0)).ceil() as usize;
+        LearnerBudget {
+            xi,
+            ell: (ell_exact * scale).ceil().max(16.0) as usize,
+            r: odd_at_least(r_exact * scale.sqrt(), 3),
+            m: (m_exact * scale).ceil().max(16.0) as usize,
+            q: q.max(1),
+        }
+    }
+
+    /// Total number of samples drawn under this budget: `ℓ + r·m`.
+    pub fn total_samples(&self) -> usize {
+        self.ell + self.r * self.m
+    }
+}
+
+/// Budget for the `ℓ₂` tester (Algorithm 2 + 3, Theorem 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2TesterBudget {
+    /// Number of independent sample sets (`16·ln(6n²)` theoretically).
+    pub r: usize,
+    /// Samples per set (`64·ln n·ε⁻⁴` theoretically).
+    pub m: usize,
+}
+
+impl L2TesterBudget {
+    /// The paper's constants, verbatim.
+    pub fn theoretical(n: usize, eps: f64) -> Self {
+        Self::calibrated(n, eps, 1.0)
+    }
+
+    /// Scaled-down budget with the same `ln n`, `ε⁻⁴` shape.
+    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Self {
+        assert!(n >= 2, "domain too small to test");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let nf = n as f64;
+        let r_exact = 16.0 * (6.0 * nf * nf).ln();
+        let m_exact = 64.0 * nf.ln() * eps.powi(-4);
+        L2TesterBudget {
+            r: odd_at_least(r_exact * scale.sqrt(), 3),
+            m: (m_exact * scale).ceil().max(16.0) as usize,
+        }
+    }
+
+    /// Total samples `r·m`.
+    pub fn total_samples(&self) -> usize {
+        self.r * self.m
+    }
+}
+
+/// Budget for the `ℓ₁` tester (Algorithm 4 inside Algorithm 2, Theorem 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1TesterBudget {
+    /// Number of independent sample sets (`16·ln(6n²)` theoretically).
+    pub r: usize,
+    /// Samples per set (`2¹³·√(kn)·ε⁻⁵` theoretically).
+    pub m: usize,
+}
+
+impl L1TesterBudget {
+    /// The paper's constants, verbatim.
+    pub fn theoretical(n: usize, k: usize, eps: f64) -> Self {
+        Self::calibrated(n, k, eps, 1.0)
+    }
+
+    /// Scaled-down budget with the same `√(kn)`, `ε⁻⁵` shape.
+    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Self {
+        assert!(n >= 2, "domain too small to test");
+        assert!(k >= 1, "k must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let nf = n as f64;
+        let r_exact = 16.0 * (6.0 * nf * nf).ln();
+        let m_exact = 8192.0 * (k as f64 * nf).sqrt() * eps.powi(-5);
+        L1TesterBudget {
+            r: odd_at_least(r_exact * scale.sqrt(), 3),
+            m: (m_exact * scale).ceil().max(16.0) as usize,
+        }
+    }
+
+    /// Total samples `r·m`.
+    pub fn total_samples(&self) -> usize {
+        self.r * self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learner_theoretical_formulas() {
+        let n = 100;
+        let k = 4;
+        let eps = 0.1;
+        let b = LearnerBudget::theoretical(n, k, eps);
+        let xi = eps / (k as f64 * (10.0f64).ln());
+        assert!((b.xi - xi).abs() < 1e-12);
+        let ell = ((12.0 * 10_000.0f64).ln() / (2.0 * xi * xi)).ceil() as usize;
+        assert_eq!(b.ell, ell);
+        assert_eq!(b.m, (24.0 / (xi * xi)).ceil() as usize);
+        assert_eq!(b.q, (4.0 * (10.0f64).ln()).ceil() as usize);
+        // r is ln(6n²) rounded up to odd
+        let r_exact = (6.0 * 10_000.0f64).ln();
+        assert!(b.r >= r_exact as usize && b.r % 2 == 1);
+    }
+
+    #[test]
+    fn learner_total_samples() {
+        let b = LearnerBudget {
+            xi: 0.1,
+            ell: 100,
+            r: 5,
+            m: 20,
+            q: 3,
+        };
+        assert_eq!(b.total_samples(), 200);
+    }
+
+    #[test]
+    fn calibrated_scales_down_monotonically() {
+        let full = LearnerBudget::theoretical(1000, 5, 0.1);
+        let half = LearnerBudget::calibrated(1000, 5, 0.1, 0.5);
+        let tiny = LearnerBudget::calibrated(1000, 5, 0.1, 0.01);
+        assert!(half.ell < full.ell && tiny.ell < half.ell);
+        assert!(half.m < full.m && tiny.m < half.m);
+        assert!(tiny.r <= half.r && half.r <= full.r);
+        // q is a structural parameter, not a sample count: unchanged
+        assert_eq!(half.q, full.q);
+        assert_eq!(half.xi, full.xi);
+    }
+
+    #[test]
+    fn budgets_grow_with_log_n() {
+        let small = LearnerBudget::theoretical(100, 4, 0.1);
+        let large = LearnerBudget::theoretical(10_000, 4, 0.1);
+        // ℓ scales with ln(12n²): doubling ln n roughly doubles ℓ.
+        assert!(large.ell > small.ell);
+        let ratio = large.ell as f64 / small.ell as f64;
+        let expect = (12.0f64 * 1e8).ln() / (12.0f64 * 1e4).ln();
+        assert!((ratio - expect).abs() < 0.05, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn l2_budget_shape() {
+        let b1 = L2TesterBudget::theoretical(256, 0.5);
+        let b2 = L2TesterBudget::theoretical(65536, 0.5);
+        // m ∝ ln n → ratio 2 between n and n²
+        let ratio = b2.m as f64 / b1.m as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+        // ε⁻⁴: halving ε multiplies m by 16
+        let be = L2TesterBudget::theoretical(256, 0.25);
+        let eratio = be.m as f64 / b1.m as f64;
+        assert!((eratio - 16.0).abs() < 0.1, "eratio = {eratio}");
+    }
+
+    #[test]
+    fn l1_budget_shape() {
+        let b1 = L1TesterBudget::theoretical(1000, 4, 0.5);
+        let b4 = L1TesterBudget::theoretical(4000, 4, 0.5);
+        // m ∝ √n → ratio 2 when n quadruples
+        let ratio = b4.m as f64 / b1.m as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+        let bk = L1TesterBudget::theoretical(1000, 16, 0.5);
+        let kratio = bk.m as f64 / b1.m as f64;
+        assert!((kratio - 2.0).abs() < 0.01, "kratio = {kratio}");
+    }
+
+    #[test]
+    fn l1_theoretical_magnitude_matches_paper() {
+        // m = 2¹³·√(kn)/ε⁵ for n = 1000, k = 4, ε = 0.5:
+        // 8192 · √4000 · 32 ≈ 16.6M — the "astronomical" constant the
+        // calibrated profiles exist to tame.
+        let b = L1TesterBudget::theoretical(1000, 4, 0.5);
+        let expect = 8192.0 * 4000.0f64.sqrt() * 32.0;
+        assert!((b.m as f64 - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn r_is_always_odd() {
+        for scale in [1.0, 0.5, 0.1, 0.01] {
+            assert_eq!(LearnerBudget::calibrated(500, 3, 0.2, scale).r % 2, 1);
+            assert_eq!(L2TesterBudget::calibrated(500, 0.2, scale).r % 2, 1);
+            assert_eq!(L1TesterBudget::calibrated(500, 3, 0.2, scale).r % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie in (0, 1)")]
+    fn rejects_bad_eps() {
+        LearnerBudget::theoretical(10, 2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must lie in (0, 1]")]
+    fn rejects_bad_scale() {
+        LearnerBudget::calibrated(10, 2, 0.5, 0.0);
+    }
+
+    #[test]
+    fn floors_keep_budgets_usable() {
+        // Even with a microscopic scale the budget stays executable.
+        let b = LearnerBudget::calibrated(100, 2, 0.3, 1e-6);
+        assert!(b.ell >= 16 && b.m >= 16 && b.r >= 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Empirical distributions from sample sets.
+//!
+//! Turning a sample multiset back into an explicit distribution is what the
+//! "sample-then-solve" baseline (CMN98-style) does before running an exact
+//! DP, and what examples use to feed real data into the learner.
+
+use khist_dist::{DenseDistribution, DistError};
+
+use crate::sample_set::SampleSet;
+
+/// The empirical distribution `p̂(i) = occ(i, S)/m` over a domain of size
+/// `n`.
+///
+/// Fails when the set is empty (no mass to normalize) or contains samples
+/// outside the domain.
+pub fn empirical_distribution(set: &SampleSet, n: usize) -> Result<DenseDistribution, DistError> {
+    if n == 0 {
+        return Err(DistError::EmptyDomain);
+    }
+    if set.is_empty() {
+        return Err(DistError::ZeroTotalMass);
+    }
+    if let Some(&max) = set.unique_values().last() {
+        if max >= n {
+            return Err(DistError::BadInterval {
+                lo: max,
+                hi: max,
+                n,
+            });
+        }
+    }
+    let mut weights = vec![0.0f64; n];
+    for &v in set.unique_values() {
+        weights[v] = set.occurrences(v) as f64;
+    }
+    DenseDistribution::from_weights(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khist_dist::distance::l1_fn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_masses_are_frequencies() {
+        let s = SampleSet::from_samples(vec![0, 0, 1, 3]);
+        let d = empirical_distribution(&s, 4).unwrap();
+        assert!((d.mass(0) - 0.5).abs() < 1e-12);
+        assert!((d.mass(1) - 0.25).abs() < 1e-12);
+        assert!((d.mass(2) - 0.0).abs() < 1e-12);
+        assert!((d.mass(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_set_and_domain() {
+        let empty = SampleSet::from_samples(vec![]);
+        assert!(empirical_distribution(&empty, 4).is_err());
+        let s = SampleSet::from_samples(vec![0]);
+        assert!(empirical_distribution(&s, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_samples() {
+        let s = SampleSet::from_samples(vec![0, 9]);
+        assert!(empirical_distribution(&s, 5).is_err());
+        assert!(empirical_distribution(&s, 10).is_ok());
+    }
+
+    #[test]
+    fn converges_to_truth_with_more_samples() {
+        let truth = khist_dist::generators::zipf(30, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let small = SampleSet::draw(&truth, 100, &mut rng);
+        let large = SampleSet::draw(&truth, 100_000, &mut rng);
+        let d_small = empirical_distribution(&small, 30).unwrap();
+        let d_large = empirical_distribution(&large, 30).unwrap();
+        let err_small = l1_fn(&d_small.to_vec(), &truth.to_vec());
+        let err_large = l1_fn(&d_large.to_vec(), &truth.to_vec());
+        assert!(
+            err_large < err_small / 2.0,
+            "large-sample error {err_large} not ≪ small-sample error {err_small}"
+        );
+        assert!(err_large < 0.02);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sampling oracle, sample multisets and collision estimators.
+//!
+//! The model of §2 of the paper: algorithms see an unknown `p ∈ D_n` only
+//! through i.i.d. samples. This crate provides
+//!
+//! * [`SampleSet`] — a compressed sorted multiset of samples supporting the
+//!   two queries every algorithm in the paper performs per interval `I`:
+//!   the hit count `|S_I|` and the collision count
+//!   `coll(S_I) = Σ_{i∈I} C(occ(i, S_I), 2)`, both in `O(log m)`;
+//! * [`collision`] — the two collision-probability estimators: *absolute*
+//!   (`coll(S_I)/C(|S|,2)` → `Σ_{i∈I} p_i²`, Lemma 1) and *conditional*
+//!   (`coll(S_I)/C(|S_I|,2)` → `‖p_I‖₂²`, Goldreich–Ron Eq. (1)–(2)), plus
+//!   median-of-`r` boosting;
+//! * [`budget`] — the paper's sample-size formulas (`theoretical`) and
+//!   scaled-down `calibrated` profiles that keep the functional form in
+//!   `n`, `k`, `ε`;
+//! * [`empirical`] — empirical distributions built from sample sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod collision;
+pub mod empirical;
+pub mod reservoir;
+pub mod sample_set;
+
+pub use budget::{L1TesterBudget, L2TesterBudget, LearnerBudget};
+pub use collision::{absolute_collision_estimate, conditional_collision_estimate, MedianBooster};
+pub use empirical::empirical_distribution;
+pub use reservoir::Reservoir;
+pub use sample_set::SampleSet;

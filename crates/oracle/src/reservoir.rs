@@ -1,0 +1,170 @@
+//! Reservoir sampling: uniform fixed-size samples from unbounded streams.
+//!
+//! The learner and testers consume i.i.d. samples; when the data arrives as
+//! a stream of records (the monitoring scenario of the `drift_detection`
+//! example) a reservoir turns "the stream so far" into a uniform sample of
+//! fixed size `capacity` without storing the stream — Vitter's classic
+//! Algorithm R, `O(1)` per record.
+//!
+//! Note the statistical caveat (documented rather than hidden): a reservoir
+//! produces a uniform sample *without replacement* of the observed records.
+//! When the stream is itself i.i.d. from `p` and the stream length is much
+//! larger than `capacity`, the reservoir's contents are distributed like
+//! i.i.d. draws from `p` up to `O(capacity/stream_len)` corrections, which
+//! is the regime the monitoring examples run in.
+
+use rand::Rng;
+
+use crate::sample_set::SampleSet;
+
+/// A fixed-capacity uniform reservoir over a stream of `usize` records.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    items: Vec<usize>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir holding at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offers one stream record.
+    pub fn offer<R: Rng + ?Sized>(&mut self, value: usize, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(value);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = value;
+            }
+        }
+    }
+
+    /// Offers a batch of records.
+    pub fn offer_all<R: Rng + ?Sized>(&mut self, values: &[usize], rng: &mut R) {
+        for &v in values {
+            self.offer(v, rng);
+        }
+    }
+
+    /// Number of records offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of records currently held (`min(capacity, seen)`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Borrows the current sample.
+    pub fn items(&self) -> &[usize] {
+        &self.items
+    }
+
+    /// Snapshots the current contents as a [`SampleSet`].
+    pub fn to_sample_set(&self) -> SampleSet {
+        SampleSet::from_samples(self.items.clone())
+    }
+
+    /// Clears the reservoir for a fresh window.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_up_to_capacity_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(4);
+        assert!(r.is_empty());
+        r.offer_all(&[10, 11, 12], &mut rng);
+        assert_eq!(r.items(), &[10, 11, 12]);
+        r.offer_all(&[13], &mut rng);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.seen(), 4);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(8);
+        for v in 0..10_000 {
+            r.offer(v % 100, &mut rng);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn each_record_equally_likely_to_survive() {
+        // Stream 0..20 through a capacity-5 reservoir many times; each
+        // record should survive with probability 5/20 = 0.25.
+        let trials = 20_000;
+        let mut survival = [0u32; 20];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..trials {
+            let mut r = Reservoir::new(5);
+            for v in 0..20 {
+                r.offer(v, &mut rng);
+            }
+            for &v in r.items() {
+                survival[v] += 1;
+            }
+        }
+        for (v, &count) in survival.iter().enumerate() {
+            let p = count as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.02, "record {v}: survival {p}");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = Reservoir::new(3);
+        r.offer_all(&[7, 7, 9], &mut rng);
+        let set = r.to_sample_set();
+        assert_eq!(set.total(), 3);
+        assert_eq!(set.occurrences(7), 2);
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Reservoir::new(0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Compressed sample multisets with logarithmic interval queries.
+//!
+//! Every algorithm in the paper repeatedly asks, for an interval `I ⊆ [n]`:
+//! *how many samples landed in `I`* (`|S_I|`) and *how many pairwise
+//! collisions happened inside `I`* (`coll(S_I) = Σ_{i∈I} C(occ(i,S_I), 2)`).
+//! Algorithm 1 asks this for up to `O(n²)` intervals, the testers for
+//! `O(k log n)` binary-search probes — so both queries must be cheap.
+//!
+//! [`SampleSet`] stores the sorted *unique* sample values with
+//! multiplicities plus two prefix-sum arrays (of multiplicities and of
+//! per-value pair counts), answering both queries with two binary searches.
+
+use rand::Rng;
+
+use khist_dist::{DenseDistribution, Interval};
+
+/// An immutable multiset of `m` samples from `[n]`, preprocessed for
+/// `O(log m)` interval hit-count and collision-count queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSet {
+    /// Total number of samples `m` (with multiplicity).
+    total: u64,
+    /// Sorted distinct sample values.
+    values: Vec<usize>,
+    /// `count_prefix[j] = Σ_{t<j} occ(values[t])`; length `values.len()+1`.
+    count_prefix: Vec<u64>,
+    /// `pair_prefix[j] = Σ_{t<j} C(occ(values[t]), 2)`; same length.
+    pair_prefix: Vec<u64>,
+}
+
+#[inline]
+fn choose2(c: u64) -> u64 {
+    c * (c.saturating_sub(1)) / 2
+}
+
+impl SampleSet {
+    /// Builds a sample set from raw draws (any order, duplicates expected).
+    pub fn from_samples(mut samples: Vec<usize>) -> Self {
+        samples.sort_unstable();
+        let mut values = Vec::new();
+        let mut count_prefix = vec![0u64];
+        let mut pair_prefix = vec![0u64];
+        let mut i = 0;
+        while i < samples.len() {
+            let v = samples[i];
+            let mut j = i + 1;
+            while j < samples.len() && samples[j] == v {
+                j += 1;
+            }
+            let occ = (j - i) as u64;
+            values.push(v);
+            count_prefix.push(count_prefix.last().unwrap() + occ);
+            pair_prefix.push(pair_prefix.last().unwrap() + choose2(occ));
+            i = j;
+        }
+        SampleSet {
+            total: samples.len() as u64,
+            values,
+            count_prefix,
+            pair_prefix,
+        }
+    }
+
+    /// Draws `m` i.i.d. samples from `dist` and builds the set.
+    pub fn draw<R: Rng + ?Sized>(dist: &DenseDistribution, m: usize, rng: &mut R) -> Self {
+        Self::from_samples(dist.sample_many(m, rng))
+    }
+
+    /// Draws `r` independent sets of `m` samples each (the `S¹, …, Sʳ` of
+    /// Algorithms 1–4).
+    pub fn draw_many<R: Rng + ?Sized>(
+        dist: &DenseDistribution,
+        m: usize,
+        r: usize,
+        rng: &mut R,
+    ) -> Vec<Self> {
+        (0..r).map(|_| Self::draw(dist, m, rng)).collect()
+    }
+
+    /// Total number of samples `m` (with multiplicity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct sample values.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sorted distinct sample values.
+    pub fn unique_values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// Multiplicity of element `x` in the multiset.
+    pub fn occurrences(&self, x: usize) -> u64 {
+        match self.values.binary_search(&x) {
+            Ok(idx) => self.count_prefix[idx + 1] - self.count_prefix[idx],
+            Err(_) => 0,
+        }
+    }
+
+    /// Index range `[a, b)` into `values` covered by the interval.
+    #[inline]
+    fn value_range(&self, iv: Interval) -> (usize, usize) {
+        let a = self.values.partition_point(|&v| v < iv.lo());
+        let b = self.values.partition_point(|&v| v <= iv.hi());
+        (a, b)
+    }
+
+    /// Hit count `|S_I|` in `O(log m)`.
+    pub fn count_in(&self, iv: Interval) -> u64 {
+        let (a, b) = self.value_range(iv);
+        self.count_prefix[b] - self.count_prefix[a]
+    }
+
+    /// Collision count `coll(S_I) = Σ_{i∈I} C(occ(i, S_I), 2)` in `O(log m)`.
+    pub fn collisions_in(&self, iv: Interval) -> u64 {
+        let (a, b) = self.value_range(iv);
+        self.pair_prefix[b] - self.pair_prefix[a]
+    }
+
+    /// Total collision count over the whole domain.
+    pub fn collisions_total(&self) -> u64 {
+        *self.pair_prefix.last().expect("prefix array non-empty")
+    }
+
+    /// Empirical interval mass `|S_I| / m` — the `y_I` of Algorithm 1.
+    ///
+    /// Returns `0.0` for an empty set.
+    pub fn empirical_mass(&self, iv: Interval) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count_in(iv) as f64 / self.total as f64
+    }
+
+    /// The candidate endpoint set `T′` of Theorem 2: every sampled value and
+    /// its immediate neighbours `{max(i−1, 0), i, min(i+1, n−1)}`, sorted and
+    /// deduplicated.
+    pub fn endpoint_candidates(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(3 * self.values.len());
+        for &v in &self.values {
+            if v > 0 {
+                out.push(v - 1);
+            }
+            out.push(v);
+            if v + 1 < n {
+                out.push(v + 1);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Cross-collision count between two sample sets restricted to `iv`:
+    /// the number of pairs `(a, b) ∈ S × T` with `a = b ∈ I`.
+    ///
+    /// `E[cross/(|S|·|T|)] = Σ_{i∈I} p_i·q_i` — the inner-product estimator
+    /// behind `ℓ₂` closeness/identity testing ([BFF+01]; see
+    /// `khist_core::identity`). Runs in `O(distinct(S) + distinct(T))`.
+    pub fn cross_collisions_in(&self, other: &SampleSet, iv: Interval) -> u64 {
+        let (a0, a1) = self.value_range(iv);
+        let (b0, b1) = other.value_range(iv);
+        let mut total = 0u64;
+        let mut i = a0;
+        let mut j = b0;
+        while i < a1 && j < b1 {
+            match self.values[i].cmp(&other.values[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let occ_a = self.count_prefix[i + 1] - self.count_prefix[i];
+                    let occ_b = other.count_prefix[j + 1] - other.count_prefix[j];
+                    total += occ_a * occ_b;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Merges two sample sets (used by experiments that grow budgets
+    /// incrementally without re-drawing).
+    pub fn merge(&self, other: &SampleSet) -> SampleSet {
+        let mut raw = Vec::with_capacity((self.total + other.total) as usize);
+        for set in [self, other] {
+            for (idx, &v) in set.values.iter().enumerate() {
+                let occ = set.count_prefix[idx + 1] - set.count_prefix[idx];
+                raw.extend(std::iter::repeat_n(v, occ as usize));
+            }
+        }
+        SampleSet::from_samples(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iv(lo: usize, hi: usize) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    /// Naive O(m²-ish) reference implementations.
+    fn naive_count(samples: &[usize], i: Interval) -> u64 {
+        samples.iter().filter(|&&s| i.contains(s)).count() as u64
+    }
+
+    fn naive_collisions(samples: &[usize], i: Interval) -> u64 {
+        let mut coll = 0u64;
+        for (a, &x) in samples.iter().enumerate() {
+            for &y in &samples[a + 1..] {
+                if x == y && i.contains(x) {
+                    coll += 1;
+                }
+            }
+        }
+        coll
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = SampleSet::from_samples(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.count_in(iv(0, 10)), 0);
+        assert_eq!(s.collisions_in(iv(0, 10)), 0);
+        assert_eq!(s.empirical_mass(iv(0, 10)), 0.0);
+        assert!(s.endpoint_candidates(10).is_empty());
+    }
+
+    #[test]
+    fn counts_match_naive_small() {
+        let raw = vec![3, 1, 3, 3, 7, 1, 9];
+        let s = SampleSet::from_samples(raw.clone());
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.distinct(), 4);
+        for lo in 0..10 {
+            for hi in lo..10 {
+                let i = iv(lo, hi);
+                assert_eq!(s.count_in(i), naive_count(&raw, i), "count {i}");
+                assert_eq!(s.collisions_in(i), naive_collisions(&raw, i), "coll {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn occurrences_per_value() {
+        let s = SampleSet::from_samples(vec![5, 5, 5, 2]);
+        assert_eq!(s.occurrences(5), 3);
+        assert_eq!(s.occurrences(2), 1);
+        assert_eq!(s.occurrences(3), 0);
+    }
+
+    #[test]
+    fn collision_counts_choose_two() {
+        // 4 copies of one value → C(4,2) = 6 collisions.
+        let s = SampleSet::from_samples(vec![8, 8, 8, 8]);
+        assert_eq!(s.collisions_in(iv(8, 8)), 6);
+        assert_eq!(s.collisions_total(), 6);
+        assert_eq!(s.collisions_in(iv(0, 7)), 0);
+    }
+
+    #[test]
+    fn empirical_mass_fraction() {
+        let s = SampleSet::from_samples(vec![0, 0, 1, 9]);
+        assert!((s.empirical_mass(iv(0, 1)) - 0.75).abs() < 1e-12);
+        assert!((s.empirical_mass(iv(9, 9)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_candidates_include_neighbours() {
+        let s = SampleSet::from_samples(vec![0, 5, 9]);
+        let t = s.endpoint_candidates(10);
+        assert_eq!(t, vec![0, 1, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn endpoint_candidates_clamp_at_domain_edges() {
+        let s = SampleSet::from_samples(vec![0, 9]);
+        let t = s.endpoint_candidates(10);
+        // 0 has no left neighbour; 9 has no right neighbour within [10]
+        assert_eq!(t, vec![0, 1, 8, 9]);
+    }
+
+    #[test]
+    fn draw_produces_m_samples_in_domain() {
+        let d = DenseDistribution::uniform(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = SampleSet::draw(&d, 1000, &mut rng);
+        assert_eq!(s.total(), 1000);
+        assert!(s.unique_values().iter().all(|&v| v < 32));
+    }
+
+    #[test]
+    fn draw_many_produces_independent_sets() {
+        let d = DenseDistribution::uniform(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let sets = SampleSet::draw_many(&d, 50, 7, &mut rng);
+        assert_eq!(sets.len(), 7);
+        assert!(sets.iter().all(|s| s.total() == 50));
+        // overwhelmingly unlikely that two sets coincide
+        assert!(sets.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    fn naive_cross(a: &[usize], b: &[usize], i: Interval) -> u64 {
+        let mut total = 0u64;
+        for &x in a {
+            for &y in b {
+                if x == y && i.contains(x) {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn cross_collisions_small_exact() {
+        let a = SampleSet::from_samples(vec![1, 1, 2, 5]);
+        let b = SampleSet::from_samples(vec![1, 2, 2, 9]);
+        // pairs in [0,9]: value 1 → 2·1 = 2, value 2 → 1·2 = 2; total 4
+        assert_eq!(a.cross_collisions_in(&b, iv(0, 9)), 4);
+        assert_eq!(a.cross_collisions_in(&b, iv(2, 9)), 2);
+        assert_eq!(a.cross_collisions_in(&b, iv(6, 9)), 0);
+        // symmetric
+        assert_eq!(b.cross_collisions_in(&a, iv(0, 9)), 4);
+    }
+
+    #[test]
+    fn cross_collisions_estimates_inner_product() {
+        // E[cross/(mA·mB)] = Σ p_i q_i; check with p = q = uniform(32):
+        // inner product = 1/32.
+        let d = DenseDistribution::uniform(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut acc = 0.0;
+        let reps = 200;
+        for _ in 0..reps {
+            let a = SampleSet::draw(&d, 200, &mut rng);
+            let b = SampleSet::draw(&d, 200, &mut rng);
+            acc += a.cross_collisions_in(&b, iv(0, 31)) as f64 / (200.0 * 200.0);
+        }
+        let mean = acc / reps as f64;
+        assert!((mean - 1.0 / 32.0).abs() < 0.003, "mean = {mean}");
+    }
+
+    #[test]
+    fn merge_concatenates_multisets() {
+        let a = SampleSet::from_samples(vec![1, 1, 2]);
+        let b = SampleSet::from_samples(vec![2, 3]);
+        let m = a.merge(&b);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.occurrences(1), 2);
+        assert_eq!(m.occurrences(2), 2);
+        assert_eq!(m.occurrences(3), 1);
+        // collisions: C(2,2) + C(2,2) = 2
+        assert_eq!(m.collisions_total(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_match_naive(raw in proptest::collection::vec(0usize..40, 0..200),
+                                   lo in 0usize..40, len in 1usize..40) {
+            let s = SampleSet::from_samples(raw.clone());
+            let hi = (lo + len - 1).min(39);
+            let i = iv(lo, hi);
+            prop_assert_eq!(s.count_in(i), naive_count(&raw, i));
+            prop_assert_eq!(s.collisions_in(i), naive_collisions(&raw, i));
+        }
+
+        #[test]
+        fn prop_prefix_invariants(raw in proptest::collection::vec(0usize..60, 0..300)) {
+            let s = SampleSet::from_samples(raw.clone());
+            prop_assert_eq!(s.total(), raw.len() as u64);
+            // Sum of per-point counts over the full domain equals m.
+            if !raw.is_empty() {
+                let full = iv(0, 59);
+                prop_assert_eq!(s.count_in(full), raw.len() as u64);
+                prop_assert_eq!(s.collisions_in(full), s.collisions_total());
+            }
+            // Distinct values are sorted and unique.
+            let vals = s.unique_values();
+            prop_assert!(vals.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn prop_count_additive_over_split(raw in proptest::collection::vec(0usize..50, 1..200),
+                                          at in 1usize..50) {
+            let s = SampleSet::from_samples(raw);
+            let left = iv(0, at - 1);
+            let right = iv(at, 49);
+            let full = iv(0, 49);
+            prop_assert_eq!(s.count_in(left) + s.count_in(right), s.count_in(full));
+            // collisions are also additive across a split (collisions are
+            // within identical values, which never straddle a split)
+            prop_assert_eq!(
+                s.collisions_in(left) + s.collisions_in(right),
+                s.collisions_in(full)
+            );
+        }
+
+        #[test]
+        fn prop_cross_collisions_match_naive(
+            a in proptest::collection::vec(0usize..25, 0..120),
+            b in proptest::collection::vec(0usize..25, 0..120),
+            lo in 0usize..25, len in 1usize..25,
+        ) {
+            let sa = SampleSet::from_samples(a.clone());
+            let sb = SampleSet::from_samples(b.clone());
+            let i = iv(lo, (lo + len - 1).min(24));
+            prop_assert_eq!(sa.cross_collisions_in(&sb, i), naive_cross(&a, &b, i));
+            prop_assert_eq!(sa.cross_collisions_in(&sb, i), sb.cross_collisions_in(&sa, i));
+        }
+
+        #[test]
+        fn prop_merge_counts_add(a in proptest::collection::vec(0usize..30, 0..80),
+                                 b in proptest::collection::vec(0usize..30, 0..80)) {
+            let sa = SampleSet::from_samples(a.clone());
+            let sb = SampleSet::from_samples(b.clone());
+            let merged = sa.merge(&sb);
+            let mut concat = a;
+            concat.extend(b);
+            let direct = SampleSet::from_samples(concat);
+            prop_assert_eq!(merged, direct);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Success counters for repeated randomized trials.
+
+use crate::interval::{wilson_interval, ConfidenceInterval};
+
+/// Tracks successes across repeated trials of a randomized procedure and
+/// exposes the Wilson interval of the underlying success probability.
+///
+/// Used by the tester experiments (E3–E5): run the tester `T` times on a YES
+/// (or NO) instance, count correct outcomes, and check that the interval for
+/// the success probability clears the paper's 2/3 guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuccessCounter {
+    successes: u64,
+    trials: u64,
+}
+
+impl SuccessCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial with the given outcome.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of successful trials.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Total number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Raw success fraction (`0.0` when no trials have been recorded).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson confidence interval at normal quantile `z` (1.96 ⇒ 95 %).
+    pub fn interval(&self, z: f64) -> ConfidenceInterval {
+        wilson_interval(self.successes, self.trials, z)
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &SuccessCounter) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+impl std::fmt::Display for SuccessCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.successes,
+            self.trials,
+            100.0 * self.rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter() {
+        let c = SuccessCounter::new();
+        assert_eq!(c.trials(), 0);
+        assert_eq!(c.rate(), 0.0);
+    }
+
+    #[test]
+    fn records_and_rates() {
+        let mut c = SuccessCounter::new();
+        c.record(true);
+        c.record(false);
+        c.record(true);
+        c.record(true);
+        assert_eq!(c.successes(), 3);
+        assert_eq!(c.trials(), 4);
+        assert!((c.rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_delegates_to_wilson() {
+        let mut c = SuccessCounter::new();
+        for _ in 0..50 {
+            c.record(true);
+        }
+        for _ in 0..50 {
+            c.record(false);
+        }
+        let ci = c.interval(1.96);
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        assert!(ci.lo > 0.39 && ci.hi < 0.61);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SuccessCounter::new();
+        a.record(true);
+        let mut b = SuccessCounter::new();
+        b.record(false);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.successes(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut c = SuccessCounter::new();
+        c.record(true);
+        c.record(false);
+        assert_eq!(format!("{c}"), "1/2 (50.0%)");
+    }
+}

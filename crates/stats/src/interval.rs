@@ -1,0 +1,127 @@
+//! Confidence intervals for binomial success rates.
+//!
+//! The paper's testers succeed with probability at least 2/3; the experiment
+//! harness estimates the actual success probability by repeated trials and
+//! must report how certain that estimate is. The Wilson score interval is the
+//! standard choice for proportions because it behaves sensibly at small trial
+//! counts and near the 0/1 boundaries (unlike the Wald interval).
+
+/// A two-sided confidence interval `[lo, hi] ⊆ [0, 1]` around a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the raw success fraction).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval lies entirely above `threshold`.
+    pub fn entirely_above(&self, threshold: f64) -> bool {
+        self.lo > threshold
+    }
+
+    /// Whether the interval lies entirely below `threshold`.
+    pub fn entirely_below(&self, threshold: f64) -> bool {
+        self.hi < threshold
+    }
+
+    /// Interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} [{:.3}, {:.3}]", self.estimate, self.lo, self.hi)
+    }
+}
+
+/// Wilson score interval for `successes` out of `trials` at normal quantile
+/// `z` (use `z = 1.96` for 95 %).
+///
+/// For `trials == 0` the interval is the uninformative `[0, 1]` with point
+/// estimate `0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> ConfidenceInterval {
+    if trials == 0 {
+        return ConfidenceInterval {
+            estimate: 0.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ConfidenceInterval {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_trials_is_uninformative() {
+        let ci = wilson_interval(0, 0, 1.96);
+        assert_eq!(ci.lo, 0.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        for (s, t) in [(0u64, 10u64), (5, 10), (10, 10), (33, 100), (999, 1000)] {
+            let ci = wilson_interval(s, t, 1.96);
+            assert!(ci.lo <= ci.estimate + 1e-12, "{ci:?}");
+            assert!(ci.hi >= ci.estimate - 1e-12, "{ci:?}");
+        }
+    }
+
+    #[test]
+    fn interval_is_within_unit_range() {
+        let ci = wilson_interval(0, 5, 2.58);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        let ci = wilson_interval(5, 5, 2.58);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+    }
+
+    #[test]
+    fn more_trials_narrow_the_interval() {
+        let wide = wilson_interval(7, 10, 1.96);
+        let narrow = wilson_interval(700, 1000, 1.96);
+        assert!(narrow.width() < wide.width());
+    }
+
+    #[test]
+    fn known_value_half_successes() {
+        // 50/100 at z=1.96: Wilson interval ≈ [0.404, 0.596].
+        let ci = wilson_interval(50, 100, 1.96);
+        assert!((ci.lo - 0.404).abs() < 0.005, "{ci:?}");
+        assert!((ci.hi - 0.596).abs() < 0.005, "{ci:?}");
+    }
+
+    #[test]
+    fn threshold_helpers() {
+        let ci = wilson_interval(95, 100, 1.96);
+        assert!(ci.entirely_above(0.66));
+        assert!(!ci.entirely_below(0.66));
+        let ci = wilson_interval(5, 100, 1.96);
+        assert!(ci.entirely_below(0.34));
+    }
+
+    #[test]
+    fn display_formats() {
+        let ci = wilson_interval(50, 100, 1.96);
+        let s = format!("{ci}");
+        assert!(s.starts_with("0.500"));
+    }
+}

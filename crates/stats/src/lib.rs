@@ -1,0 +1,31 @@
+//! Statistics toolkit for the `khist` experiment harness.
+//!
+//! The experiments that reproduce the paper's theorems need small, dependable
+//! statistical primitives:
+//!
+//! * [`summary`] — running summaries (mean, variance, extrema) and quantiles;
+//! * [`interval`] — Wilson score intervals for accept/reject success rates
+//!   (the testers only guarantee success probability ≥ 2/3, so every rate we
+//!   report carries a confidence interval);
+//! * [`regression`] — ordinary least squares on (log x, log y) pairs, used to
+//!   fit empirical scaling exponents such as the `√(kn)` sample-complexity
+//!   growth of the ℓ₁ tester (Theorem 4) and the `Ω(√(kn))` lower bound
+//!   (Theorem 5);
+//! * [`counter`] — success counters that combine trial bookkeeping with the
+//!   interval machinery.
+//!
+//! Everything here is deterministic and allocation-light; no external
+//! dependencies beyond `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod interval;
+pub mod regression;
+pub mod summary;
+
+pub use counter::SuccessCounter;
+pub use interval::{wilson_interval, ConfidenceInterval};
+pub use regression::{log_log_fit, ols_fit, LinearFit};
+pub use summary::{mean, median, quantile, std_dev, variance, Summary};

@@ -1,0 +1,147 @@
+//! Ordinary least squares, specialised for log–log scaling fits.
+//!
+//! Reproducing the paper's complexity claims means measuring how a quantity
+//! (samples needed, wall-clock time) grows with a parameter (`n`, `k`, `kn`)
+//! and checking the *exponent*: Theorem 4's `√(kn)` sample complexity should
+//! show up as a slope ≈ 0.5 on a log–log plot of threshold-sample-count
+//! against `kn`, Theorem 2's near-quadratic exhaustive search as slope ≈ 2
+//! against `n`, and so on.
+
+/// Result of a univariate least-squares fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (`1.0` for a perfect fit;
+    /// defined as `0.0` when the response is constant).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Least-squares fit of `ys` on `xs`.
+///
+/// # Panics
+/// Panics if the slices differ in length or fewer than two points are given —
+/// a scaling fit on fewer than two sweep points is a harness bug, not a
+/// recoverable condition.
+pub fn ols_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "ols_fit: mismatched input lengths");
+    assert!(xs.len() >= 2, "ols_fit: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "ols_fit: all x values identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        0.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `ln y ≈ slope · ln x + c`, i.e. a power law `y ∝ x^slope`.
+///
+/// Non-positive observations are rejected with a panic, since they cannot lie
+/// on a power law and indicate a harness bug.
+pub fn log_log_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert!(
+        xs.iter().chain(ys.iter()).all(|&v| v > 0.0),
+        "log_log_fit: inputs must be strictly positive"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    ols_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let fit = ols_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.1, 1.9, 4.1, 5.9, 8.1, 9.9]; // ≈ 2x
+        let fit = ols_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        // y = 7 · x^0.5
+        let xs = [1.0f64, 4.0, 9.0, 16.0, 100.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 7.0 * x.sqrt()).collect();
+        let fit = log_log_fit(&xs, &ys);
+        assert!((fit.slope - 0.5).abs() < 1e-9, "slope = {}", fit.slope);
+        assert!((fit.intercept - 7.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_power_law() {
+        let xs = [2.0, 8.0, 32.0, 128.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.25 * x * x).collect();
+        let fit = log_log_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_is_consistent() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(3.0), 7.0);
+    }
+
+    #[test]
+    fn constant_response_has_zero_r2() {
+        let fit = ols_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        ols_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn log_log_rejects_nonpositive() {
+        log_log_fit(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+}

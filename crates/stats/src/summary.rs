@@ -1,0 +1,281 @@
+//! Descriptive statistics: means, variances, quantiles and one-pass summaries.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n − 1`). Returns `0.0` when fewer
+/// than two observations are available.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation, the square root of [`variance`].
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median of a slice (average of the two central order statistics for even
+/// lengths). Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Empirical `q`-quantile with linear interpolation between order statistics.
+///
+/// `q` is clamped to `[0, 1]`. Returns `0.0` for an empty slice. This is the
+/// "type 7" estimator (the default in R and NumPy), chosen because experiment
+/// tables report interpolated tail quantiles of error distributions.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// One-pass summary of a sample: count, mean, standard deviation and extrema.
+///
+/// Built incrementally with Welford's algorithm so it can absorb streams of
+/// per-trial measurements without storing them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`0.0` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constants() {
+        assert!((mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // sample {1, 2, 3}: variance = ((1)^2 + 0 + 1)/2 = 1
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_single_point_is_zero() {
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn median_even_length_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 30.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -3.0), 1.0);
+        assert_eq!(quantile(&xs, 7.0), 2.0);
+    }
+
+    #[test]
+    fn summary_matches_batch_statistics() {
+        let xs = [0.5, 1.5, -2.0, 4.25, 3.0, 3.0];
+        let s = Summary::from_slice(&xs);
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), -2.0);
+        assert_eq!(s.max(), 4.25);
+    }
+
+    #[test]
+    fn summary_merge_equals_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let mut sa = Summary::from_slice(&a);
+        let sb = Summary::from_slice(&b);
+        sa.merge(&sb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let sc = Summary::from_slice(&all);
+        assert_eq!(sa.count(), sc.count());
+        assert!((sa.mean() - sc.mean()).abs() < 1e-12);
+        assert!((sa.variance() - sc.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert!((empty.mean() - before.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_display_is_stable() {
+        let s = Summary::from_slice(&[1.0]);
+        let text = format!("{s}");
+        assert!(text.contains("n=1"));
+    }
+}

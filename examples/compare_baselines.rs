@@ -1,0 +1,87 @@
+//! Histogram construction shoot-out: the paper's sampled greedy vs the
+//! classical full-data histogram families.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+//!
+//! For each workload distribution, builds a `k`-histogram with every method
+//! and reports the squared ℓ₂ error (the v-optimal objective). Full-data
+//! methods read the exact pmf; sampled methods see only i.i.d. draws.
+
+use khist::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 512;
+    let k = 8;
+    let eps = 0.1;
+
+    let workloads: Vec<(&str, DenseDistribution)> = vec![
+        ("zipf(1.2)", khist::dist::generators::zipf(n, 1.2).unwrap()),
+        (
+            "gaussian",
+            khist::dist::generators::discrete_gaussian(n, 250.0, 40.0).unwrap(),
+        ),
+        (
+            "bimodal",
+            khist::dist::generators::mixture(&[
+                (
+                    0.5,
+                    khist::dist::generators::discrete_gaussian(n, 120.0, 25.0).unwrap(),
+                ),
+                (
+                    0.5,
+                    khist::dist::generators::discrete_gaussian(n, 380.0, 25.0).unwrap(),
+                ),
+            ])
+            .unwrap(),
+        ),
+        (
+            "staircase-8",
+            khist::dist::generators::staircase(n, 8).unwrap(),
+        ),
+    ];
+
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.005);
+    println!(
+        "n = {n}, k = {k}; sampled methods use {} samples; errors are ‖p−H‖₂²\n",
+        budget.total_samples()
+    );
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}",
+        "workload",
+        "v-optimal",
+        "greedy(paper)",
+        "sample+DP",
+        "greedy-merge",
+        "equi-depth",
+        "equi-width"
+    );
+
+    for (name, p) in &workloads {
+        let vo = v_optimal(p, k).unwrap().sse;
+        let params = GreedyParams::fast(k, eps, budget);
+        let t0 = Instant::now();
+        let paper = learn(p, &params, &mut rng).unwrap().tiling.l2_sq_to(p);
+        let paper_time = t0.elapsed();
+        let sdp = sample_then_dp(p, k, budget.total_samples(), &mut rng)
+            .unwrap()
+            .sse_vs_truth;
+        let gm = greedy_merge(p, k).unwrap().l2_sq_to(p);
+        let ed = equi_depth(p, k).unwrap().l2_sq_to(p);
+        let ew = equi_width(p, k).unwrap().l2_sq_to(p);
+        println!(
+            "{:<14}{:>14.6}{:>14.6}{:>14.6}{:>14.6}{:>14.6}{:>14.6}",
+            name, vo, paper, sdp, gm, ed, ew
+        );
+        let _ = paper_time;
+    }
+
+    println!(
+        "\nReading the table: v-optimal is the full-data optimum (lower bound for\n\
+         everyone); the paper's greedy and sample+DP see only samples and still\n\
+         land near it; equi-width collapses on skewed/bimodal shapes."
+    );
+}

@@ -1,0 +1,46 @@
+//! The Theorem 5 lower bound, live: distinguishing the YES/NO ensemble
+//! gets √(kn)-expensive.
+//!
+//! Run with: `cargo run --release --example lower_bound_demo`
+//!
+//! Draws the paper's hard instances (alternating heavy/empty buckets; the
+//! NO instance hides a half-empty perturbation in one random heavy bucket)
+//! and shows the success rate of the natural collision distinguisher as the
+//! sample budget grows, for two domain sizes. The 50 %→100 % transition
+//! shifts right as `n` grows — by the predicted `√n` factor.
+
+use khist::lower_bound::{distinguishing_rate, CollisionDistinguisher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let k = 4;
+    let trials = 200;
+    let d = CollisionDistinguisher::default();
+
+    let budgets = [16usize, 64, 256, 1024, 4096, 16384];
+    let domains = [256usize, 4096];
+
+    println!(
+        "Theorem 5 ensemble, k = {k}; entries are distinguishing accuracy over {trials} trials"
+    );
+    print!("{:<10}", "samples");
+    for &n in &domains {
+        print!("{:>14}", format!("n = {n}"));
+    }
+    println!();
+    for &m in &budgets {
+        print!("{:<10}", m);
+        for &n in &domains {
+            let rate = distinguishing_rate(n, k, m, trials, &d, &mut rng).unwrap();
+            print!("{:>14.2}", rate);
+        }
+        println!();
+    }
+    println!(
+        "\nAccuracy 0.5 = coin flipping. The transition to reliable detection\n\
+         needs ≈ 4× more samples for the 16× larger domain — the √n scaling\n\
+         of Theorem 5 (total Ω(√(kn)))."
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: learn a k-histogram from samples and test histogram-ness.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Walks through the library's two capabilities on a small synthetic
+//! dataset:
+//!
+//! 1. learn a `k`-piece histogram of an unknown distribution from i.i.d.
+//!    samples (Algorithm 1 / Theorem 2 of the paper), and compare it with
+//!    the exact offline optimum;
+//! 2. test whether a distribution *is* a tiling `k`-histogram (Theorem 3).
+
+use khist::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+    let n = 512;
+    let k = 6;
+    let eps = 0.1;
+
+    // --- The unknown distribution -----------------------------------------
+    // A discretized Gaussian: plausible "employee age" attribute, NOT a
+    // k-histogram, so the learner has real work to do.
+    let p = khist::dist::generators::discrete_gaussian(n, 260.0, 60.0).unwrap();
+    println!("domain n = {n}, target pieces k = {k}, accuracy ε = {eps}");
+
+    // --- Learn from samples ------------------------------------------------
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.01);
+    println!(
+        "sample budget: ℓ = {} (weights) + r·m = {}·{} (collisions) = {} samples",
+        budget.ell,
+        budget.r,
+        budget.m,
+        budget.total_samples()
+    );
+    let params = GreedyParams::fast(k, eps, budget);
+    let learned = learn(&p, &params, &mut rng).unwrap();
+    let learned_err = learned.tiling.l2_sq_to(&p);
+
+    // --- Compare with the exact offline optimum ----------------------------
+    let opt = v_optimal(&p, k).unwrap();
+    println!("\nlearned  ‖p−H‖₂²  = {learned_err:.6}");
+    println!("optimal  ‖p−H*‖₂² = {:.6}", opt.sse);
+    println!(
+        "additive gap      = {:.6}  (Theorem 2 bound: 8ε = {:.2})",
+        learned_err - opt.sse,
+        8.0 * eps
+    );
+    println!(
+        "candidates scored = {}, endpoints used = {}",
+        learned.stats.candidates_evaluated, learned.stats.endpoints_used
+    );
+
+    println!("\nlearned histogram pieces:");
+    for (iv, v) in learned.tiling.pieces() {
+        println!("  {iv}  density {v:.6}");
+    }
+
+    // --- Test histogram-ness ------------------------------------------------
+    let tb = L2TesterBudget::calibrated(n, 0.25, 0.05);
+    let staircase = khist::dist::generators::staircase(n, k).unwrap();
+    let verdict_in = test_l2(&staircase, k, 0.25, tb, &mut rng).unwrap();
+    let spiky = khist::dist::generators::spike_comb(n, 32).unwrap();
+    let verdict_out = test_l2(&spiky, k, 0.25, tb, &mut rng).unwrap();
+    println!("\nℓ₂ tester ({} samples each):", tb.total_samples());
+    println!(
+        "  staircase (true {k}-histogram) → {:?}",
+        verdict_in.outcome
+    );
+    println!(
+        "  spike comb (ε-far)             → {:?}",
+        verdict_out.outcome
+    );
+}

@@ -1,0 +1,106 @@
+//! Approximate query answering: range-selectivity estimation from a learned
+//! histogram.
+//!
+//! Run with: `cargo run --release --example selectivity`
+//!
+//! This is the database scenario the paper's introduction motivates:
+//! histograms summarize an attribute's distribution so the query optimizer
+//! can estimate the selectivity of range predicates (`WHERE age BETWEEN a
+//! AND b`) without scanning the data. Here the "data" is a skewed synthetic
+//! attribute; we learn a v-optimal-style histogram *from a sample of the
+//! table* using the paper's greedy learner and measure selectivity-estimate
+//! quality against the exact answer, for the learned histogram and for the
+//! classical equi-width/equi-depth summaries of the same size.
+
+use khist::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic "order value" attribute: log-normal-ish mixture with a heavy
+/// discount spike — the kind of multi-modal skew that breaks equi-width.
+fn order_value_attribute(n: usize) -> DenseDistribution {
+    let bulk =
+        khist::dist::generators::discrete_gaussian(n, n as f64 * 0.2, n as f64 * 0.06).unwrap();
+    let tail = khist::dist::generators::geometric(n, 0.995).unwrap();
+    let mut spike = vec![0.0; n];
+    spike[n / 10] = 1.0; // a popular fixed price point
+    let spike = DenseDistribution::from_weights(&spike).unwrap();
+    khist::dist::generators::mixture(&[(0.55, bulk), (0.30, tail), (0.15, spike)]).unwrap()
+}
+
+fn range_mass(h: &TilingHistogram, lo: usize, hi: usize) -> f64 {
+    (lo..=hi).map(|i| h.evaluate(i)).sum()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(98);
+    let n = 1024;
+    let k = 12;
+    let eps = 0.1;
+
+    let p = order_value_attribute(n);
+
+    // Learn the histogram from samples of the table only.
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.005);
+    let params = GreedyParams::fast(k, eps, budget);
+    let learned = learn(&p, &params, &mut rng)
+        .unwrap()
+        .normalized_tiling()
+        .unwrap();
+    println!(
+        "learned {k}-piece histogram from {} samples (domain n = {n})",
+        budget.total_samples()
+    );
+
+    // Classical summaries built with FULL knowledge of the data (an
+    // advantage we grant the baselines).
+    let ew = equi_width(&p, k).unwrap();
+    let ed = equi_depth(&p, k).unwrap();
+    let vopt = v_optimal(&p, k).unwrap().histogram;
+
+    // Query workload: random ranges of widths 1%–20% of the domain.
+    let queries: Vec<(usize, usize)> = (0..2000)
+        .map(|_| {
+            let width = rng.random_range(n / 100..n / 5);
+            let lo = rng.random_range(0..n - width);
+            (lo, lo + width)
+        })
+        .collect();
+
+    println!(
+        "\n{:<28}{:>12}{:>12}{:>14}",
+        "estimator", "avg |err|", "max |err|", "rms err"
+    );
+    for (name, h) in [
+        ("learned (sampled, paper)", &learned),
+        ("v-optimal (full data)", &vopt),
+        ("equi-width (full data)", &ew),
+        ("equi-depth (full data)", &ed),
+    ] {
+        let mut abs_sum = 0.0f64;
+        let mut abs_max = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        for &(lo, hi) in &queries {
+            let truth = p.interval_mass(Interval::new(lo, hi).unwrap());
+            let est = range_mass(h, lo, hi);
+            let err = (est - truth).abs();
+            abs_sum += err;
+            abs_max = abs_max.max(err);
+            sq_sum += err * err;
+        }
+        let q = queries.len() as f64;
+        println!(
+            "{:<28}{:>12.5}{:>12.5}{:>14.5}",
+            name,
+            abs_sum / q,
+            abs_max,
+            (sq_sum / q).sqrt()
+        );
+    }
+    println!(
+        "\nThe sampled learner tracks the full-data v-optimal summary and beats\n\
+         blind equi-width pieces on this skewed attribute, using {} samples\n\
+         instead of the full table.",
+        budget.total_samples()
+    );
+}

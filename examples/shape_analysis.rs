@@ -1,0 +1,90 @@
+//! Distribution shape analysis: the full tester toolbox on one dataset.
+//!
+//! Run with: `cargo run --release --example shape_analysis`
+//!
+//! Given only samples of an unknown distribution, run the whole battery —
+//! uniformity (k = 1 lineage), k-histogram structure (the paper's
+//! Theorems 3–4), monotonicity (the BKR04-style histogram reduction) and
+//! identity against a reference — and print a structural profile. This is
+//! the workflow the property-testing literature envisions: cheap sample-only
+//! probes before any expensive full-data processing.
+
+use khist::monotone::{monotonicity_budget, test_monotone_non_increasing};
+use khist::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn profile(name: &str, p: &DenseDistribution, rng: &mut StdRng) {
+    let n = p.n();
+    println!("── {name} (n = {n}) ──");
+
+    let ub = UniformityBudget::calibrated(n, 0.3, 0.1);
+    let uni = test_uniformity(p, 0.3, ub, rng).unwrap();
+    println!(
+        "  uniform?        {:?}  (collision stat {:.2e} vs threshold {:.2e}, {} samples)",
+        uni.outcome, uni.statistic, uni.threshold, uni.samples_used
+    );
+
+    let mono = test_monotone_non_increasing(p, 0.3, monotonicity_budget(n, 0.3, 1.0), rng).unwrap();
+    println!(
+        "  non-increasing? {:?}  (isotonic residual {:.3} vs {:.3}, {} Birgé buckets)",
+        mono.outcome, mono.isotonic_distance, mono.threshold, mono.buckets
+    );
+
+    for k in [2usize, 4, 8] {
+        let tb = L2TesterBudget::calibrated(n, 0.2, 0.05);
+        let rep = test_l2(p, k, 0.2, tb, rng).unwrap();
+        println!(
+            "  {k:>2}-histogram?   {:?}  ({} probes)",
+            rep.outcome, rep.probes
+        );
+    }
+
+    let reference = khist::dist::generators::zipf(n, 1.0).unwrap();
+    let id = test_identity_l2(p, &reference, 0.15, 20_000, rng).unwrap();
+    println!(
+        "  = zipf(1.0)?    {:?}  (‖p−q‖₂² estimate {:.2e})",
+        id.outcome, id.statistic
+    );
+    println!();
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let n = 512;
+
+    let subjects: Vec<(&str, DenseDistribution)> = vec![
+        ("uniform", DenseDistribution::uniform(n).unwrap()),
+        ("zipf(1.0)", khist::dist::generators::zipf(n, 1.0).unwrap()),
+        (
+            "staircase-4",
+            khist::dist::generators::staircase(n, 4).unwrap(),
+        ),
+        (
+            "bimodal",
+            khist::dist::generators::mixture(&[
+                (
+                    0.5,
+                    khist::dist::generators::discrete_gaussian(n, 128.0, 30.0).unwrap(),
+                ),
+                (
+                    0.5,
+                    khist::dist::generators::discrete_gaussian(n, 384.0, 30.0).unwrap(),
+                ),
+            ])
+            .unwrap(),
+        ),
+    ];
+    for (name, p) in &subjects {
+        profile(name, p, &mut rng);
+    }
+    println!(
+        "Reading the profiles: uniform passes every structural test but is\n\
+         not zipf; zipf's heavy head makes it non-uniform and not even a\n\
+         2-histogram in ℓ₂, yet perfectly monotone and identical to itself;\n\
+         the staircase and bimodal shapes pass the ℓ₂ histogram tests even\n\
+         at k = 2 because their ℓ₂ distance to coarse histograms is tiny —\n\
+         the norm-sensitivity the paper's ℓ₁ tester (and its √(kn) price)\n\
+         exists to overcome; the bimodal shape alone fails monotonicity."
+    );
+}

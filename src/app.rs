@@ -1,0 +1,472 @@
+//! Support logic for the `khist` command-line tool.
+//!
+//! The binary in `src/bin/khist.rs` is a thin shell around these functions
+//! so the argument handling, file parsing and report formatting are unit
+//! tested like any other library code.
+//!
+//! Input format: one non-negative integer per line (blank lines and `#`
+//! comments ignored) — the raw samples/records of a data set, exactly the
+//! access model of the paper. The domain size is `max + 1` unless
+//! overridden with `--n`.
+
+use khist_core::compress::compress_to_k;
+use khist_core::greedy::{learn_from_samples, GreedyParams};
+use khist_core::tester::{test_l1_from_sets, test_l2_from_sets};
+use khist_dist::DistError;
+use khist_oracle::{empirical_distribution, LearnerBudget, SampleSet};
+
+/// Parsed command-line request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Learn a `k`-histogram from the samples in a file.
+    Learn {
+        /// Input path.
+        path: String,
+        /// Number of pieces.
+        k: usize,
+        /// Accuracy parameter.
+        eps: f64,
+        /// Domain override (`0` = infer from data).
+        n: usize,
+    },
+    /// Test whether the file's distribution is a tiling `k`-histogram.
+    Test {
+        /// Input path.
+        path: String,
+        /// Number of pieces.
+        k: usize,
+        /// Accuracy parameter.
+        eps: f64,
+        /// Domain override (`0` = infer from data).
+        n: usize,
+        /// `"l1"` or `"l2"`.
+        norm: String,
+    },
+    /// Print summary statistics of the file's empirical distribution.
+    Summarize {
+        /// Input path.
+        path: String,
+        /// Domain override (`0` = infer from data).
+        n: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses CLI arguments (past the binary name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut path: Option<String> = None;
+    let mut k = 8usize;
+    let mut eps = 0.1f64;
+    let mut n = 0usize;
+    let mut norm = "l2".to_string();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => k = next_parsed(&mut it, "--k")?,
+            "--eps" => eps = next_parsed(&mut it, "--eps")?,
+            "--n" => n = next_parsed(&mut it, "--n")?,
+            "--norm" => {
+                norm = it.next().ok_or("--norm requires a value")?.clone();
+                if norm != "l1" && norm != "l2" {
+                    return Err(format!("--norm must be l1 or l2, got {norm}"));
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("multiple input paths given".into());
+                }
+            }
+        }
+    }
+    let need_path = |p: Option<String>| p.ok_or_else(|| "missing input path".to_string());
+    match sub {
+        "learn" => Ok(Command::Learn {
+            path: need_path(path)?,
+            k,
+            eps,
+            n,
+        }),
+        "test" => Ok(Command::Test {
+            path: need_path(path)?,
+            k,
+            eps,
+            n,
+            norm,
+        }),
+        "summarize" => Ok(Command::Summarize {
+            path: need_path(path)?,
+            n,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn next_parsed<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} requires a value"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}"))
+}
+
+/// Parses newline-delimited sample text (`#` comments, blank lines ok).
+pub fn parse_samples_text(text: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value: usize = trimmed
+            .parse()
+            .map_err(|_| format!("line {}: not an integer: {trimmed}", lineno + 1))?;
+        out.push(value);
+    }
+    if out.is_empty() {
+        return Err("no samples in input".into());
+    }
+    Ok(out)
+}
+
+/// Infers the domain size: explicit override or `max + 1`.
+pub fn infer_domain(samples: &[usize], override_n: usize) -> Result<usize, String> {
+    let max = *samples.iter().max().expect("samples non-empty");
+    if override_n == 0 {
+        return Ok(max + 1);
+    }
+    if max >= override_n {
+        return Err(format!(
+            "sample {max} outside declared domain [0, {override_n})"
+        ));
+    }
+    Ok(override_n)
+}
+
+/// Splits raw samples into the learner's main + `r` collision sets by
+/// round-robin (keeps the sets independent when the input is i.i.d.).
+pub fn split_for_learner(samples: &[usize], r: usize) -> (SampleSet, Vec<SampleSet>) {
+    let lanes = r + 1;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    for (t, &s) in samples.iter().enumerate() {
+        buckets[t % lanes].push(s);
+    }
+    let main = SampleSet::from_samples(buckets[0].clone());
+    let sets = buckets[1..]
+        .iter()
+        .map(|b| SampleSet::from_samples(b.clone()))
+        .collect();
+    (main, sets)
+}
+
+/// Runs `learn` on raw samples and renders a report.
+pub fn run_learn(
+    samples: &[usize],
+    k: usize,
+    eps: f64,
+    n_override: usize,
+) -> Result<String, String> {
+    let n = infer_domain(samples, n_override)?;
+    // Budget bounded by the data actually available.
+    let budget = budget_for_data(n, k, eps, samples.len());
+    let (main, sets) = split_for_learner(samples, budget.r);
+    let params = GreedyParams::fast(k, eps, budget);
+    let out = learn_from_samples(n, &main, &sets, &params).map_err(fmt_err)?;
+    let summary = compress_to_k(&out.tiling, k).map_err(fmt_err)?;
+    let normalized = summary.normalized().map_err(fmt_err)?;
+    let mut report = format!(
+        "learned {}-piece histogram over [0, {n}) from {} samples\n",
+        normalized.piece_count(),
+        samples.len()
+    );
+    for (iv, v) in normalized.pieces() {
+        report.push_str(&format!(
+            "  [{:>6}, {:>6}]  density {:.6e}  mass {:.4}\n",
+            iv.lo(),
+            iv.hi(),
+            v,
+            v * iv.len() as f64
+        ));
+    }
+    Ok(report)
+}
+
+/// Runs `test` on raw samples and renders a verdict line.
+pub fn run_test(
+    samples: &[usize],
+    k: usize,
+    eps: f64,
+    n_override: usize,
+    norm: &str,
+) -> Result<String, String> {
+    let n = infer_domain(samples, n_override)?;
+    // Split the data into r equal sets for the tester.
+    let r = 7usize.min(samples.len() / 2).max(1);
+    let m = samples.len() / r;
+    if m < 2 {
+        return Err("not enough samples to test".into());
+    }
+    let sets: Vec<SampleSet> = (0..r)
+        .map(|j| SampleSet::from_samples(samples[j * m..(j + 1) * m].to_vec()))
+        .collect();
+    let report = match norm {
+        "l1" => test_l1_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
+        _ => test_l2_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
+    };
+    Ok(format!(
+        "{norm} tiling {k}-histogram test over [0, {n}): {report}\n"
+    ))
+}
+
+/// Runs `summarize` and renders basic statistics.
+pub fn run_summarize(samples: &[usize], n_override: usize) -> Result<String, String> {
+    let n = infer_domain(samples, n_override)?;
+    let set = SampleSet::from_samples(samples.to_vec());
+    let emp = empirical_distribution(&set, n).map_err(fmt_err)?;
+    Ok(format!(
+        "samples: {}\ndomain: [0, {n})\ndistinct values: {}\nentropy: {:.4} nats (max {:.4})\ncollision rate ‖p̂‖₂²: {:.6e} (uniform floor {:.6e})\n",
+        set.total(),
+        set.distinct(),
+        emp.entropy(),
+        (n as f64).ln(),
+        emp.l2_norm_sq(),
+        1.0 / n as f64
+    ))
+}
+
+/// Usage text for `help`.
+pub fn usage() -> &'static str {
+    "khist — k-histogram learning and testing from samples (PODS 2012)\n\
+     \n\
+     usage:\n\
+     \x20 khist learn     <samples.txt> [--k K] [--eps E] [--n N]\n\
+     \x20 khist test      <samples.txt> [--k K] [--eps E] [--n N] [--norm l1|l2]\n\
+     \x20 khist summarize <samples.txt> [--n N]\n\
+     \n\
+     input: one integer sample per line; '#' comments and blank lines ignored.\n\
+     The domain defaults to [0, max_sample]; override with --n.\n"
+}
+
+/// Clamps the paper's budget to the data actually available in the file.
+fn budget_for_data(n: usize, k: usize, eps: f64, available: usize) -> LearnerBudget {
+    let mut budget = LearnerBudget::calibrated(n, k, eps, 1.0);
+    if budget.total_samples() > available {
+        let scale = available as f64 / budget.total_samples() as f64;
+        budget = LearnerBudget::calibrated(n, k, eps, scale.clamp(1e-9, 1.0));
+        // The calibrated floors may still exceed tiny files; final clamp.
+        while budget.total_samples() > available && budget.r > 3 {
+            budget.r -= 2;
+        }
+        let fixed = budget.r * budget.m;
+        if fixed < available {
+            budget.ell = budget.ell.min(available - fixed).max(16);
+        }
+    }
+    budget
+}
+
+fn fmt_err(e: DistError) -> String {
+    e.to_string()
+}
+
+/// Entry point shared by the binary: dispatches a parsed command.
+pub fn dispatch(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage().to_string()),
+        Command::Learn { path, k, eps, n } => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            run_learn(&parse_samples_text(&text)?, k, eps, n)
+        }
+        Command::Test {
+            path,
+            k,
+            eps,
+            n,
+            norm,
+        } => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            run_test(&parse_samples_text(&text)?, k, eps, n, &norm)
+        }
+        Command::Summarize { path, n } => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            run_summarize(&parse_samples_text(&text)?, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_learn_defaults() {
+        let cmd = parse_args(&strings(&["learn", "data.txt"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Learn {
+                path: "data.txt".into(),
+                k: 8,
+                eps: 0.1,
+                n: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parse_args_flags() {
+        let cmd = parse_args(&strings(&[
+            "test", "d.txt", "--k", "4", "--eps", "0.3", "--norm", "l1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Test {
+                path: "d.txt".into(),
+                k: 4,
+                eps: 0.3,
+                n: 0,
+                norm: "l1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_args_errors() {
+        assert!(parse_args(&strings(&["learn"])).is_err());
+        assert!(parse_args(&strings(&["learn", "a", "b"])).is_err());
+        assert!(parse_args(&strings(&["learn", "a", "--k"])).is_err());
+        assert!(parse_args(&strings(&["learn", "a", "--k", "x"])).is_err());
+        assert!(parse_args(&strings(&["learn", "a", "--bogus", "1"])).is_err());
+        assert!(parse_args(&strings(&["test", "a", "--norm", "l3"])).is_err());
+        assert!(parse_args(&strings(&["frobnicate", "a"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_empty_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strings(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_samples_handles_comments_and_blanks() {
+        let text = "# header\n3\n\n 7 \n0\n";
+        assert_eq!(parse_samples_text(text).unwrap(), vec![3, 7, 0]);
+    }
+
+    #[test]
+    fn parse_samples_rejects_garbage() {
+        assert!(parse_samples_text("1\nfoo\n").is_err());
+        assert!(parse_samples_text("-3\n").is_err());
+        assert!(parse_samples_text("").is_err());
+        assert!(parse_samples_text("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn infer_domain_rules() {
+        assert_eq!(infer_domain(&[0, 5, 2], 0).unwrap(), 6);
+        assert_eq!(infer_domain(&[0, 5, 2], 10).unwrap(), 10);
+        assert!(infer_domain(&[0, 5, 2], 5).is_err());
+    }
+
+    #[test]
+    fn split_for_learner_round_robins() {
+        let samples: Vec<usize> = (0..10).collect();
+        let (main, sets) = split_for_learner(&samples, 2);
+        assert_eq!(main.total(), 4); // indices 0,3,6,9
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].total(), 3);
+        assert_eq!(sets[1].total(), 3);
+        let total: u64 = main.total() + sets.iter().map(|s| s.total()).sum::<u64>();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn end_to_end_learn_from_text() {
+        // Synthesize a 2-histogram data file and learn it back.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let p = khist_dist::generators::two_level(64, 0.25, 0.75).unwrap();
+        let samples = p.sample_many(30_000, &mut rng);
+        let text: String = samples
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_samples_text(&text).unwrap();
+        let report = run_learn(&parsed, 2, 0.15, 64).unwrap();
+        assert!(report.contains("2-piece"), "report: {report}");
+        // the heavy/light boundary at 16 should appear within a few slots
+        let found = (14..=18)
+            .any(|b| report.contains(&format!("{b}]")) || report.contains(&format!("{b},")));
+        assert!(found, "no boundary near 16 in: {report}");
+    }
+
+    #[test]
+    fn end_to_end_test_verdicts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let flat = khist_dist::generators::staircase(64, 4).unwrap();
+        let samples = flat.sample_many(100_000, &mut rng);
+        let verdict = run_test(&samples, 4, 0.25, 64, "l2").unwrap();
+        assert!(verdict.contains("Accept"), "{verdict}");
+
+        let spiky = khist_dist::generators::spike_comb(64, 8).unwrap();
+        let samples = spiky.sample_many(100_000, &mut rng);
+        let verdict = run_test(&samples, 2, 0.2, 64, "l2").unwrap();
+        assert!(verdict.contains("Reject"), "{verdict}");
+    }
+
+    #[test]
+    fn summarize_reports_entropy() {
+        let samples: Vec<usize> = (0..64).flat_map(|v| std::iter::repeat_n(v, 10)).collect();
+        let report = run_summarize(&samples, 0).unwrap();
+        assert!(report.contains("distinct values: 64"));
+        assert!(report.contains("entropy"));
+    }
+
+    #[test]
+    fn budget_respects_available_data() {
+        let b = budget_for_data(256, 4, 0.1, 5_000);
+        assert!(
+            b.total_samples() <= 5_000 || b.r == 3,
+            "budget {} exceeds data 5000 with r = {}",
+            b.total_samples(),
+            b.r
+        );
+    }
+
+    #[test]
+    fn dispatch_help() {
+        let text = dispatch(Command::Help).unwrap();
+        assert!(text.contains("usage"));
+    }
+
+    #[test]
+    fn dispatch_missing_file() {
+        let err = dispatch(Command::Summarize {
+            path: "/nonexistent/x.txt".into(),
+            n: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/x.txt"));
+    }
+
+    #[test]
+    fn random_learner_cli_smoke() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let samples: Vec<usize> = (0..5000).map(|_| rng.random_range(0..32)).collect();
+        let report = run_learn(&samples, 3, 0.2, 0).unwrap();
+        assert!(report.contains("histogram over [0, 32)"));
+    }
+}

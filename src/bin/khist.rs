@@ -1,0 +1,26 @@
+//! `khist` — command-line k-histogram learning/testing from sample files.
+//!
+//! ```text
+//! khist learn     samples.txt --k 8 --eps 0.1
+//! khist test      samples.txt --k 8 --eps 0.2 --norm l1
+//! khist summarize samples.txt
+//! ```
+//!
+//! All logic lives (and is tested) in [`khist::app`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match khist::app::parse_args(&args).and_then(khist::app::dispatch) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", khist::app::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

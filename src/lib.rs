@@ -1,0 +1,96 @@
+//! # khist — sub-linear approximation and testing of k-histogram distributions
+//!
+//! A Rust implementation of
+//! *Indyk, Levi, Rubinfeld: "Approximating and Testing k-Histogram
+//! Distributions in Sub-linear Time", PODS 2012*, together with the exact
+//! offline optima and classical database-histogram baselines the paper is
+//! measured against.
+//!
+//! ## What this library does
+//!
+//! A distribution `p` over `[n]` is a **k-histogram** when its probability
+//! mass function is piecewise constant with `k` pieces. Given only i.i.d.
+//! samples from `p`, this library can
+//!
+//! 1. **Learn** a `k`-histogram whose squared `ℓ₂` error is within an
+//!    additive `O(ε)` of the best possible (`khist::greedy`, Theorems 1–2),
+//!    using `Õ((k/ε)² ln n)` samples — far fewer than the `Ω(n)` any
+//!    pointwise method needs;
+//! 2. **Test** whether `p` even is a `k`-histogram, or is `ε`-far from every
+//!    one, in `ℓ₂` (`O(ε⁻⁴ ln² n)` samples) or `ℓ₁` (`Õ(ε⁻⁵ √(kn))`
+//!    samples) — `khist::tester`, Theorems 3–4;
+//! 3. Reproduce the paper's `Ω(√(kn))` **lower bound** empirically
+//!    (`khist::lower_bound`, Theorem 5).
+//!
+//! ## Crate map
+//!
+//! | module (re-export) | source crate | contents |
+//! |---|---|---|
+//! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
+//! | [`oracle`] | `khist-oracle` | sample multisets, collision estimators, budgets |
+//! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
+//! | [`baseline`] | `khist-baseline` | exact v-optimal DP, `ℓ₁` DP, equi-width/depth, MaxDiff, greedy-merge |
+//! | [`greedy`], [`tester`], [`flatness`], [`mod@partition_search`], [`lower_bound`], [`cost`], [`tiling_state`] | `khist-core` | the paper's algorithms |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use khist::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//!
+//! // The unknown distribution: a Zipf over 256 values (not a k-histogram).
+//! let p = khist::dist::generators::zipf(256, 1.1).unwrap();
+//!
+//! // Learn a 6-piece histogram from samples only.
+//! let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.01);
+//! let params = GreedyParams::fast(6, 0.1, budget);
+//! let learned = learn(&p, &params, &mut rng).unwrap();
+//!
+//! // Compare against the information-theoretic optimum.
+//! let opt = v_optimal(&p, 6).unwrap();
+//! let gap = learned.tiling.l2_sq_to(&p) - opt.sse;
+//! assert!(gap < 8.0 * 0.1, "Theorem 2 bound holds");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+
+pub use khist_baseline as baseline;
+pub use khist_dist as dist;
+pub use khist_oracle as oracle;
+pub use khist_stats as stats;
+
+pub use khist_core::{
+    compress, cost, flatness, greedy, identity, lower_bound, monotone, partition_search, tester,
+    tiling_state, uniformity,
+};
+
+/// One-line imports for the common workflow.
+pub mod prelude {
+    pub use khist_baseline::{
+        equi_depth, equi_width, greedy_merge, l1_flatten_optimal, max_diff, sample_then_dp,
+        v_optimal,
+    };
+    pub use khist_core::compress::compress_to_k;
+    pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};
+    pub use khist_core::identity::{test_closeness_l2, test_identity_l2};
+    pub use khist_core::tester::{test_l1, test_l2, TestOutcome};
+    pub use khist_core::uniformity::{test_uniformity, UniformityBudget};
+    pub use khist_dist::{DenseDistribution, Interval, PriorityHistogram, TilingHistogram};
+    pub use khist_oracle::{L1TesterBudget, L2TesterBudget, LearnerBudget, Reservoir, SampleSet};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let p = DenseDistribution::uniform(4).unwrap();
+        assert_eq!(p.n(), 4);
+        let _ = LearnerBudget::calibrated(4, 1, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate representation consistency: priority ↔ tiling ↔ dense ↔
+//! samples round-trips, and estimator agreement between crates.
+
+use khist::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tiling_to_distribution_roundtrip() {
+    // masses: 3·0.1 + 5·0.06 + 8·0.05 = 1
+    let h = TilingHistogram::new(vec![0, 3, 8, 16], vec![0.1, 0.06, 0.05]).unwrap();
+    assert!(h.is_distribution(1e-12));
+    let d = h.to_distribution().unwrap();
+    for i in 0..16 {
+        assert!((d.mass(i) - h.evaluate(i)).abs() < 1e-12);
+    }
+    // And projecting d onto the same cuts recovers h exactly.
+    let h2 = TilingHistogram::project(&d, h.interior_cuts()).unwrap();
+    for i in 0..16 {
+        assert!((h2.evaluate(i) - h.evaluate(i)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn empirical_distribution_agrees_with_sample_set_masses() {
+    let p = khist::dist::generators::zipf(64, 1.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let set = SampleSet::draw(&p, 5000, &mut rng);
+    let emp = khist::oracle::empirical_distribution(&set, 64).unwrap();
+    for lo in (0..64).step_by(7) {
+        for hi in [lo, (lo + 5).min(63), 63] {
+            let iv = Interval::new(lo, hi).unwrap();
+            assert!(
+                (emp.interval_mass(iv) - set.empirical_mass(iv)).abs() < 1e-12,
+                "mismatch on {iv}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_collision_truth_matches_dense_power_sums() {
+    // The oracle's absolute estimator converges to DenseDistribution's
+    // interval_power_sum — tie the two crates together numerically.
+    let p = khist::dist::generators::two_level(32, 0.25, 0.8).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let sets = SampleSet::draw_many(&p, 20_000, 5, &mut rng);
+    let booster = khist::oracle::MedianBooster::new(&sets);
+    for (lo, hi) in [(0usize, 31usize), (0, 7), (8, 31), (4, 12)] {
+        let iv = Interval::new(lo, hi).unwrap();
+        let estimate = booster.absolute_median(iv);
+        let truth = p.interval_power_sum(iv);
+        assert!(
+            (estimate - truth).abs() < 0.01,
+            "interval {iv}: estimate {estimate} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn baseline_histograms_evaluate_consistently_via_dense() {
+    let p = khist::dist::generators::discrete_gaussian(80, 40.0, 10.0).unwrap();
+    for h in [
+        v_optimal(&p, 5).unwrap().histogram,
+        equi_width(&p, 5).unwrap(),
+        equi_depth(&p, 5).unwrap(),
+        max_diff(&p, 5).unwrap(),
+        greedy_merge(&p, 5).unwrap(),
+    ] {
+        // l2_sq_to must agree with the naive dense-vector computation.
+        let naive = khist::dist::distance::l2_sq_fn(&h.to_vec(), &p.to_vec());
+        assert!((h.l2_sq_to(&p) - naive).abs() < 1e-12);
+        assert!(h.is_distribution(1e-9));
+    }
+}
+
+#[test]
+fn greedy_outcome_representations_have_equal_mass() {
+    let p = khist::dist::generators::zipf(96, 1.2).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.03);
+    let params = GreedyParams::new(4, 0.15, budget);
+    let out = learn(&p, &params, &mut rng).unwrap();
+    let t_mass = out.tiling.total_mass();
+    let p_mass = out.priority.total_mass(96);
+    assert!((t_mass - p_mass).abs() < 1e-9);
+    // estimated masses concentrate near 1
+    assert!(
+        (t_mass - 1.0).abs() < 0.2,
+        "estimated mass {t_mass} far from 1"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn prop_priority_tiling_dense_roundtrip(
+        raw in proptest::collection::vec((0usize..24, 0usize..24, 0.01f64..1.0), 1..6),
+    ) {
+        let n = 24usize;
+        let mut ph = PriorityHistogram::new();
+        for &(a, b, v) in &raw {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            ph.push_top(Interval::new(lo, hi).unwrap(), v);
+        }
+        let tiling = ph.to_tiling(n).unwrap();
+        // Evaluate equality pointwise.
+        for i in 0..n {
+            prop_assert!((tiling.evaluate(i) - ph.evaluate(i)).abs() < 1e-12);
+        }
+        // If total mass is positive, we can normalize into a distribution
+        // and the masses stay proportional.
+        if tiling.total_mass() > 1e-9 {
+            let d = tiling.to_distribution().unwrap();
+            let scale = 1.0 / tiling.total_mass();
+            for i in 0..n {
+                prop_assert!((d.mass(i) - tiling.evaluate(i) * scale).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_sampleset_roundtrip_through_empirical(
+        samples in proptest::collection::vec(0usize..32, 1..300),
+    ) {
+        let set = SampleSet::from_samples(samples.clone());
+        let emp = khist::oracle::empirical_distribution(&set, 32).unwrap();
+        // Re-deriving counts from the empirical pmf recovers the multiset.
+        let m = samples.len() as f64;
+        for v in 0..32 {
+            let expected = set.occurrences(v) as f64 / m;
+            prop_assert!((emp.mass(v) - expected).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end learning tests: Theorems 1 and 2 across workload families.
+//!
+//! Each test draws samples from a known distribution, runs the greedy
+//! learner, and checks the additive-gap guarantee against the exact
+//! v-optimal DP. Budgets are calibrated (same formulas, smaller constants),
+//! so the observed gaps should be far inside the theoretical `5ε`/`8ε`.
+
+use khist::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gap_for(
+    p: &khist::dist::DenseDistribution,
+    k: usize,
+    eps: f64,
+    scale: f64,
+    policy: CandidatePolicy,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = LearnerBudget::calibrated(p.n(), k, eps, scale);
+    let params = GreedyParams {
+        k,
+        eps,
+        budget,
+        policy,
+        max_endpoints: 96,
+    };
+    let out = learn(p, &params, &mut rng).unwrap();
+    let opt = v_optimal(p, k).unwrap().sse;
+    out.tiling.l2_sq_to(p) - opt
+}
+
+#[test]
+fn theorem1_bound_across_workloads() {
+    let eps = 0.1;
+    let n = 128;
+    let workloads: Vec<(&str, khist::dist::DenseDistribution)> = vec![
+        ("zipf", khist::dist::generators::zipf(n, 1.0).unwrap()),
+        (
+            "gauss",
+            khist::dist::generators::discrete_gaussian(n, 64.0, 14.0).unwrap(),
+        ),
+        (
+            "staircase",
+            khist::dist::generators::staircase(n, 4).unwrap(),
+        ),
+        (
+            "two_level",
+            khist::dist::generators::two_level(n, 0.2, 0.8).unwrap(),
+        ),
+    ];
+    for (name, p) in &workloads {
+        let gap = gap_for(p, 4, eps, 0.05, CandidatePolicy::All, 42);
+        assert!(gap <= 5.0 * eps, "{name}: gap {gap} exceeds 5ε");
+        // calibrated budgets should do far better than the worst case
+        assert!(gap <= 0.05, "{name}: gap {gap} suspiciously large");
+    }
+}
+
+#[test]
+fn theorem2_bound_with_sample_endpoints() {
+    let eps = 0.1;
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..3u64 {
+        let (_, p) =
+            khist::dist::generators::random_tiling_histogram_distinct(n, 5, &mut rng).unwrap();
+        let gap = gap_for(
+            &p,
+            5,
+            eps,
+            0.02,
+            CandidatePolicy::SampleEndpoints,
+            7 + trial,
+        );
+        assert!(gap <= 8.0 * eps, "trial {trial}: gap {gap} exceeds 8ε");
+    }
+}
+
+#[test]
+fn fast_policy_quality_close_to_exhaustive() {
+    let p = khist::dist::generators::discrete_gaussian(192, 90.0, 25.0).unwrap();
+    let slow_gap = gap_for(&p, 5, 0.1, 0.02, CandidatePolicy::All, 9);
+    let fast_gap = gap_for(&p, 5, 0.1, 0.02, CandidatePolicy::SampleEndpoints, 9);
+    // Theorem 2 allows +3ε degradation; calibrated runs should stay close.
+    assert!(
+        fast_gap <= slow_gap + 0.3,
+        "fast gap {fast_gap} much worse than exhaustive {slow_gap}"
+    );
+}
+
+#[test]
+fn gap_shrinks_with_budget() {
+    let p = khist::dist::generators::zipf(128, 1.3).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut avg = |scale: f64| -> f64 {
+        (0..5)
+            .map(|i| {
+                let budget = LearnerBudget::calibrated(128, 4, 0.1, scale);
+                let params = GreedyParams::new(4, 0.1, budget);
+                let _ = i;
+                let out = learn(&p, &params, &mut rng).unwrap();
+                out.tiling.l2_sq_to(&p)
+            })
+            .sum::<f64>()
+            / 5.0
+    };
+    let coarse = avg(0.002);
+    let fine = avg(0.08);
+    assert!(
+        fine <= coarse + 1e-4,
+        "error should not grow with budget: coarse {coarse}, fine {fine}"
+    );
+}
+
+#[test]
+fn learner_beats_naive_equal_partition_on_skew() {
+    let p = khist::dist::generators::zipf(256, 1.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.02);
+    let params = GreedyParams::fast(6, 0.1, budget);
+    let learned = learn(&p, &params, &mut rng).unwrap().tiling.l2_sq_to(&p);
+    let ew = equi_width(&p, 6).unwrap().l2_sq_to(&p);
+    assert!(
+        learned < ew,
+        "learned {learned} should beat equi-width {ew} on zipf"
+    );
+}
+
+#[test]
+fn priority_and_tiling_representations_agree() {
+    let p = khist::dist::generators::discrete_gaussian(96, 40.0, 12.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.05);
+    let params = GreedyParams::new(4, 0.15, budget);
+    let out = learn(&p, &params, &mut rng).unwrap();
+    let from_priority = out.priority.to_tiling(96).unwrap();
+    for i in 0..96 {
+        assert!(
+            (from_priority.evaluate(i) - out.tiling.evaluate(i)).abs() < 1e-12,
+            "representations disagree at {i}"
+        );
+    }
+    // Piece-count bound: the tiling grows by ≤ 2 pieces per iteration.
+    assert!(out.tiling.piece_count() <= 2 * out.stats.iterations + 1);
+}
+
+#[test]
+fn learn_from_samples_accepts_real_data() {
+    // Feed raw "log data" (samples, not a distribution) through the
+    // from-samples entry point.
+    let p = khist::dist::generators::two_level(64, 0.25, 0.75).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05);
+    let main = SampleSet::draw(&p, budget.ell, &mut rng);
+    let sets: Vec<SampleSet> = (0..budget.r)
+        .map(|_| SampleSet::draw(&p, budget.m, &mut rng))
+        .collect();
+    let params = GreedyParams::new(2, 0.15, budget);
+    let out = khist::greedy::learn_from_samples(64, &main, &sets, &params).unwrap();
+    assert!(out.tiling.l2_sq_to(&p) < 0.02);
+    assert_eq!(out.stats.samples_used, budget.ell + budget.r * budget.m);
+}
