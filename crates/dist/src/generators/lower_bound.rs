@@ -1,0 +1,173 @@
+//! The Theorem 5 YES/NO ensemble — the paper's `Ω(√(kn))` hard instances.
+//!
+//! Both instances share one public structure: `[n]` is split into `k`
+//! equal buckets that alternate *heavy* and *empty* — the `⌈k/2⌉` heavy
+//! buckets carry mass `1/⌈k/2⌉` each (conditionally uniform), the rest
+//! carry nothing. The YES instance is exactly that (a tiling
+//! `k`-histogram). The NO instance secretly redraws **one random heavy
+//! bucket** as "uniform on a random half": half its elements double, the
+//! other half drop to zero, keeping every bucket marginal identical.
+//!
+//! Distinguishing the two therefore requires looking *inside* a bucket —
+//! the conditional collision probability doubles there — which costs
+//! `Ω(√(n/k))` hits in that bucket and hence `Ω(√(nk))`-ish samples
+//! overall. `khist_core::lower_bound` runs that game; E5 fits the
+//! threshold growth.
+
+use rand::Rng;
+
+use crate::dense::DenseDistribution;
+use crate::error::DistError;
+use crate::interval::{equal_partition, Interval};
+
+/// One drawn instance of the ensemble.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInstance {
+    /// The instance distribution.
+    pub dist: DenseDistribution,
+    /// The public bucket partition (known to distinguishers; only the
+    /// perturbation's location is secret).
+    pub partition: Vec<Interval>,
+    /// The perturbed bucket — `None` for YES instances.
+    pub perturbed: Option<Interval>,
+}
+
+fn validate(n: usize, k: usize) -> Result<(Vec<Interval>, usize), DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be ≥ 1".into(),
+        });
+    }
+    if n < 2 * k {
+        return Err(DistError::BadParameter {
+            reason: format!("need n ≥ 2k for the ensemble (n = {n}, k = {k})"),
+        });
+    }
+    let partition = equal_partition(n, k)?;
+    let heavy = k.div_ceil(2);
+    Ok((partition, heavy))
+}
+
+fn base_weights(n: usize, partition: &[Interval], heavy: usize) -> Vec<f64> {
+    let mut w = vec![0.0f64; n];
+    let mass = 1.0 / heavy as f64;
+    for iv in partition.iter().step_by(2) {
+        let per = mass / iv.len() as f64;
+        for slot in &mut w[iv.lo()..=iv.hi()] {
+            *slot = per;
+        }
+    }
+    w
+}
+
+/// The YES instance: alternating heavy/empty buckets, every heavy bucket
+/// conditionally uniform — a true tiling `k`-histogram.
+pub fn yes_instance(n: usize, k: usize) -> Result<LowerBoundInstance, DistError> {
+    let (partition, heavy) = validate(n, k)?;
+    let w = base_weights(n, &partition, heavy);
+    Ok(LowerBoundInstance {
+        dist: DenseDistribution::from_weights(&w)?,
+        partition,
+        perturbed: None,
+    })
+}
+
+/// The NO instance: the YES construction with one uniformly random heavy
+/// bucket redrawn as uniform on a random half of its elements (same
+/// bucket marginal, doubled conditional collision probability).
+pub fn no_instance<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<LowerBoundInstance, DistError> {
+    let (partition, heavy) = validate(n, k)?;
+    let mut w = base_weights(n, &partition, heavy);
+    let bucket = partition[2 * rng.random_range(0..heavy)];
+    let mass = 1.0 / heavy as f64;
+    super::perturb_half_empty(&mut w, bucket, mass, rng);
+    Ok(LowerBoundInstance {
+        dist: DenseDistribution::from_weights(&w)?,
+        partition,
+        perturbed: Some(bucket),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yes_structure() {
+        let inst = yes_instance(128, 4).unwrap();
+        assert_eq!(inst.partition.len(), 4);
+        assert!(inst.perturbed.is_none());
+        // Heavy buckets at even positions with mass 1/2 each, empty odd.
+        assert!((inst.dist.interval_mass(inst.partition[0]) - 0.5).abs() < 1e-12);
+        assert!(inst.dist.interval_mass(inst.partition[1]).abs() < 1e-15);
+        assert!((inst.dist.interval_mass(inst.partition[2]) - 0.5).abs() < 1e-12);
+        // Conditionally uniform inside heavy buckets: density 1/64.
+        assert!((inst.dist.mass(0) - 1.0 / 64.0).abs() < 1e-12);
+        assert!(inst.dist.is_flat(inst.partition[0], 1e-9));
+    }
+
+    #[test]
+    fn yes_handles_odd_k() {
+        let inst = yes_instance(90, 3).unwrap();
+        // Heavy buckets 0 and 2 with mass 1/2 each.
+        assert!((inst.dist.interval_mass(inst.partition[0]) - 0.5).abs() < 1e-12);
+        assert!(inst.dist.interval_mass(inst.partition[1]).abs() < 1e-15);
+        assert!((inst.dist.interval_mass(inst.partition[2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_preserves_bucket_marginals() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let yes = yes_instance(240, 6).unwrap();
+        for _ in 0..10 {
+            let no = no_instance(240, 6, &mut rng).unwrap();
+            for (a, b) in yes.partition.iter().zip(&no.partition) {
+                assert_eq!(a, b);
+                assert!(
+                    (yes.dist.interval_mass(*a) - no.dist.interval_mass(*b)).abs() < 1e-9,
+                    "bucket {a} marginal changed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_doubles_conditional_collisions_in_perturbed_bucket() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let no = no_instance(128, 4, &mut rng).unwrap();
+        let bucket = no.perturbed.expect("NO instances carry a perturbation");
+        // ‖cond‖² · |I|: 1 for uniform, 2 for uniform-on-half.
+        let mass = no.dist.interval_mass(bucket);
+        let cond_norm = no.dist.interval_power_sum(bucket) / (mass * mass);
+        assert!((cond_norm * bucket.len() as f64 - 2.0).abs() < 1e-9);
+        assert!(!no.dist.is_flat(bucket, 1e-9));
+        // The perturbation hit a heavy bucket.
+        assert!(no.partition.contains(&bucket));
+        assert!(mass > 0.4);
+    }
+
+    #[test]
+    fn no_perturbs_random_heavy_buckets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let no = no_instance(256, 8, &mut rng).unwrap();
+            seen.insert(no.perturbed.unwrap().lo());
+        }
+        assert!(seen.len() > 1, "perturbation location never varied");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(yes_instance(8, 0).is_err());
+        assert!(yes_instance(6, 4).is_err());
+        assert!(no_instance(6, 4, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Closed integer intervals `[lo, hi] ⊆ [0, n)` and partition helpers.
+//!
+//! Every algorithm in the paper manipulates sub-intervals of the domain:
+//! histogram pieces, tester probes, candidate insertions. The type is a
+//! `Copy` pair with inclusive endpoints — the paper's `[a, b]` notation
+//! verbatim — so intervals can be compared, hashed and printed cheaply.
+
+use crate::error::DistError;
+
+/// A closed interval `[lo, hi]` of domain indices (`lo ≤ hi`, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: usize,
+    hi: usize,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`; fails when `lo > hi`.
+    pub fn new(lo: usize, hi: usize) -> Result<Self, DistError> {
+        if lo > hi {
+            return Err(DistError::BadInterval { lo, hi, n: 0 });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The full domain `[0, n − 1]`; fails when `n == 0`.
+    pub fn full(n: usize) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::EmptyDomain);
+        }
+        Ok(Interval { lo: 0, hi: n - 1 })
+    }
+
+    /// Lower endpoint (inclusive).
+    #[inline]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Upper endpoint (inclusive).
+    #[inline]
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Number of elements `hi − lo + 1` (always ≥ 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// Closed intervals are never empty; provided for clippy-idiomatic
+    /// pairing with [`Interval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `x` lies in the interval.
+    #[inline]
+    pub fn contains(&self, x: usize) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether the two intervals share at least one element.
+    #[inline]
+    pub fn intersects(&self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Partitions `[0, n)` into `k` consecutive intervals of (near-)equal
+/// length: the first `n mod k` pieces get one extra element.
+///
+/// Fails when `n == 0`, `k == 0`, or `k > n`.
+pub fn equal_partition(n: usize, k: usize) -> Result<Vec<Interval>, DistError> {
+    if n == 0 {
+        return Err(DistError::EmptyDomain);
+    }
+    if k == 0 || k > n {
+        return Err(DistError::BadParameter {
+            reason: format!("cannot split {n} elements into {k} pieces"),
+        });
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    for j in 0..k {
+        let len = base + usize::from(j < extra);
+        out.push(Interval {
+            lo,
+            hi: lo + len - 1,
+        });
+        lo += len;
+    }
+    Ok(out)
+}
+
+/// Whether `parts` is a tiling of `[0, n)`: consecutive, gap-free,
+/// overlap-free intervals covering exactly `0 ..= n − 1`.
+pub fn is_tiling(parts: &[Interval], n: usize) -> bool {
+    if n == 0 {
+        return parts.is_empty();
+    }
+    let mut expected = 0usize;
+    for iv in parts {
+        if iv.lo != expected {
+            return false;
+        }
+        expected = iv.hi + 1;
+    }
+    expected == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_order() {
+        let iv = Interval::new(2, 5).unwrap();
+        assert_eq!((iv.lo(), iv.hi(), iv.len()), (2, 5, 4));
+        assert!(Interval::new(5, 2).is_err());
+        assert!(Interval::new(3, 3).is_ok());
+    }
+
+    #[test]
+    fn full_covers_domain() {
+        let iv = Interval::full(10).unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (0, 9));
+        assert!(Interval::full(0).is_err());
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = Interval::new(2, 5).unwrap();
+        assert!(a.contains(2) && a.contains(5) && !a.contains(6) && !a.contains(1));
+        let b = Interval::new(5, 9).unwrap();
+        let c = Interval::new(6, 9).unwrap();
+        assert!(a.intersects(b) && b.intersects(a));
+        assert!(!a.intersects(c) && !c.intersects(a));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Interval::new(1, 4).unwrap().to_string(), "[1, 4]");
+    }
+
+    #[test]
+    fn equal_partition_divisible() {
+        let parts = equal_partition(12, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], Interval::new(0, 3).unwrap());
+        assert_eq!(parts[1], Interval::new(4, 7).unwrap());
+        assert_eq!(parts[2], Interval::new(8, 11).unwrap());
+        assert!(is_tiling(&parts, 12));
+    }
+
+    #[test]
+    fn equal_partition_with_remainder() {
+        let parts = equal_partition(10, 3).unwrap();
+        let lens: Vec<usize> = parts.iter().map(|iv| iv.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        assert!(is_tiling(&parts, 10));
+    }
+
+    #[test]
+    fn equal_partition_rejects_bad_params() {
+        assert!(equal_partition(0, 1).is_err());
+        assert!(equal_partition(5, 0).is_err());
+        assert!(equal_partition(3, 4).is_err());
+        assert!(equal_partition(5, 5).is_ok());
+    }
+
+    #[test]
+    fn is_tiling_detects_defects() {
+        let iv = |a, b| Interval::new(a, b).unwrap();
+        assert!(is_tiling(&[iv(0, 4), iv(5, 9)], 10));
+        assert!(!is_tiling(&[iv(0, 4), iv(6, 9)], 10)); // gap
+        assert!(!is_tiling(&[iv(0, 5), iv(5, 9)], 10)); // overlap
+        assert!(!is_tiling(&[iv(0, 4), iv(5, 8)], 10)); // short
+        assert!(!is_tiling(&[iv(1, 9)], 10)); // does not start at 0
+        assert!(is_tiling(&[], 0));
+        assert!(!is_tiling(&[], 3));
+    }
+
+    #[test]
+    fn equal_partition_round_trips_is_tiling() {
+        for n in [1usize, 2, 7, 12, 97, 256] {
+            for k in 1..=n.min(9) {
+                let parts = equal_partition(n, k).unwrap();
+                assert_eq!(parts.len(), k);
+                assert!(is_tiling(&parts, n), "n={n}, k={k}");
+                // lengths differ by at most one
+                let min = parts.iter().map(|iv| iv.len()).min().unwrap();
+                let max = parts.iter().map(|iv| iv.len()).max().unwrap();
+                assert!(max - min <= 1, "n={n}, k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Priority histograms — the paper's Definition 2 representation.
+//!
+//! A priority histogram is a sequence of `(interval, value, priority)`
+//! triples; the function value at `i` is the value of the
+//! highest-priority interval containing `i` (0 where none does).
+//! Algorithm 1 builds its output in exactly this form: each greedy
+//! iteration inserts its chosen interval (and the two re-trimmed
+//! neighbours) at a fresh top priority. The type stores entries in
+//! priority order — later entries shadow earlier ones — so a push is
+//! `O(1)` and the paper's `H_{J,y}` update is literally `push_level`.
+
+use crate::error::DistError;
+use crate::interval::Interval;
+use crate::tiling::TilingHistogram;
+
+/// A sequence of prioritized `(interval, value)` entries; later entries
+/// have higher priority.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PriorityHistogram {
+    entries: Vec<(Interval, f64)>,
+    /// `levels[t]` = number of entries in priority levels `0..=t`; level
+    /// boundaries matter only for diagnostics, shadowing is positional.
+    level_ends: Vec<usize>,
+}
+
+impl PriorityHistogram {
+    /// The empty priority histogram (evaluates to 0 everywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries across all levels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of priority levels pushed so far.
+    pub fn levels(&self) -> usize {
+        self.level_ends.len()
+    }
+
+    /// Pushes one entry at a fresh top priority.
+    pub fn push_top(&mut self, iv: Interval, value: f64) {
+        self.entries.push((iv, value));
+        self.level_ends.push(self.entries.len());
+    }
+
+    /// Pushes a group of (mutually disjoint) entries sharing one fresh top
+    /// priority — Algorithm 1's per-iteration `(I_L, J, I_R)` insertion.
+    pub fn push_level(&mut self, entries: impl IntoIterator<Item = (Interval, f64)>) {
+        self.entries.extend(entries);
+        self.level_ends.push(self.entries.len());
+    }
+
+    /// Value at `i`: the highest-priority entry containing `i`, else 0.
+    pub fn evaluate(&self, i: usize) -> f64 {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(iv, _)| iv.contains(i))
+            .map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Total mass over `[0, n)`: `Σ_i evaluate(i)`.
+    pub fn total_mass(&self, n: usize) -> f64 {
+        (0..n).map(|i| self.evaluate(i)).sum()
+    }
+
+    /// Materializes the induced tiling over `[0, n)`: consecutive runs of
+    /// equal value become pieces. Evaluates identically to `self` on every
+    /// point of the domain.
+    pub fn to_tiling(&self, n: usize) -> Result<TilingHistogram, DistError> {
+        if n == 0 {
+            return Err(DistError::EmptyDomain);
+        }
+        let mut bounds = vec![0usize];
+        let mut values = vec![self.evaluate(0)];
+        for i in 1..n {
+            let v = self.evaluate(i);
+            if v != *values.last().expect("values non-empty") {
+                bounds.push(i);
+                values.push(v);
+            }
+        }
+        bounds.push(n);
+        TilingHistogram::new(bounds, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: usize, hi: usize) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn empty_evaluates_to_zero() {
+        let ph = PriorityHistogram::new();
+        assert!(ph.is_empty());
+        assert_eq!(ph.evaluate(0), 0.0);
+        assert_eq!(ph.total_mass(10), 0.0);
+    }
+
+    #[test]
+    fn later_entries_shadow_earlier() {
+        let mut ph = PriorityHistogram::new();
+        ph.push_top(iv(0, 9), 1.0);
+        ph.push_top(iv(3, 5), 2.0);
+        assert_eq!(ph.evaluate(0), 1.0);
+        assert_eq!(ph.evaluate(4), 2.0);
+        assert_eq!(ph.evaluate(9), 1.0);
+        assert_eq!(ph.levels(), 2);
+        assert_eq!(ph.len(), 2);
+    }
+
+    #[test]
+    fn push_level_groups_entries() {
+        let mut ph = PriorityHistogram::new();
+        ph.push_top(iv(0, 9), 0.5);
+        ph.push_level([(iv(0, 2), 1.0), (iv(3, 6), 2.0), (iv(7, 9), 3.0)]);
+        assert_eq!(ph.levels(), 2);
+        assert_eq!(ph.evaluate(1), 1.0);
+        assert_eq!(ph.evaluate(5), 2.0);
+        assert_eq!(ph.evaluate(8), 3.0);
+    }
+
+    #[test]
+    fn uncovered_points_are_zero() {
+        let mut ph = PriorityHistogram::new();
+        ph.push_top(iv(2, 4), 1.5);
+        assert_eq!(ph.evaluate(0), 0.0);
+        assert_eq!(ph.evaluate(5), 0.0);
+        assert!((ph.total_mass(8) - 4.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_tiling_matches_pointwise() {
+        let mut ph = PriorityHistogram::new();
+        ph.push_top(iv(0, 15), 0.05);
+        ph.push_top(iv(4, 7), 0.1);
+        ph.push_top(iv(6, 11), 0.02);
+        let t = ph.to_tiling(16).unwrap();
+        for i in 0..16 {
+            assert!(
+                (t.evaluate(i) - ph.evaluate(i)).abs() < 1e-18,
+                "mismatch at {i}"
+            );
+        }
+        assert!((t.total_mass() - ph.total_mass(16)).abs() < 1e-12);
+        assert!(ph.to_tiling(0).is_err());
+    }
+
+    #[test]
+    fn to_tiling_handles_leading_gap() {
+        let mut ph = PriorityHistogram::new();
+        ph.push_top(iv(5, 9), 1.0);
+        let t = ph.to_tiling(12).unwrap();
+        assert_eq!(t.evaluate(0), 0.0);
+        assert_eq!(t.evaluate(5), 1.0);
+        assert_eq!(t.evaluate(10), 0.0);
+        assert_eq!(t.piece_count(), 3);
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline shim for the slice of the `criterion` API this workspace's
+//! benches use: groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then timed batches
+//! until either `sample_size` samples are collected or a wall-clock cap is
+//! hit; the median per-iteration time is printed. Good enough to compare
+//! orders of magnitude and catch gross regressions — not a statistical
+//! replacement for real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    time_cap: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes ≥ ~1ms
+        // so Instant overhead is negligible, capped for slow routines.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < self.time_cap {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            time_cap: self.criterion.time_cap,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            time_cap: self.criterion.time_cap,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        let mut line = String::new();
+        if sorted.is_empty() {
+            let _ = write!(line, "{}/{}: no samples", self.name, id.label);
+        } else {
+            let median = sorted[sorted.len() / 2];
+            let lo = sorted[0];
+            let hi = sorted[sorted.len() - 1];
+            let _ = write!(
+                line,
+                "{}/{}: median {} (min {}, max {}, {} samples)",
+                self.name,
+                id.label,
+                fmt_duration(median),
+                fmt_duration(lo),
+                fmt_duration(hi),
+                sorted.len()
+            );
+        }
+        println!("{line}");
+        self.criterion.reports.push(line);
+    }
+
+    /// Ends the group (printing happened per benchmark already).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point object mirroring `criterion::Criterion`.
+pub struct Criterion {
+    time_cap: Duration,
+    reports: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Per-benchmark wall-clock cap; keeps full bench runs bounded.
+            time_cap: Duration::from_millis(500),
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from(name), f);
+        self
+    }
+
+    /// Final hook called by `criterion_main!`; a no-op in the shim.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the given groups. Accepts (and ignores) the
+/// harness CLI arguments cargo passes to bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench/test pass harness flags (e.g. --bench, --test);
+            // the shim runs everything unconditionally.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(c.reports.len(), 2);
+        assert!(c.reports[0].contains("shim/noop"));
+        assert!(c.reports[1].contains("shim/param/3"));
+    }
+}

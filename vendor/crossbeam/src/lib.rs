@@ -1,0 +1,94 @@
+//! Offline shim for `crossbeam::scope`, built on `std::thread::scope`
+//! (stable since Rust 1.63 — scoped threads landed in std after crossbeam
+//! pioneered the API, which is why the adapter is this thin).
+//!
+//! Matches the crossbeam contract the workspace relies on: `scope` returns
+//! `Err` (instead of unwinding) when any spawned thread panicked, and the
+//! closure passed to `spawn` receives a scope handle for nested spawns.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle for spawning threads inside a [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle
+    /// (crossbeam's signature), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        // Capture the std scope reference (it lives for 'scope) and build a
+        // fresh wrapper inside the thread, so no closure-local is borrowed.
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let nested = Scope { inner };
+            f(&nested)
+        })
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; joins all
+/// of them before returning. Returns `Err` with the panic payload if any
+/// spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawns_and_joins() {
+        let counter = AtomicUsize::new(0);
+        let result = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicUsize::new(0);
+        let result = scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        let v = scope(|_| 41 + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+}

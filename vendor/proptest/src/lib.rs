@@ -1,0 +1,362 @@
+//! Offline shim for the slice of the `proptest` API this workspace uses.
+//!
+//! Implements the `proptest!` test macro with `#![proptest_config(...)]`
+//! support, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and
+//! tuple strategies, and `collection::vec`. Case generation is
+//! deterministic (seeded per test run) so failures reproduce; there is no
+//! shrinking — a failing case is reported verbatim.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::ops::Range;
+
+/// Deterministic RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (only `cases` is supported).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; the shim trims it to keep `cargo test`
+        // snappy while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input out; the case is skipped.
+    Reject(String),
+    /// `prop_assert!`-style failure; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Marks an assumption rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Marks an assertion failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Whether this is an assumption rejection (skippable).
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+/// Result type of one generated property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. The shim generates independent random values; there
+/// is no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specification: a fixed length or a half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                lo: len,
+                hi: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-line imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current property case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Runs one property: generates inputs, executes the body, tracks
+/// rejections. Called by the `proptest!` expansion — not user-facing.
+pub fn run_property<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // Deterministic seed per property name so reruns reproduce failures.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut executed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64) * 20 + 100;
+    while executed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "property '{name}': too many prop_assume! rejections \
+             ({executed}/{} cases ran in {attempts} attempts)",
+            config.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed after {executed} passing cases: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in proptest::collection::vec(0f64..1.0, 1..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cfg,
+                |__proptest_rng: &mut $crate::TestRng| -> $crate::TestCaseResult {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 5usize..10, y in 0.5f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.5..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in crate::collection::vec((0usize..4, 0f64..1.0), 1..8)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            for (a, b) in pairs {
+                prop_assert!(a < 4);
+                prop_assert!((0.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(0u64..3, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn assume_filters(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic() {
+        crate::run_property("demo", ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

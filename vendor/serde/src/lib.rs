@@ -1,0 +1,17 @@
+//! Offline shim for the sliver of `serde` this workspace touches: a
+//! `Serialize` marker trait plus its derive. Nothing in the workspace
+//! actually serializes values yet (the derive on `khist_bench::Table`
+//! anticipates CSV/JSON export layers); when real serialization is needed,
+//! replace this shim with the registry crate — call sites already use the
+//! canonical paths.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The derive macro (from the sibling `serde_derive` shim) emits an empty
+/// `impl Serialize for T`; bounds like `T: Serialize` therefore work, but
+/// no data format can be driven from it.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;

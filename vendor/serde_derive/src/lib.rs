@@ -1,0 +1,30 @@
+//! Derive macro for the vendored `serde::Serialize` marker trait.
+//!
+//! Hand-rolled token scanning instead of `syn`/`quote` (unavailable
+//! offline): finds the `struct`/`enum` name and emits an empty marker
+//! impl. Generic items are not supported — no type in this workspace
+//! derives `Serialize` on a generic container.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `impl serde::Serialize for <Type> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(type_name)) = tokens.next() {
+                    name = Some(type_name.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize) shim: could not find type name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("derive(Serialize) shim: generated impl must parse")
+}
