@@ -1,0 +1,45 @@
+//! Criterion bench: `SampleOracle` batched draw throughput.
+//!
+//! Measures `DenseOracle::draw_sets` — the hot path feeding every tester
+//! and the learner's collision sets — sequential vs. the threaded fan-out,
+//! across `r ∈ {8, 32, 128}` independent sets. Per iteration, `r·m`
+//! samples are drawn and compressed into `SampleSet`s; divide `r·m` by the
+//! reported per-iteration time for samples/sec. The parallel path must be
+//! bit-identical to the sequential one (property-tested in `khist-oracle`),
+//! so this bench pins the *speed* side of that trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_dist::generators;
+use khist_oracle::{DenseOracle, SampleOracle};
+
+fn bench_oracle_throughput(c: &mut Criterion) {
+    let n = 65536;
+    let p = generators::zipf(n, 1.05).expect("valid zipf");
+    let m = 20_000; // samples per set
+
+    let mut group = c.benchmark_group("oracle_draw_sets");
+    group.sample_size(10);
+    for &r in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("sequential", r), &r, |b, &r| {
+            let mut oracle = DenseOracle::new(&p, 7);
+            b.iter(|| oracle.draw_sets_sequential(r, m));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", r), &r, |b, &r| {
+            let mut oracle = DenseOracle::new(&p, 7);
+            b.iter(|| oracle.draw_sets(r, m));
+        });
+    }
+    group.finish();
+
+    // The single-set path, for a per-set baseline.
+    let mut group = c.benchmark_group("oracle_draw_set");
+    group.sample_size(20);
+    group.bench_function("draw_set_20k", |b| {
+        let mut oracle = DenseOracle::new(&p, 7);
+        b.iter(|| oracle.draw_set(m));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_throughput);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! is orders of magnitude below it).
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,7 +50,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 policy: CandidatePolicy::All,
                 max_endpoints: 0,
             };
-            let out = learn(p, &params, &mut rng).expect("learner succeeds");
+            let out = learn_dense(p, &params, &mut rng).expect("learner succeeds");
             errs.push(out.tiling.l2_sq_to(p));
         }
         let mean_err = khist_stats::mean(&errs);

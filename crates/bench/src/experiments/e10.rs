@@ -21,7 +21,7 @@
 //! paper's remark invites.
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
@@ -78,7 +78,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                     policy: CandidatePolicy::All,
                     max_endpoints: 0,
                 };
-                let out = learn(&p, &params, &mut rng).expect("learner runs");
+                let out = learn_dense(&p, &params, &mut rng).expect("learner runs");
                 worst_gap = worst_gap.max(out.tiling.l2_sq_to(&p) - opt);
             }
             cells.push(fmt::int(budget.total_samples()));
@@ -130,7 +130,7 @@ fn n_dependence_table(quick: bool) -> Table {
             for t in 0..trials {
                 let mut rng = StdRng::seed_from_u64(seed_for(102, &[n, t]));
                 let params = GreedyParams::fast(k, eps, budget);
-                let out = learn(&p, &params, &mut rng).expect("learner runs");
+                let out = learn_dense(&p, &params, &mut rng).expect("learner runs");
                 worst_gap = worst_gap.max(out.tiling.l2_sq_to(&p) - opt);
             }
             cells.push(fmt::int(budget.total_samples()));

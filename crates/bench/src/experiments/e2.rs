@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use khist_stats::log_log_fit;
@@ -56,7 +56,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut rng = StdRng::seed_from_u64(seed_for(2, &[n]));
 
         let t0 = Instant::now();
-        let slow = learn(
+        let slow = learn_dense(
             &p,
             &GreedyParams {
                 k,
@@ -71,7 +71,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let slow_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
-        let fast = learn(
+        let fast = learn_dense(
             &p,
             &GreedyParams {
                 k,

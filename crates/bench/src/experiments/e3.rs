@@ -16,10 +16,10 @@
 use khist_baseline::v_optimal;
 use khist_core::tester::test_l2;
 use khist_dist::generators;
-use khist_oracle::L2TesterBudget;
+use khist_oracle::{DenseOracle, L2TesterBudget};
 use khist_stats::SuccessCounter;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::runner::{parallel_map, seed_for};
 use crate::table::{fmt, Table};
@@ -51,12 +51,16 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut yes_counter = SuccessCounter::new();
         let mut no_counter = SuccessCounter::new();
         let mut rng = StdRng::seed_from_u64(seed_for(3, &[n]));
+        // The NO instance is fixed for the whole row: one oracle (one alias
+        // table) serves every trial's sample sets.
+        let mut far_oracle = DenseOracle::new(&far, rng.random());
         for _ in 0..trials {
             let (_, p) = generators::random_tiling_histogram_distinct(n, k, &mut rng)
                 .expect("valid instance");
-            let verdict = test_l2(&p, k, eps, budget, &mut rng).expect("tester runs");
+            let mut p_oracle = DenseOracle::new(&p, rng.random());
+            let verdict = test_l2(&mut p_oracle, k, eps, budget).expect("tester runs");
             yes_counter.record(verdict.outcome.is_accept());
-            let verdict = test_l2(&far, k, eps, budget, &mut rng).expect("tester runs");
+            let verdict = test_l2(&mut far_oracle, k, eps, budget).expect("tester runs");
             no_counter.record(!verdict.outcome.is_accept());
         }
         let yes_ci = yes_counter.interval(1.96);

@@ -18,10 +18,10 @@
 use khist_baseline::l1_flatten_optimal;
 use khist_core::tester::test_l1_from_sets;
 use khist_dist::generators;
-use khist_oracle::{L1TesterBudget, SampleSet};
+use khist_oracle::{DenseOracle, L1TesterBudget, SampleOracle};
 use khist_stats::SuccessCounter;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::runner::{parallel_map, seed_for};
 use crate::table::{fmt, Table};
@@ -32,14 +32,17 @@ const R_SETS: usize = 7;
 /// trials.
 fn accuracy_at(n: usize, k: usize, eps: f64, m: usize, trials: usize, rng: &mut StdRng) -> f64 {
     let yes = generators::yes_instance(n, k).expect("valid instance");
+    // One oracle per fixed instance: the alias table is built once and the
+    // r independent sets fan out across threads.
+    let mut yes_oracle = DenseOracle::new(&yes.dist, rng.random());
     let mut counter = SuccessCounter::new();
     for _ in 0..trials {
-        let sets = SampleSet::draw_many(&yes.dist, m, R_SETS, rng);
+        let sets = yes_oracle.draw_sets(R_SETS, m);
         let verdict = test_l1_from_sets(n, k, eps, m, &sets).expect("tester runs");
         counter.record(verdict.outcome.is_accept());
 
         let no = generators::no_instance(n, k, rng).expect("valid instance");
-        let sets = SampleSet::draw_many(&no.dist, m, R_SETS, rng);
+        let sets = DenseOracle::new(&no.dist, rng.random()).draw_sets(R_SETS, m);
         let verdict = test_l1_from_sets(n, k, eps, m, &sets).expect("tester runs");
         counter.record(!verdict.outcome.is_accept());
     }
@@ -64,11 +67,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut rng = StdRng::seed_from_u64(seed_for(4, &[n]));
 
         let yes = generators::yes_instance(n, k).expect("valid instance");
+        let mut yes_oracle = DenseOracle::new(&yes.dist, rng.random());
         let mut yes_counter = SuccessCounter::new();
         let mut no_counter = SuccessCounter::new();
         let mut min_cert = f64::INFINITY;
         for _ in 0..trials {
-            let sets = SampleSet::draw_many(&yes.dist, budget.m, budget.r, &mut rng);
+            let sets = yes_oracle.draw_sets(budget.r, budget.m);
             let verdict = test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs");
             yes_counter.record(verdict.outcome.is_accept());
 
@@ -76,7 +80,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             let cert: khist_baseline::L1DpResult =
                 l1_flatten_optimal(&no.dist, k).expect("DP succeeds");
             min_cert = min_cert.min(cert.l1_lower_bound());
-            let sets = SampleSet::draw_many(&no.dist, budget.m, budget.r, &mut rng);
+            let sets = DenseOracle::new(&no.dist, rng.random()).draw_sets(budget.r, budget.m);
             let verdict = test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs");
             no_counter.record(!verdict.outcome.is_accept());
         }

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use khist_baseline::{equi_depth, equi_width, greedy_merge, max_diff, sample_then_dp, v_optimal};
 use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn, GreedyParams};
+use khist_core::greedy::{learn_dense, GreedyParams};
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,7 +62,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         );
 
         let t0 = Instant::now();
-        let g = learn(p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
+        let g = learn_dense(p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
         let g_ms = t0.elapsed().as_secs_f64() * 1e3;
         push(
             "greedy (paper, raw)",

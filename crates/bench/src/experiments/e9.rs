@@ -17,7 +17,7 @@
 
 use khist_baseline::v_optimal;
 use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
@@ -51,7 +51,7 @@ fn ablation_r(trials: usize) -> Table {
         let mut errs = Vec::with_capacity(trials);
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(91, &[r, t]));
-            let out = learn(
+            let out = learn_dense(
                 &p,
                 &GreedyParams {
                     k,
@@ -102,7 +102,7 @@ fn ablation_policy(trials: usize) -> Table {
         let mut cands = 0usize;
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(92, &[pi, t]));
-            let out = learn(
+            let out = learn_dense(
                 &p,
                 &GreedyParams {
                     k,
@@ -156,7 +156,7 @@ fn ablation_q(trials: usize) -> Table {
         let mut gaps = Vec::with_capacity(trials);
         for tr in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(93, &[q, tr]));
-            let out = learn(
+            let out = learn_dense(
                 &p,
                 &GreedyParams {
                     k,
@@ -191,7 +191,7 @@ fn ablation_pieces(trials: usize) -> Table {
         let mut rng = StdRng::seed_from_u64(seed_for(94, &[t]));
         let (_, p) =
             generators::random_tiling_histogram_distinct(n, k, &mut rng).expect("valid instance");
-        let out = learn(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
+        let out = learn_dense(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
         let raw_pieces = out.tiling.piece_count();
         let bound = 2 * out.stats.iterations + 1;
         let raw_err = out.tiling.l2_sq_to(&p);

@@ -182,7 +182,7 @@ mod tests {
         let (_, p) = generators::random_tiling_histogram_distinct(96, 4, &mut rng).unwrap();
         let budget = khist_oracle::LearnerBudget::calibrated(96, 4, 0.1, 0.03);
         let params = crate::greedy::GreedyParams::new(4, 0.1, budget);
-        let out = crate::greedy::learn(&p, &params, &mut rng).unwrap();
+        let out = crate::greedy::learn_dense(&p, &params, &mut rng).unwrap();
         let compressed = compress_to_k(&out.tiling, 4).unwrap();
         assert!(compressed.piece_count() <= 4);
         let opt = v_optimal(&p, 4).unwrap().sse;

@@ -29,7 +29,7 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError, Interval, PriorityHistogram, TilingHistogram};
-use khist_oracle::{LearnerBudget, SampleSet};
+use khist_oracle::{DenseOracle, LearnerBudget, SampleOracle, SampleSet};
 
 use crate::cost::{CostOracle, SampleCostOracle};
 use crate::tiling_state::TilingState;
@@ -124,15 +124,43 @@ impl GreedyOutcome {
     }
 }
 
-/// Draws the budgeted samples from `p` and runs the greedy learner.
-pub fn learn<R: Rng + ?Sized>(
+/// Draws the budgeted samples through a [`SampleOracle`] and runs the
+/// greedy learner.
+///
+/// The main sample and the `r` collision sets are requested in one
+/// [`SampleOracle::draw_batch`] call, so streaming backends can serve them
+/// from a single pass with disjoint lanes.
+pub fn learn<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    params: &GreedyParams,
+) -> Result<GreedyOutcome, DistError> {
+    let mut sizes = Vec::with_capacity(params.budget.r + 1);
+    sizes.push(params.budget.ell);
+    sizes.resize(params.budget.r + 1, params.budget.m);
+    let mut drawn = oracle.draw_batch(&sizes);
+    if drawn.len() != sizes.len() {
+        return Err(DistError::BadParameter {
+            reason: format!(
+                "oracle returned {} sets for a batch of {}",
+                drawn.len(),
+                sizes.len()
+            ),
+        });
+    }
+    let main = drawn.remove(0);
+    learn_from_samples(oracle.domain_size(), &main, &drawn, params)
+}
+
+/// Convenience wrapper: learns from an explicit [`DenseDistribution`] by
+/// spinning up a seeded [`DenseOracle`] (the pre-oracle entry point;
+/// existing call sites migrate by appending `_dense`).
+pub fn learn_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     params: &GreedyParams,
     rng: &mut R,
 ) -> Result<GreedyOutcome, DistError> {
-    let main = SampleSet::draw(p, params.budget.ell, rng);
-    let sets = SampleSet::draw_many(p, params.budget.m, params.budget.r, rng);
-    learn_from_samples(p.n(), &main, &sets, params)
+    let mut oracle = DenseOracle::new(p, rng.random());
+    learn(&mut oracle, params)
 }
 
 /// Runs the greedy learner on pre-drawn samples (the entry point for real
@@ -304,7 +332,7 @@ mod tests {
             policy,
             max_endpoints: 96,
         };
-        learn(p, &params, &mut rng).unwrap()
+        learn_dense(p, &params, &mut rng).unwrap()
     }
 
     #[test]
@@ -418,7 +446,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let budget = LearnerBudget::calibrated(8, 2, 0.2, 0.1);
         let mut params = GreedyParams::new(0, 0.2, budget);
-        assert!(learn(&p, &params, &mut rng).is_err());
+        assert!(learn_dense(&p, &params, &mut rng).is_err());
         params.k = 2;
         let main = SampleSet::draw(&p, 10, &mut rng);
         assert!(learn_from_samples(8, &main, &[], &params).is_err());
@@ -477,10 +505,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut budget = LearnerBudget::calibrated(48, 4, 0.2, 0.05);
         let params = GreedyParams::new(4, 0.2, budget);
-        let out1 = learn(&p, &params, &mut rng).unwrap();
+        let out1 = learn_dense(&p, &params, &mut rng).unwrap();
         budget.q *= 3;
         let params3 = GreedyParams::new(4, 0.2, budget);
-        let out3 = learn(&p, &params3, &mut rng).unwrap();
+        let out3 = learn_dense(&p, &params3, &mut rng).unwrap();
         assert!(out3.tiling.l2_sq_to(&p) < out1.tiling.l2_sq_to(&p) + 0.05);
     }
 }

@@ -27,7 +27,7 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError, Interval};
-use khist_oracle::{absolute_collision_estimate, SampleSet};
+use khist_oracle::{absolute_collision_estimate, DenseOracle, SampleOracle, SampleSet};
 
 use crate::tester::TestOutcome;
 
@@ -59,17 +59,22 @@ pub struct ClosenessReport {
     pub samples_used: usize,
 }
 
-/// Tests `‖p − q‖₂ ≤ ε/√2` vs `‖p − q‖₂ > ε` from `m` samples of each.
-pub fn test_closeness_l2<R: Rng + ?Sized>(
-    p: &DenseDistribution,
-    q: &DenseDistribution,
+/// Tests `‖p − q‖₂ ≤ ε/√2` vs `‖p − q‖₂ > ε` from `m` samples drawn
+/// through each side's [`SampleOracle`].
+pub fn test_closeness_l2<OP, OQ>(
+    oracle_p: &mut OP,
+    oracle_q: &mut OQ,
     eps: f64,
     m: usize,
-    rng: &mut R,
-) -> Result<ClosenessReport, DistError> {
-    if p.n() != q.n() {
+) -> Result<ClosenessReport, DistError>
+where
+    OP: SampleOracle + ?Sized,
+    OQ: SampleOracle + ?Sized,
+{
+    let n = oracle_p.domain_size();
+    if n != oracle_q.domain_size() {
         return Err(DistError::BadParameter {
-            reason: format!("domain mismatch: {} vs {}", p.n(), q.n()),
+            reason: format!("domain mismatch: {n} vs {}", oracle_q.domain_size()),
         });
     }
     if !(eps > 0.0 && eps < 1.0) {
@@ -82,10 +87,10 @@ pub fn test_closeness_l2<R: Rng + ?Sized>(
             reason: "need at least two samples per side".into(),
         });
     }
-    let set_p = SampleSet::draw(p, m, rng);
-    let set_q = SampleSet::draw(q, m, rng);
+    let set_p = oracle_p.draw_set(m);
+    let set_q = oracle_q.draw_set(m);
     let statistic =
-        l2_distance_sq_estimate(&set_p, &set_q, p.n()).expect("both sets have ≥ 2 samples");
+        l2_distance_sq_estimate(&set_p, &set_q, n).expect("both sets have ≥ 2 samples");
     let threshold = eps * eps / 2.0;
     Ok(ClosenessReport {
         outcome: if statistic <= threshold {
@@ -99,19 +104,35 @@ pub fn test_closeness_l2<R: Rng + ?Sized>(
     })
 }
 
-/// Tests identity `p = q` (vs `‖p − q‖₂ > ε`) against an explicitly known
-/// `q`: the `q`-side moments are exact, only `‖p‖₂²` and `⟨p, q⟩` are
-/// estimated.
-pub fn test_identity_l2<R: Rng + ?Sized>(
+/// Convenience wrapper: closeness testing between two explicit
+/// [`DenseDistribution`]s through seeded [`DenseOracle`]s.
+pub fn test_closeness_l2_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
-    known_q: &DenseDistribution,
+    q: &DenseDistribution,
     eps: f64,
     m: usize,
     rng: &mut R,
 ) -> Result<ClosenessReport, DistError> {
-    if p.n() != known_q.n() {
+    let mut oracle_p = DenseOracle::new(p, rng.random());
+    let mut oracle_q = DenseOracle::new(q, rng.random());
+    test_closeness_l2(&mut oracle_p, &mut oracle_q, eps, m)
+}
+
+/// Tests identity `p = q` (vs `‖p − q‖₂ > ε`) against an explicitly known
+/// `q`: the `q`-side moments are exact, only `‖p‖₂²` and `⟨p, q⟩` are
+/// estimated. `p` is reached only through its [`SampleOracle`]; `q` stays
+/// an explicit [`DenseDistribution`] by design — identity testing *means*
+/// comparing sample access against a known description.
+pub fn test_identity_l2<O: SampleOracle + ?Sized>(
+    oracle_p: &mut O,
+    known_q: &DenseDistribution,
+    eps: f64,
+    m: usize,
+) -> Result<ClosenessReport, DistError> {
+    let n = oracle_p.domain_size();
+    if n != known_q.n() {
         return Err(DistError::BadParameter {
-            reason: format!("domain mismatch: {} vs {}", p.n(), known_q.n()),
+            reason: format!("domain mismatch: {n} vs {}", known_q.n()),
         });
     }
     if !(eps > 0.0 && eps < 1.0) {
@@ -124,8 +145,8 @@ pub fn test_identity_l2<R: Rng + ?Sized>(
             reason: "need at least two samples".into(),
         });
     }
-    let set_p = SampleSet::draw(p, m, rng);
-    let full = Interval::full(p.n())?;
+    let set_p = oracle_p.draw_set(m);
+    let full = Interval::full(n)?;
     let p_sq = absolute_collision_estimate(&set_p, full);
     // ⟨p, q⟩ estimated by E_{x∼p}[q(x)] — each sample contributes q(x).
     let mut inner = 0.0;
@@ -145,6 +166,19 @@ pub fn test_identity_l2<R: Rng + ?Sized>(
         threshold,
         samples_used: m,
     })
+}
+
+/// Convenience wrapper: identity testing of an explicit
+/// [`DenseDistribution`] `p` through a seeded [`DenseOracle`].
+pub fn test_identity_l2_dense<R: Rng + ?Sized>(
+    p: &DenseDistribution,
+    known_q: &DenseDistribution,
+    eps: f64,
+    m: usize,
+    rng: &mut R,
+) -> Result<ClosenessReport, DistError> {
+    let mut oracle_p = DenseOracle::new(p, rng.random());
+    test_identity_l2(&mut oracle_p, known_q, eps, m)
 }
 
 #[cfg(test)]
@@ -202,7 +236,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_closeness_l2(p, q, eps, m, &mut rng)
+                test_closeness_l2_dense(p, q, eps, m, &mut rng)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -234,14 +268,14 @@ mod tests {
         let mut ok_same = 0;
         let mut ok_far = 0;
         for _ in 0..9 {
-            if test_identity_l2(&q, &q, 0.2, 5000, &mut rng)
+            if test_identity_l2_dense(&q, &q, 0.2, 5000, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
             {
                 ok_same += 1;
             }
-            if !test_identity_l2(&far, &q, 0.2, 5000, &mut rng)
+            if !test_identity_l2_dense(&far, &q, 0.2, 5000, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -264,13 +298,13 @@ mod tests {
         let p = DenseDistribution::uniform(8).unwrap();
         let q = DenseDistribution::uniform(9).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(test_closeness_l2(&p, &q, 0.3, 100, &mut rng).is_err());
+        assert!(test_closeness_l2_dense(&p, &q, 0.3, 100, &mut rng).is_err());
         let q8 = DenseDistribution::uniform(8).unwrap();
-        assert!(test_closeness_l2(&p, &q8, 1.5, 100, &mut rng).is_err());
-        assert!(test_closeness_l2(&p, &q8, 0.3, 1, &mut rng).is_err());
-        assert!(test_identity_l2(&p, &q, 0.3, 100, &mut rng).is_err());
-        assert!(test_identity_l2(&p, &q8, 0.0, 100, &mut rng).is_err());
-        assert!(test_identity_l2(&p, &q8, 0.3, 0, &mut rng).is_err());
+        assert!(test_closeness_l2_dense(&p, &q8, 1.5, 100, &mut rng).is_err());
+        assert!(test_closeness_l2_dense(&p, &q8, 0.3, 1, &mut rng).is_err());
+        assert!(test_identity_l2_dense(&p, &q, 0.3, 100, &mut rng).is_err());
+        assert!(test_identity_l2_dense(&p, &q8, 0.0, 100, &mut rng).is_err());
+        assert!(test_identity_l2_dense(&p, &q8, 0.3, 0, &mut rng).is_err());
     }
 
     #[test]

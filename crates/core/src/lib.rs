@@ -21,19 +21,27 @@
 //! * [`lower_bound`] — the **Theorem 5** distinguishing harness over the
 //!   YES/NO ensemble from `khist_dist::generators::lower_bound`.
 //!
+//! Every algorithm entry point is generic over
+//! [`khist_oracle::SampleOracle`] — the sample-access model of §2 made into
+//! a seam — with `*_dense` convenience wrappers for the common case of an
+//! explicit [`khist_dist::DenseDistribution`].
+//!
 //! # Example: learn a histogram from samples
 //!
 //! ```
 //! use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
 //! use khist_dist::generators;
-//! use khist_oracle::LearnerBudget;
+//! use khist_oracle::{DenseOracle, LearnerBudget};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let (_, p) = generators::random_tiling_histogram_distinct(64, 3, &mut rng).unwrap();
 //! let budget = LearnerBudget::calibrated(64, 3, 0.1, 0.02);
 //! let params = GreedyParams::new(3, 0.1, budget);
-//! let out = learn(&p, &params, &mut rng).unwrap();
+//! // Any SampleOracle backend works here; DenseOracle simulates sample
+//! // access to the explicit pmf.
+//! let mut oracle = DenseOracle::new(&p, 1);
+//! let out = learn(&mut oracle, &params).unwrap();
 //! assert!(out.tiling.l2_sq_to(&p) < 0.05);
 //! ```
 
@@ -56,13 +64,18 @@ pub use compress::compress_to_k;
 pub use cost::{CostOracle, ExactCostOracle, SampleCostOracle};
 pub use flatness::{FlatnessTest, L1Flatness, L2Flatness};
 pub use greedy::{
-    greedy_with_oracle, learn, learn_from_samples, CandidatePolicy, GreedyOutcome, GreedyParams,
+    greedy_with_oracle, learn, learn_dense, learn_from_samples, CandidatePolicy, GreedyOutcome,
+    GreedyParams,
 };
-pub use identity::{test_closeness_l2, test_identity_l2, ClosenessReport};
+pub use identity::{
+    test_closeness_l2, test_closeness_l2_dense, test_identity_l2, test_identity_l2_dense,
+    ClosenessReport,
+};
 pub use monotone::{
-    birge_partition, pav_non_increasing, test_monotone_non_increasing, MonotonicityReport,
+    birge_partition, pav_non_increasing, test_monotone_non_increasing,
+    test_monotone_non_increasing_dense, MonotonicityReport,
 };
 pub use partition_search::{partition_search, PartitionOutcome};
-pub use tester::{test_l1, test_l2, TestOutcome, TestReport};
+pub use tester::{test_l1, test_l1_dense, test_l2, test_l2_dense, TestOutcome, TestReport};
 pub use tiling_state::TilingState;
-pub use uniformity::{test_uniformity, UniformityBudget, UniformityReport};
+pub use uniformity::{test_uniformity, test_uniformity_dense, UniformityBudget, UniformityReport};

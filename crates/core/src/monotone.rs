@@ -24,7 +24,7 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError, Interval, TilingHistogram};
-use khist_oracle::SampleSet;
+use khist_oracle::{DenseOracle, SampleOracle, SampleSet};
 
 use crate::tester::TestOutcome;
 
@@ -116,16 +116,28 @@ pub fn monotonicity_budget(n: usize, eps: f64, scale: f64) -> usize {
     ((16.0 * buckets / (eps * eps) * scale).ceil() as usize).max(64)
 }
 
-/// Tests whether `p` is non-increasing (vs `ε`-far in `ℓ₁` from every
-/// non-increasing distribution) from `m` fresh samples.
-pub fn test_monotone_non_increasing<R: Rng + ?Sized>(
+/// Tests whether the sampled distribution is non-increasing (vs `ε`-far in
+/// `ℓ₁` from every non-increasing distribution) from `m` fresh samples
+/// drawn through a [`SampleOracle`].
+pub fn test_monotone_non_increasing<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    eps: f64,
+    m: usize,
+) -> Result<MonotonicityReport, DistError> {
+    let set = oracle.draw_set(m);
+    test_monotone_from_set(oracle.domain_size(), eps, &set)
+}
+
+/// Convenience wrapper: monotonicity testing of an explicit
+/// [`DenseDistribution`] through a seeded [`DenseOracle`].
+pub fn test_monotone_non_increasing_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     eps: f64,
     m: usize,
     rng: &mut R,
 ) -> Result<MonotonicityReport, DistError> {
-    let set = SampleSet::draw(p, m, rng);
-    test_monotone_from_set(p.n(), eps, &set)
+    let mut oracle = DenseOracle::new(p, rng.random());
+    test_monotone_non_increasing(&mut oracle, eps, m)
 }
 
 /// Tests monotonicity from a pre-drawn sample multiset.
@@ -277,7 +289,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_monotone_non_increasing(p, eps, m, &mut rng)
+                test_monotone_non_increasing_dense(p, eps, m, &mut rng)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -357,7 +369,7 @@ mod tests {
     fn report_fields_are_consistent() {
         let p = generators::geometric(128, 0.95).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let rep = test_monotone_non_increasing(&p, 0.3, 20_000, &mut rng).unwrap();
+        let rep = test_monotone_non_increasing_dense(&p, 0.3, 20_000, &mut rng).unwrap();
         assert_eq!(rep.samples_used, 20_000);
         assert!(rep.buckets > 3 && rep.buckets < 128);
         assert!(rep.isotonic_distance >= 0.0);

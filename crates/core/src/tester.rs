@@ -15,7 +15,7 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError};
-use khist_oracle::{L1TesterBudget, L2TesterBudget, SampleSet};
+use khist_oracle::{DenseOracle, L1TesterBudget, L2TesterBudget, SampleOracle, SampleSet};
 
 use crate::flatness::{L1Flatness, L2Flatness};
 use crate::partition_search::partition_search;
@@ -50,17 +50,29 @@ pub struct TestReport {
     pub samples_used: usize,
 }
 
-/// Runs the `ℓ₂` tester (Algorithm 2 + `testFlatness-ℓ₂`) on fresh samples
-/// from `p`.
-pub fn test_l2<R: Rng + ?Sized>(
+/// Runs the `ℓ₂` tester (Algorithm 2 + `testFlatness-ℓ₂`) on fresh sample
+/// sets drawn through a [`SampleOracle`].
+pub fn test_l2<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    k: usize,
+    eps: f64,
+    budget: L2TesterBudget,
+) -> Result<TestReport, DistError> {
+    let sets = oracle.draw_sets(budget.r, budget.m);
+    test_l2_from_sets(oracle.domain_size(), k, eps, budget.m, &sets)
+}
+
+/// Convenience wrapper: runs the `ℓ₂` tester against an explicit
+/// [`DenseDistribution`] through a seeded [`DenseOracle`].
+pub fn test_l2_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     k: usize,
     eps: f64,
     budget: L2TesterBudget,
     rng: &mut R,
 ) -> Result<TestReport, DistError> {
-    let sets = SampleSet::draw_many(p, budget.m, budget.r, rng);
-    test_l2_from_sets(p.n(), k, eps, budget.m, &sets)
+    let mut oracle = DenseOracle::new(p, rng.random());
+    test_l2(&mut oracle, k, eps, budget)
 }
 
 /// Runs the `ℓ₂` tester on pre-drawn sample sets (entry point for real
@@ -87,17 +99,29 @@ pub fn test_l2_from_sets(
     })
 }
 
-/// Runs the `ℓ₁` tester (Algorithm 2 + `testFlatness-ℓ₁`) on fresh samples
-/// from `p`.
-pub fn test_l1<R: Rng + ?Sized>(
+/// Runs the `ℓ₁` tester (Algorithm 2 + `testFlatness-ℓ₁`) on fresh sample
+/// sets drawn through a [`SampleOracle`].
+pub fn test_l1<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    k: usize,
+    eps: f64,
+    budget: L1TesterBudget,
+) -> Result<TestReport, DistError> {
+    let sets = oracle.draw_sets(budget.r, budget.m);
+    test_l1_from_sets(oracle.domain_size(), k, eps, budget.m, &sets)
+}
+
+/// Convenience wrapper: runs the `ℓ₁` tester against an explicit
+/// [`DenseDistribution`] through a seeded [`DenseOracle`].
+pub fn test_l1_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     k: usize,
     eps: f64,
     budget: L1TesterBudget,
     rng: &mut R,
 ) -> Result<TestReport, DistError> {
-    let sets = SampleSet::draw_many(p, budget.m, budget.r, rng);
-    test_l1_from_sets(p.n(), k, eps, budget.m, &sets)
+    let mut oracle = DenseOracle::new(p, rng.random());
+    test_l1(&mut oracle, k, eps, budget)
 }
 
 /// Runs the `ℓ₁` tester on pre-drawn sample sets.
@@ -190,7 +214,7 @@ mod tests {
         let mut accepts = 0;
         let runs = 7;
         for _ in 0..runs {
-            if test_l2(p, k, eps, budget, &mut rng)
+            if test_l2_dense(p, k, eps, budget, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -217,7 +241,7 @@ mod tests {
         let mut accepts = 0;
         let runs = 7;
         for _ in 0..runs {
-            if test_l1(p, k, eps, budget, &mut rng)
+            if test_l1_dense(p, k, eps, budget, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -302,7 +326,7 @@ mod tests {
         let p = DenseDistribution::uniform(64).unwrap();
         let budget = L2TesterBudget::calibrated(64, 0.3, 0.02);
         let mut rng = StdRng::seed_from_u64(10);
-        let rep = test_l2(&p, 2, 0.3, budget, &mut rng).unwrap();
+        let rep = test_l2_dense(&p, 2, 0.3, budget, &mut rng).unwrap();
         assert_eq!(rep.samples_used, budget.r * budget.m);
         assert!(rep.probes > 0);
         if rep.outcome.is_accept() {
@@ -315,7 +339,7 @@ mod tests {
         let p = DenseDistribution::uniform(8).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let budget = L2TesterBudget::calibrated(8, 0.3, 0.1);
-        assert!(test_l2(&p, 0, 0.3, budget, &mut rng).is_err());
+        assert!(test_l2_dense(&p, 0, 0.3, budget, &mut rng).is_err());
         let sets = SampleSet::draw_many(&p, 16, 3, &mut rng);
         assert!(test_l2_from_sets(0, 2, 0.3, 16, &sets).is_err());
         assert!(test_l2_from_sets(8, 2, 1.5, 16, &sets).is_err());
@@ -338,7 +362,7 @@ mod tests {
         let mut best_witness_err = f64::INFINITY;
         let mut accepts = 0;
         for _ in 0..7 {
-            let rep = test_l2(&p, 4, 0.2, budget, &mut rng).unwrap();
+            let rep = test_l2_dense(&p, 4, 0.2, budget, &mut rng).unwrap();
             if rep.outcome.is_accept() {
                 accepts += 1;
                 let h = khist_dist::TilingHistogram::project(&p, &rep.cuts).unwrap();

@@ -19,7 +19,7 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError, Interval};
-use khist_oracle::{absolute_collision_estimate, SampleSet};
+use khist_oracle::{absolute_collision_estimate, DenseOracle, SampleOracle, SampleSet};
 
 use crate::tester::TestOutcome;
 
@@ -63,15 +63,26 @@ pub struct UniformityReport {
     pub samples_used: usize,
 }
 
-/// Tests uniformity of `p` from fresh samples.
-pub fn test_uniformity<R: Rng + ?Sized>(
+/// Tests uniformity from fresh samples drawn through a [`SampleOracle`].
+pub fn test_uniformity<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    eps: f64,
+    budget: UniformityBudget,
+) -> Result<UniformityReport, DistError> {
+    let set = oracle.draw_set(budget.m);
+    test_uniformity_from_set(oracle.domain_size(), eps, &set)
+}
+
+/// Convenience wrapper: tests uniformity of an explicit
+/// [`DenseDistribution`] through a seeded [`DenseOracle`].
+pub fn test_uniformity_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     eps: f64,
     budget: UniformityBudget,
     rng: &mut R,
 ) -> Result<UniformityReport, DistError> {
-    let set = SampleSet::draw(p, budget.m, rng);
-    test_uniformity_from_set(p.n(), eps, &set)
+    let mut oracle = DenseOracle::new(p, rng.random());
+    test_uniformity(&mut oracle, eps, budget)
 }
 
 /// Tests uniformity from a pre-drawn sample multiset.
@@ -120,7 +131,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_uniformity(p, eps, budget, &mut rng)
+                test_uniformity_dense(p, eps, budget, &mut rng)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -159,7 +170,7 @@ mod tests {
         let p = generators::two_level(256, 0.5, 0.9).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let budget = UniformityBudget { m: 50_000 };
-        let rep = test_uniformity(&p, 0.3, budget, &mut rng).unwrap();
+        let rep = test_uniformity_dense(&p, 0.3, budget, &mut rng).unwrap();
         assert!((rep.statistic - p.l2_norm_sq()).abs() < 0.002);
         assert_eq!(rep.samples_used, 50_000);
     }
@@ -172,14 +183,14 @@ mod tests {
         // elements sharing 90% of the mass give ‖p − u‖₂ ≈ 0.36 > 0.3.
         // (A milder skew like two_level(256, 0.1, 0.8) is only ≈ 0.15-far
         // in ℓ₂ and the general tester rightly accepts it at ε = 0.3.)
-        use crate::tester::test_l2;
+        use crate::tester::test_l2_dense;
         use khist_oracle::L2TesterBudget;
         let mut rng = StdRng::seed_from_u64(6);
         let uniform = DenseDistribution::uniform(256).unwrap();
         let skewed = generators::two_level(256, 0.02, 0.9).unwrap();
         let l2_budget = L2TesterBudget::calibrated(256, 0.3, 0.05);
         for (p, expect_accept) in [(&uniform, true), (&skewed, false)] {
-            let general = test_l2(p, 1, 0.3, l2_budget, &mut rng)
+            let general = test_l2_dense(p, 1, 0.3, l2_budget, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept();

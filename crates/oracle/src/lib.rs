@@ -3,6 +3,11 @@
 //! The model of §2 of the paper: algorithms see an unknown `p ∈ D_n` only
 //! through i.i.d. samples. This crate provides
 //!
+//! * [`SampleOracle`] — the sample-access seam every algorithm is generic
+//!   over, with three backends: [`DenseOracle`] (explicit pmf + alias
+//!   table, parallel batched draws), [`RecordFileOracle`] (one-pass
+//!   streaming over line-oriented record files via reservoir splitting)
+//!   and [`ReplayOracle`] (pre-drawn buffers for deterministic replay);
 //! * [`SampleSet`] — a compressed sorted multiset of samples supporting the
 //!   two queries every algorithm in the paper performs per interval `I`:
 //!   the hit count `|S_I|` and the collision count
@@ -22,11 +27,13 @@
 pub mod budget;
 pub mod collision;
 pub mod empirical;
+pub mod oracle;
 pub mod reservoir;
 pub mod sample_set;
 
 pub use budget::{L1TesterBudget, L2TesterBudget, LearnerBudget};
 pub use collision::{absolute_collision_estimate, conditional_collision_estimate, MedianBooster};
 pub use empirical::empirical_distribution;
+pub use oracle::{DenseOracle, RecordFileOracle, ReplayOracle, SampleOracle};
 pub use reservoir::Reservoir;
 pub use sample_set::SampleSet;

@@ -1,0 +1,837 @@
+//! The sample-access seam: [`SampleOracle`] and its backends.
+//!
+//! Every algorithm in the paper interacts with the unknown `p ∈ D_n`
+//! exclusively through i.i.d. draws — the sample-access model of §2 — yet
+//! the first cut of this reproduction hard-wired every entry point to a
+//! concrete [`DenseDistribution`]. This module makes sample access a
+//! first-class abstraction so the same algorithm code runs against an
+//! explicit pmf, a record file too large to materialize, or a replayed
+//! capture:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────┐
+//!                 │ khist-core algorithms (generic)    │
+//!                 │ learn · test_l1/l2 · uniformity …  │
+//!                 └──────────────────┬─────────────────┘
+//!                                    │  trait SampleOracle
+//!                  ┌─────────────────┼──────────────────┐
+//!                  ▼                 ▼                  ▼
+//!          ┌──────────────┐  ┌────────────────┐  ┌──────────────┐
+//!          │ DenseOracle  │  │RecordFileOracle│  │ ReplayOracle │
+//!          │ alias table, │  │ one-pass       │  │ pre-drawn    │
+//!          │ parallel     │  │ reservoir      │  │ buffers,     │
+//!          │ draw_sets    │  │ splitting      │  │ deterministic│
+//!          └──────────────┘  └────────────────┘  └──────────────┘
+//! ```
+//!
+//! Reproducibility is seed-based: each drawn set consumes one *stream*
+//! derived deterministically from `(seed, stream_index)` via a SplitMix64
+//! mix, so [`DenseOracle::draw_sets`] may fan the `r` independent sets out
+//! across threads and still produce output bit-identical to a sequential
+//! run (verified by property test below).
+
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use khist_dist::{sampler::AliasSampler, DenseDistribution, DistError};
+
+use crate::reservoir::Reservoir;
+use crate::sample_set::SampleSet;
+
+/// Sample access to an unknown distribution over `[n]` — the only channel
+/// the paper's algorithms are allowed to use.
+///
+/// Implementations own their randomness (seeded at construction), so the
+/// algorithms themselves stay deterministic functions of the oracle.
+/// The trait is object-safe: `&mut dyn SampleOracle` works wherever an
+/// oracle is expected.
+pub trait SampleOracle {
+    /// The domain size `n` of the underlying distribution.
+    fn domain_size(&self) -> usize;
+
+    /// Draws one fresh set of `m` i.i.d. samples.
+    fn draw_set(&mut self, m: usize) -> SampleSet;
+
+    /// Draws `r` independent sets of `m` samples each — the `S¹, …, Sʳ` of
+    /// Algorithms 1–4. Backends may override this to batch the work (the
+    /// dense backend parallelizes it; the record-file backend serves all
+    /// `r` sets from a single pass over the file).
+    fn draw_sets(&mut self, r: usize, m: usize) -> Vec<SampleSet> {
+        (0..r).map(|_| self.draw_set(m)).collect()
+    }
+
+    /// Draws one set per entry of `sizes` (e.g. the learner's main sample
+    /// of `ℓ` plus `r` collision sets of `m`). The default draws them one
+    /// by one; the record-file backend overrides it to split a single pass
+    /// into disjoint lanes, keeping the sets independent.
+    fn draw_batch(&mut self, sizes: &[usize]) -> Vec<SampleSet> {
+        sizes.iter().map(|&m| self.draw_set(m)).collect()
+    }
+}
+
+/// Deterministic per-stream seed derivation (SplitMix64 finalizer over the
+/// base seed and the stream index). Stream `i` of a given oracle always
+/// maps to the same RNG state, independent of thread scheduling.
+fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Below this many total samples a parallel fan-out costs more in thread
+/// setup than it saves; `draw_sets` falls back to the sequential path
+/// (which is bit-identical anyway).
+const PARALLEL_DRAW_THRESHOLD: usize = 1 << 13;
+
+/// Sample oracle over an explicit [`DenseDistribution`]: the simulation
+/// backend every experiment uses.
+///
+/// Sampling goes through a Walker–Vose [`AliasSampler`] (`O(1)` per draw;
+/// the table is built once at construction instead of per call), and
+/// [`draw_sets`](SampleOracle::draw_sets) fans the `r` independent sets out
+/// across threads. Per-set RNG streams are split from the construction
+/// seed, so results are reproducible regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct DenseOracle {
+    n: usize,
+    sampler: AliasSampler,
+    seed: u64,
+    next_stream: u64,
+}
+
+impl DenseOracle {
+    /// Builds the oracle (and its alias table) for `p`, with all randomness
+    /// derived from `seed`.
+    pub fn new(p: &DenseDistribution, seed: u64) -> Self {
+        DenseOracle {
+            n: p.n(),
+            sampler: AliasSampler::new(p),
+            seed,
+            next_stream: 0,
+        }
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of sample streams consumed so far.
+    pub fn streams_used(&self) -> u64 {
+        self.next_stream
+    }
+
+    fn set_for_stream(&self, stream: u64, m: usize) -> SampleSet {
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, stream));
+        SampleSet::from_samples(self.sampler.sample_many(m, &mut rng))
+    }
+
+    /// Sequential reference implementation of
+    /// [`draw_sets`](SampleOracle::draw_sets): consumes the same streams in
+    /// the same order, so its output is bit-identical to the parallel path.
+    /// Exists for the equivalence property test and the throughput bench.
+    pub fn draw_sets_sequential(&mut self, r: usize, m: usize) -> Vec<SampleSet> {
+        (0..r).map(|_| self.draw_set(m)).collect()
+    }
+
+    /// Draws one set per entry of `sizes`, set `i` from stream `first + i`
+    /// — fanned across threads when the work is large enough. Because each
+    /// set depends only on its stream seed, the output is bit-identical to
+    /// drawing the streams one by one.
+    fn draw_streams(&self, first: u64, sizes: &[usize]) -> Vec<SampleSet> {
+        let count = sizes.len();
+        let total: usize = sizes.iter().sum();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(count);
+        if workers <= 1 || total < PARALLEL_DRAW_THRESHOLD {
+            return sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| self.set_for_stream(first + i as u64, m))
+                .collect();
+        }
+        // Shared-nothing fan-out: each worker pulls stream indices from an
+        // atomic counter, seeds its own RNG from (seed, stream), and writes
+        // into its slot. Output depends only on the stream seeds, never on
+        // scheduling.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SampleSet>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let set = self.set_for_stream(first + i as u64, sizes[i]);
+                    *slots[i].lock().expect("slot lock never poisoned") = Some(set);
+                });
+            }
+        })
+        .expect("sampling worker panicked");
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot lock never poisoned")
+                    .expect("every stream index visited")
+            })
+            .collect()
+    }
+}
+
+impl SampleOracle for DenseOracle {
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn draw_set(&mut self, m: usize) -> SampleSet {
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        self.set_for_stream(stream, m)
+    }
+
+    fn draw_sets(&mut self, r: usize, m: usize) -> Vec<SampleSet> {
+        let first = self.next_stream;
+        self.next_stream += r as u64;
+        self.draw_streams(first, &vec![m; r])
+    }
+
+    fn draw_batch(&mut self, sizes: &[usize]) -> Vec<SampleSet> {
+        // Same stream reservation as the trait default (one per lane), so
+        // the heterogeneous learner batch (`ℓ` main + `r × m` collision
+        // sets) gets the threaded fan-out bit-identically.
+        let first = self.next_stream;
+        self.next_stream += sizes.len() as u64;
+        self.draw_streams(first, sizes)
+    }
+}
+
+/// Sample oracle that replays pre-drawn sets in order: for deterministic
+/// tests, for replaying a captured workload, and for feeding already-split
+/// in-memory data through the generic algorithm entry points.
+///
+/// Requested sizes are ignored — each draw returns the next recorded set
+/// verbatim (replay semantics).
+///
+/// # Panics
+/// Draws past the recorded buffers panic: a replay that runs dry means the
+/// workload being replayed diverged from the captured one.
+#[derive(Debug, Clone)]
+pub struct ReplayOracle {
+    n: usize,
+    sets: VecDeque<SampleSet>,
+    replayed: usize,
+}
+
+impl ReplayOracle {
+    /// Replays `sets` (in order) over a domain of size `n`.
+    pub fn from_sets(n: usize, sets: Vec<SampleSet>) -> Self {
+        ReplayOracle {
+            n,
+            sets: sets.into(),
+            replayed: 0,
+        }
+    }
+
+    /// Replays raw sample buffers (in order) over a domain of size `n`.
+    pub fn from_raw(n: usize, buffers: Vec<Vec<usize>>) -> Self {
+        Self::from_sets(n, buffers.into_iter().map(SampleSet::from_samples).collect())
+    }
+
+    /// Number of recorded sets not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+impl SampleOracle for ReplayOracle {
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn draw_set(&mut self, _m: usize) -> SampleSet {
+        let set = self.sets.pop_front().unwrap_or_else(|| {
+            panic!(
+                "ReplayOracle exhausted: all {} recorded sets already replayed",
+                self.replayed
+            )
+        });
+        self.replayed += 1;
+        set
+    }
+}
+
+/// Streaming sample oracle over a line-oriented record file (the `khist`
+/// CLI's input format: one non-negative integer per line, `#` comments and
+/// blank lines ignored).
+///
+/// [`open`](RecordFileOracle::open) makes one validation pass (count the
+/// records, infer or check the domain) and stores only the path and
+/// metadata. Each draw then re-streams the file through fixed-capacity
+/// [`Reservoir`]s, so memory stays `O(samples requested)` no matter how
+/// many records the file holds — a multi-million-line file is learned
+/// without ever materializing a `Vec` of all records.
+///
+/// Splitting semantics:
+///
+/// * [`draw_sets`](SampleOracle::draw_sets) makes **one pass** and deals
+///   records to `r` lanes round-robin, one reservoir per lane — the lanes
+///   are disjoint, and with `m ≤ ⌊records/r⌋` every set holds exactly `m`
+///   records;
+/// * [`draw_batch`](SampleOracle::draw_batch) makes one pass and assigns
+///   each record to a lane with probability proportional to the lane's
+///   requested size (disjoint lanes of heterogeneous sizes — the learner's
+///   `ℓ` main + `r × m` collision split);
+/// * separate draw *calls* each re-stream the file, so sets from different
+///   calls resample the same records — prefer the batched entry points
+///   when independence across sets matters.
+///
+/// A reservoir holds a uniform without-replacement subsample of its lane;
+/// when the stream is i.i.d. records from `p` and much longer than the
+/// capacity, that is the paper's sample model up to `O(m/records)`
+/// corrections (see [`Reservoir`]).
+///
+/// The population is frozen at `open` time: records appended to the file
+/// after the scan are ignored by later draws (safe on live logs), while
+/// *rewriting* the scanned prefix is a contract violation.
+///
+/// # Panics
+/// Draws panic if the scanned prefix of the file is rewritten between
+/// `open` and the draw (vanishes, or its records no longer parse or escape
+/// the domain).
+#[derive(Debug, Clone)]
+pub struct RecordFileOracle {
+    path: PathBuf,
+    n: usize,
+    records: u64,
+    seed: u64,
+    next_stream: u64,
+}
+
+/// Parses one record line; `Ok(None)` for blanks and `#` comments.
+fn parse_record(line: &str, lineno: usize) -> Result<Option<usize>, DistError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<usize>()
+        .map(Some)
+        .map_err(|_| DistError::BadParameter {
+            reason: format!("line {lineno}: not an integer record: {trimmed}"),
+        })
+}
+
+impl RecordFileOracle {
+    /// Opens a record file, scanning it once to count records and fix the
+    /// domain: `n_override` when positive (every record must fit, or the
+    /// scan fails with the offending line), else `max record + 1`.
+    pub fn open(path: impl Into<PathBuf>, n_override: usize, seed: u64) -> Result<Self, DistError> {
+        let path = path.into();
+        let file = std::fs::File::open(&path).map_err(|e| DistError::BadParameter {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        let mut records = 0u64;
+        let mut max = 0usize;
+        for (idx, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line.map_err(|e| DistError::BadParameter {
+                reason: format!("{}: read failed at line {}: {e}", path.display(), idx + 1),
+            })?;
+            if let Some(value) = parse_record(&line, idx + 1)? {
+                if n_override > 0 && value >= n_override {
+                    return Err(DistError::BadParameter {
+                        reason: format!(
+                            "line {}: record {value} outside declared domain [0, {n_override}); \
+                             raise --n or drop it to infer the domain from the data",
+                            idx + 1
+                        ),
+                    });
+                }
+                max = max.max(value);
+                records += 1;
+            }
+        }
+        if records == 0 {
+            return Err(DistError::BadParameter {
+                reason: format!("{}: no records in input", path.display()),
+            });
+        }
+        Ok(RecordFileOracle {
+            n: if n_override > 0 { n_override } else { max + 1 },
+            path,
+            records,
+            seed,
+            next_stream: 0,
+        })
+    }
+
+    /// The file being streamed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records counted by the `open` scan — the data actually
+    /// available, which callers use to clamp sample budgets.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// One streaming pass over the *scanned prefix*: every record is routed
+    /// to `lane_of(t)` (with `t` the running record index) and offered to
+    /// that lane's reservoir. Records appended after `open`'s scan are
+    /// ignored — the oracle's population is frozen at open time, so a live
+    /// log being appended to mid-draw stays well-defined (appended records
+    /// were never part of the counted/validated population).
+    fn pour(
+        &self,
+        reservoirs: &mut [Reservoir],
+        rngs: &mut [StdRng],
+        mut lane_of: impl FnMut(u64) -> usize,
+    ) {
+        let file = std::fs::File::open(&self.path).unwrap_or_else(|e| {
+            panic!("{}: vanished after scan: {e}", self.path.display());
+        });
+        let mut t = 0u64;
+        for (idx, line) in std::io::BufReader::new(file).lines().enumerate() {
+            if t >= self.records {
+                break;
+            }
+            let line = line.unwrap_or_else(|e| {
+                panic!(
+                    "{}: read failed at line {} after clean scan: {e}",
+                    self.path.display(),
+                    idx + 1
+                );
+            });
+            match parse_record(&line, idx + 1) {
+                Ok(Some(value)) => {
+                    assert!(
+                        value < self.n,
+                        "{}: rewritten after scan: line {} record {value} outside [0, {})",
+                        self.path.display(),
+                        idx + 1,
+                        self.n
+                    );
+                    let lane = lane_of(t);
+                    reservoirs[lane].offer(value, &mut rngs[lane]);
+                    t += 1;
+                }
+                Ok(None) => {}
+                Err(e) => panic!("{}: rewritten after scan: {e}", self.path.display()),
+            }
+        }
+    }
+
+    fn lane_rngs(&self, first: u64, lanes: usize) -> Vec<StdRng> {
+        (0..lanes)
+            .map(|i| StdRng::seed_from_u64(stream_seed(self.seed, first + i as u64)))
+            .collect()
+    }
+}
+
+impl SampleOracle for RecordFileOracle {
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn draw_set(&mut self, m: usize) -> SampleSet {
+        let first = self.next_stream;
+        self.next_stream += 1;
+        if m == 0 {
+            return SampleSet::from_samples(Vec::new());
+        }
+        let mut reservoirs = vec![Reservoir::new(m)];
+        let mut rngs = self.lane_rngs(first, 1);
+        self.pour(&mut reservoirs, &mut rngs, |_| 0);
+        reservoirs[0].to_sample_set()
+    }
+
+    fn draw_sets(&mut self, r: usize, m: usize) -> Vec<SampleSet> {
+        let first = self.next_stream;
+        self.next_stream += r as u64;
+        if r == 0 {
+            return Vec::new();
+        }
+        if m == 0 {
+            return (0..r).map(|_| SampleSet::from_samples(Vec::new())).collect();
+        }
+        let mut reservoirs: Vec<Reservoir> = (0..r).map(|_| Reservoir::new(m)).collect();
+        let mut rngs = self.lane_rngs(first, r);
+        self.pour(&mut reservoirs, &mut rngs, |t| (t % r as u64) as usize);
+        reservoirs.iter().map(Reservoir::to_sample_set).collect()
+    }
+
+    fn draw_batch(&mut self, sizes: &[usize]) -> Vec<SampleSet> {
+        let lanes = sizes.len();
+        // One stream per lane plus one for the record→lane assignment.
+        let first = self.next_stream;
+        self.next_stream += lanes as u64 + 1;
+        let total: u64 = sizes.iter().map(|&m| m as u64).sum();
+        if lanes == 0 || total == 0 {
+            return sizes
+                .iter()
+                .map(|_| SampleSet::from_samples(Vec::new()))
+                .collect();
+        }
+        let mut reservoirs: Vec<Reservoir> =
+            sizes.iter().map(|&m| Reservoir::new(m.max(1))).collect();
+        let mut rngs = self.lane_rngs(first, lanes);
+        let mut assign = StdRng::seed_from_u64(stream_seed(self.seed, first + lanes as u64));
+        // Cumulative size thresholds: lane i owns [cum[i], cum[i+1]).
+        let cum: Vec<u64> = sizes
+            .iter()
+            .scan(0u64, |acc, &m| {
+                *acc += m as u64;
+                Some(*acc)
+            })
+            .collect();
+        self.pour(&mut reservoirs, &mut rngs, move |_| {
+            let x = assign.random_range(0..total);
+            cum.partition_point(|&c| c <= x)
+        });
+        sizes
+            .iter()
+            .zip(&reservoirs)
+            .map(|(&m, res)| {
+                if m == 0 {
+                    SampleSet::from_samples(Vec::new())
+                } else {
+                    res.to_sample_set()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical::empirical_distribution;
+    use khist_dist::generators;
+    use std::io::Write;
+    use std::sync::atomic::AtomicU64;
+
+    fn zipf64() -> DenseDistribution {
+        generators::zipf(64, 1.1).unwrap()
+    }
+
+    /// Writes records to a unique temp file; returns its path.
+    fn temp_records(records: &[usize], tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "khist-oracle-{tag}-{}-{unique}.txt",
+            std::process::id()
+        ));
+        let mut f = std::fs::File::create(&path).expect("temp file writable");
+        writeln!(f, "# generated by oracle tests").unwrap();
+        for &r in records {
+            writeln!(f, "{r}").unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn dense_oracle_draws_m_samples_in_domain() {
+        let p = zipf64();
+        let mut oracle = DenseOracle::new(&p, 7);
+        assert_eq!(oracle.domain_size(), 64);
+        let set = oracle.draw_set(500);
+        assert_eq!(set.total(), 500);
+        assert!(set.unique_values().iter().all(|&v| v < 64));
+        assert_eq!(oracle.streams_used(), 1);
+    }
+
+    #[test]
+    fn dense_oracle_is_reproducible_per_seed() {
+        let p = zipf64();
+        let mut a = DenseOracle::new(&p, 42);
+        let mut b = DenseOracle::new(&p, 42);
+        assert_eq!(a.draw_set(200), b.draw_set(200));
+        assert_eq!(a.draw_sets(3, 100), b.draw_sets(3, 100));
+        let mut c = DenseOracle::new(&p, 43);
+        assert_ne!(a.draw_set(200), c.draw_set(200));
+    }
+
+    #[test]
+    fn dense_oracle_successive_draws_differ() {
+        let p = zipf64();
+        let mut oracle = DenseOracle::new(&p, 9);
+        let a = oracle.draw_set(300);
+        let b = oracle.draw_set(300);
+        assert_ne!(a, b, "successive streams must be independent");
+    }
+
+    #[test]
+    fn dense_parallel_equals_sequential_large() {
+        // Large enough (r·m ≥ threshold) to actually exercise the threaded
+        // path on multi-core machines.
+        let p = zipf64();
+        let mut par = DenseOracle::new(&p, 11);
+        let mut seq = DenseOracle::new(&p, 11);
+        let a = par.draw_sets(16, 4096);
+        let b = seq.draw_sets_sequential(16, 4096);
+        assert_eq!(a, b);
+        assert_eq!(par.streams_used(), seq.streams_used());
+    }
+
+    #[test]
+    fn dense_draw_batch_matches_per_set_draws() {
+        // The threaded draw_batch override must be bit-identical to the
+        // trait default (one draw_set per lane). Total is above the
+        // parallel threshold so the fan-out path is exercised.
+        let p = zipf64();
+        let sizes = [6000usize, 1500, 1500, 9000];
+        let mut batched = DenseOracle::new(&p, 23);
+        let batch = batched.draw_batch(&sizes);
+        let mut one_by_one = DenseOracle::new(&p, 23);
+        let manual: Vec<SampleSet> = sizes.iter().map(|&m| one_by_one.draw_set(m)).collect();
+        assert_eq!(batch, manual);
+        assert_eq!(batched.streams_used(), one_by_one.streams_used());
+    }
+
+    #[test]
+    fn dense_stream_counter_is_call_shape_independent() {
+        // draw_set / draw_sets interleavings consume the same streams.
+        let p = zipf64();
+        let mut a = DenseOracle::new(&p, 5);
+        let mut b = DenseOracle::new(&p, 5);
+        let a1 = a.draw_set(64);
+        let a2 = a.draw_sets(3, 64);
+        let a3 = a.draw_set(64);
+        let b_all = b.draw_sets_sequential(5, 64);
+        assert_eq!(a1, b_all[0]);
+        assert_eq!(a2, b_all[1..4]);
+        assert_eq!(a3, b_all[4]);
+    }
+
+    #[test]
+    fn dense_oracle_matches_distribution_statistically() {
+        let p = generators::two_level(32, 0.5, 0.9).unwrap();
+        let mut oracle = DenseOracle::new(&p, 3);
+        let set = oracle.draw_set(200_000);
+        let emp = empirical_distribution(&set, 32).unwrap();
+        let err = khist_dist::distance::l1_fn(&emp.to_vec(), &p.to_vec());
+        assert!(err < 0.02, "empirical l1 error {err}");
+    }
+
+    #[test]
+    fn replay_oracle_returns_recorded_sets_in_order() {
+        let mut replay = ReplayOracle::from_raw(8, vec![vec![1, 2], vec![3, 3, 4]]);
+        assert_eq!(replay.domain_size(), 8);
+        assert_eq!(replay.remaining(), 2);
+        let first = replay.draw_set(999); // size request ignored
+        assert_eq!(first.total(), 2);
+        let second = replay.draw_set(0);
+        assert_eq!(second.occurrences(3), 2);
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ReplayOracle exhausted")]
+    fn replay_oracle_panics_when_dry() {
+        let mut replay = ReplayOracle::from_raw(4, vec![vec![0]]);
+        let _ = replay.draw_set(1);
+        let _ = replay.draw_set(1);
+    }
+
+    #[test]
+    fn oracle_trait_is_object_safe() {
+        let p = zipf64();
+        let mut dense = DenseOracle::new(&p, 1);
+        let mut replay = ReplayOracle::from_raw(64, vec![vec![1, 2, 3]]);
+        let oracles: Vec<&mut dyn SampleOracle> = vec![&mut dense, &mut replay];
+        for oracle in oracles {
+            assert_eq!(oracle.domain_size(), 64);
+            assert!(oracle.draw_set(3).total() >= 3);
+        }
+    }
+
+    #[test]
+    fn record_file_scan_infers_domain_and_counts() {
+        let path = temp_records(&[0, 5, 2, 5, 9], "scan");
+        let oracle = RecordFileOracle::open(&path, 0, 1).unwrap();
+        assert_eq!(oracle.domain_size(), 10);
+        assert_eq!(oracle.records(), 5);
+        let explicit = RecordFileOracle::open(&path, 16, 1).unwrap();
+        assert_eq!(explicit.domain_size(), 16);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_rejects_out_of_domain_with_clear_message() {
+        let path = temp_records(&[0, 99, 2], "domain");
+        let err = RecordFileOracle::open(&path, 50, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("record 99") && msg.contains("[0, 50)") && msg.contains("line 3"),
+            "unhelpful message: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_rejects_garbage_and_empty() {
+        let path = temp_records(&[], "empty");
+        assert!(RecordFileOracle::open(&path, 0, 1).is_err());
+        std::fs::remove_file(&path).ok();
+
+        let path = std::env::temp_dir().join(format!("khist-oracle-bad-{}.txt", std::process::id()));
+        std::fs::write(&path, "1\nfoo\n").unwrap();
+        let err = RecordFileOracle::open(&path, 0, 1).unwrap_err().to_string();
+        assert!(err.contains("line 2") && err.contains("foo"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        assert!(RecordFileOracle::open("/nonexistent/khist.txt", 0, 1).is_err());
+    }
+
+    #[test]
+    fn record_file_full_capacity_draw_returns_all_records() {
+        let records = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let path = temp_records(&records, "full");
+        let mut oracle = RecordFileOracle::open(&path, 0, 7).unwrap();
+        let set = oracle.draw_set(records.len());
+        assert_eq!(set, SampleSet::from_samples(records.clone()));
+        // Oversized requests also keep everything.
+        let set = oracle.draw_set(10 * records.len());
+        assert_eq!(set, SampleSet::from_samples(records));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_draw_sets_splits_disjointly() {
+        let records: Vec<usize> = (0..90).map(|i| i % 30).collect();
+        let path = temp_records(&records, "split");
+        let mut oracle = RecordFileOracle::open(&path, 0, 13).unwrap();
+        // m = records/r → round-robin lanes fill exactly, disjointly.
+        let sets = oracle.draw_sets(3, 30);
+        assert!(sets.iter().all(|s| s.total() == 30));
+        let merged = sets
+            .iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| acc.merge(s));
+        assert_eq!(merged, SampleSet::from_samples(records));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_draw_batch_heterogeneous_lanes() {
+        let records: Vec<usize> = (0..10_000).map(|i| i % 40).collect();
+        let path = temp_records(&records, "batch");
+        let mut oracle = RecordFileOracle::open(&path, 0, 99).unwrap();
+        let sets = oracle.draw_batch(&[400, 100, 100]);
+        assert_eq!(sets.len(), 3);
+        // With records ≫ Σ sizes every lane fills to capacity.
+        assert_eq!(sets[0].total(), 400);
+        assert_eq!(sets[1].total(), 100);
+        assert_eq!(sets[2].total(), 100);
+        assert!(sets
+            .iter()
+            .all(|s| s.unique_values().iter().all(|&v| v < 40)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_ignores_records_appended_after_open() {
+        // Live-log scenario: the population is frozen at open time, so an
+        // appended tail — even one outside the inferred domain — neither
+        // panics nor changes what a draw returns.
+        let records = vec![4, 2, 7, 2, 1];
+        let path = temp_records(&records, "append");
+        let mut oracle = RecordFileOracle::open(&path, 0, 5).unwrap();
+        let before = oracle.draw_set(records.len());
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "9999").unwrap();
+        writeln!(f, "not-a-record").unwrap();
+        drop(f);
+        let after = oracle.draw_set(records.len());
+        assert_eq!(before, SampleSet::from_samples(records));
+        assert_eq!(after, before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_file_draws_are_seed_reproducible() {
+        let records: Vec<usize> = (0..500).map(|i| (i * 7) % 25).collect();
+        let path = temp_records(&records, "seed");
+        let mut a = RecordFileOracle::open(&path, 0, 21).unwrap();
+        let mut b = RecordFileOracle::open(&path, 0, 21).unwrap();
+        assert_eq!(a.draw_set(50), b.draw_set(50));
+        assert_eq!(a.draw_sets(4, 100), b.draw_sets(4, 100));
+        assert_eq!(a.draw_batch(&[60, 30]), b.draw_batch(&[60, 30]));
+        let mut c = RecordFileOracle::open(&path, 0, 22).unwrap();
+        assert_ne!(a.draw_set(50), c.draw_set(50));
+        std::fs::remove_file(&path).ok();
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite: parallel `draw_sets` is bit-identical to
+            /// sequential for the same seed (acceptance criterion).
+            #[test]
+            fn prop_parallel_draw_sets_equals_sequential(
+                seed in 0u64..u64::MAX,
+                r in 1usize..10,
+                m in 1usize..240,
+            ) {
+                let p = zipf64();
+                let mut par = DenseOracle::new(&p, seed);
+                let mut seq = DenseOracle::new(&p, seed);
+                prop_assert_eq!(par.draw_sets(r, m), seq.draw_sets_sequential(r, m));
+            }
+
+            /// Satellite: a `ReplayOracle` built from a `DenseOracle`'s
+            /// output reproduces it exactly.
+            #[test]
+            fn prop_replay_reproduces_dense_output(
+                seed in 0u64..u64::MAX,
+                r in 1usize..6,
+                m in 1usize..120,
+            ) {
+                let p = zipf64();
+                let mut dense = DenseOracle::new(&p, seed);
+                let main = dense.draw_set(m);
+                let sets = dense.draw_sets(r, m);
+                let mut recorded = vec![main.clone()];
+                recorded.extend(sets.iter().cloned());
+                let mut replay = ReplayOracle::from_sets(64, recorded);
+                prop_assert_eq!(replay.draw_set(m), main);
+                prop_assert_eq!(replay.draw_sets(r, m), sets);
+            }
+
+            /// Satellite: streaming a materialized file at full capacity
+            /// returns exactly the file's records — the oracle agrees with
+            /// `empirical_distribution` on every count.
+            #[test]
+            fn prop_record_file_matches_empirical_counts(
+                records in proptest::collection::vec(0usize..50, 1..250),
+                seed in 0u64..u64::MAX,
+            ) {
+                let path = temp_records(&records, "prop");
+                let mut oracle = RecordFileOracle::open(&path, 50, seed).unwrap();
+                let streamed = oracle.draw_set(records.len());
+                let direct = SampleSet::from_samples(records.clone());
+                std::fs::remove_file(&path).ok();
+                prop_assert_eq!(&streamed, &direct);
+                let from_stream = empirical_distribution(&streamed, 50).unwrap();
+                let from_direct = empirical_distribution(&direct, 50).unwrap();
+                for i in 0..50 {
+                    prop_assert!((from_stream.mass(i) - from_direct.mass(i)).abs() < 1e-15);
+                }
+            }
+        }
+    }
+}

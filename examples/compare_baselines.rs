@@ -64,7 +64,7 @@ fn main() {
         let vo = v_optimal(p, k).unwrap().sse;
         let params = GreedyParams::fast(k, eps, budget);
         let t0 = Instant::now();
-        let paper = learn(p, &params, &mut rng).unwrap().tiling.l2_sq_to(p);
+        let paper = learn_dense(p, &params, &mut rng).unwrap().tiling.l2_sq_to(p);
         let paper_time = t0.elapsed();
         let sdp = sample_then_dp(p, k, budget.total_samples(), &mut rng)
             .unwrap()

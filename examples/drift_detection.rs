@@ -50,7 +50,7 @@ fn main() {
         } else {
             ("FAULTY", &faulty)
         };
-        let report = test_l1(source, k, eps, budget, &mut rng).unwrap();
+        let report = test_l1_dense(source, k, eps, budget, &mut rng).unwrap();
         let alarm = !matches!(report.outcome, TestOutcome::Accept);
         if alarm && label == "healthy" {
             alarms_healthy += 1;

@@ -36,7 +36,7 @@ fn main() {
         budget.total_samples()
     );
     let params = GreedyParams::fast(k, eps, budget);
-    let learned = learn(&p, &params, &mut rng).unwrap();
+    let learned = learn_dense(&p, &params, &mut rng).unwrap();
     let learned_err = learned.tiling.l2_sq_to(&p);
 
     // --- Compare with the exact offline optimum ----------------------------
@@ -61,9 +61,9 @@ fn main() {
     // --- Test histogram-ness ------------------------------------------------
     let tb = L2TesterBudget::calibrated(n, 0.25, 0.05);
     let staircase = khist::dist::generators::staircase(n, k).unwrap();
-    let verdict_in = test_l2(&staircase, k, 0.25, tb, &mut rng).unwrap();
+    let verdict_in = test_l2_dense(&staircase, k, 0.25, tb, &mut rng).unwrap();
     let spiky = khist::dist::generators::spike_comb(n, 32).unwrap();
-    let verdict_out = test_l2(&spiky, k, 0.25, tb, &mut rng).unwrap();
+    let verdict_out = test_l2_dense(&spiky, k, 0.25, tb, &mut rng).unwrap();
     println!("\nℓ₂ tester ({} samples each):", tb.total_samples());
     println!(
         "  staircase (true {k}-histogram) → {:?}",

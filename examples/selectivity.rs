@@ -43,7 +43,7 @@ fn main() {
     // Learn the histogram from samples of the table only.
     let budget = LearnerBudget::calibrated(n, k, eps, 0.005);
     let params = GreedyParams::fast(k, eps, budget);
-    let learned = learn(&p, &params, &mut rng)
+    let learned = learn_dense(&p, &params, &mut rng)
         .unwrap()
         .normalized_tiling()
         .unwrap();

@@ -9,7 +9,7 @@
 //! the workflow the property-testing literature envisions: cheap sample-only
 //! probes before any expensive full-data processing.
 
-use khist::monotone::{monotonicity_budget, test_monotone_non_increasing};
+use khist::monotone::{monotonicity_budget, test_monotone_non_increasing_dense};
 use khist::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,13 +19,13 @@ fn profile(name: &str, p: &DenseDistribution, rng: &mut StdRng) {
     println!("── {name} (n = {n}) ──");
 
     let ub = UniformityBudget::calibrated(n, 0.3, 0.1);
-    let uni = test_uniformity(p, 0.3, ub, rng).unwrap();
+    let uni = test_uniformity_dense(p, 0.3, ub, rng).unwrap();
     println!(
         "  uniform?        {:?}  (collision stat {:.2e} vs threshold {:.2e}, {} samples)",
         uni.outcome, uni.statistic, uni.threshold, uni.samples_used
     );
 
-    let mono = test_monotone_non_increasing(p, 0.3, monotonicity_budget(n, 0.3, 1.0), rng).unwrap();
+    let mono = test_monotone_non_increasing_dense(p, 0.3, monotonicity_budget(n, 0.3, 1.0), rng).unwrap();
     println!(
         "  non-increasing? {:?}  (isotonic residual {:.3} vs {:.3}, {} Birgé buckets)",
         mono.outcome, mono.isotonic_distance, mono.threshold, mono.buckets
@@ -33,7 +33,7 @@ fn profile(name: &str, p: &DenseDistribution, rng: &mut StdRng) {
 
     for k in [2usize, 4, 8] {
         let tb = L2TesterBudget::calibrated(n, 0.2, 0.05);
-        let rep = test_l2(p, k, 0.2, tb, rng).unwrap();
+        let rep = test_l2_dense(p, k, 0.2, tb, rng).unwrap();
         println!(
             "  {k:>2}-histogram?   {:?}  ({} probes)",
             rep.outcome, rep.probes
@@ -41,7 +41,7 @@ fn profile(name: &str, p: &DenseDistribution, rng: &mut StdRng) {
     }
 
     let reference = khist::dist::generators::zipf(n, 1.0).unwrap();
-    let id = test_identity_l2(p, &reference, 0.15, 20_000, rng).unwrap();
+    let id = test_identity_l2_dense(p, &reference, 0.15, 20_000, rng).unwrap();
     println!(
         "  = zipf(1.0)?    {:?}  (‖p−q‖₂² estimate {:.2e})",
         id.outcome, id.statistic

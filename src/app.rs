@@ -8,12 +8,21 @@
 //! comments ignored) — the raw samples/records of a data set, exactly the
 //! access model of the paper. The domain size is `max + 1` unless
 //! overridden with `--n`.
+//!
+//! `learn` and `test` are generic over [`SampleOracle`]: the binary streams
+//! record files through a [`RecordFileOracle`] (fixed-size reservoirs, so a
+//! multi-million-line file never gets materialized as a `Vec`), while the
+//! in-memory helpers ([`run_learn`] / [`run_test`]) feed pre-split data
+//! through a [`ReplayOracle`]. Randomness comes from `--seed` (default 0),
+//! so every run is reproducible.
 
 use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn_from_samples, GreedyParams};
+use khist_core::greedy::{learn, GreedyParams};
 use khist_core::tester::{test_l1_from_sets, test_l2_from_sets};
 use khist_dist::DistError;
-use khist_oracle::{empirical_distribution, LearnerBudget, SampleSet};
+use khist_oracle::{
+    empirical_distribution, LearnerBudget, RecordFileOracle, ReplayOracle, SampleOracle, SampleSet,
+};
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +37,8 @@ pub enum Command {
         eps: f64,
         /// Domain override (`0` = infer from data).
         n: usize,
+        /// RNG seed for the sampling oracle.
+        seed: u64,
     },
     /// Test whether the file's distribution is a tiling `k`-histogram.
     Test {
@@ -41,6 +52,8 @@ pub enum Command {
         n: usize,
         /// `"l1"` or `"l2"`.
         norm: String,
+        /// RNG seed for the sampling oracle.
+        seed: u64,
     },
     /// Print summary statistics of the file's empirical distribution.
     Summarize {
@@ -65,11 +78,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut eps = 0.1f64;
     let mut n = 0usize;
     let mut norm = "l2".to_string();
+    let mut seed = 0u64;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--k" => k = next_parsed(&mut it, "--k")?,
             "--eps" => eps = next_parsed(&mut it, "--eps")?,
             "--n" => n = next_parsed(&mut it, "--n")?,
+            "--seed" => seed = next_parsed(&mut it, "--seed")?,
             "--norm" => {
                 norm = it.next().ok_or("--norm requires a value")?.clone();
                 if norm != "l1" && norm != "l2" {
@@ -91,6 +106,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             k,
             eps,
             n,
+            seed,
         }),
         "test" => Ok(Command::Test {
             path: need_path(path)?,
@@ -98,6 +114,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             eps,
             n,
             norm,
+            seed,
         }),
         "summarize" => Ok(Command::Summarize {
             path: need_path(path)?,
@@ -167,25 +184,29 @@ pub fn split_for_learner(samples: &[usize], r: usize) -> (SampleSet, Vec<SampleS
     (main, sets)
 }
 
-/// Runs `learn` on raw samples and renders a report.
-pub fn run_learn(
-    samples: &[usize],
+/// Runs `learn` against any [`SampleOracle`]: draws the budgeted main +
+/// collision sets in one batch (a single pass for streaming backends) and
+/// renders the learned histogram.
+///
+/// `available` is the number of records the backend can actually serve
+/// (used to clamp the paper's budget).
+pub fn run_learn_with<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
     k: usize,
     eps: f64,
-    n_override: usize,
+    available: usize,
 ) -> Result<String, String> {
-    let n = infer_domain(samples, n_override)?;
+    let n = oracle.domain_size();
     // Budget bounded by the data actually available.
-    let budget = budget_for_data(n, k, eps, samples.len());
-    let (main, sets) = split_for_learner(samples, budget.r);
+    let budget = budget_for_data(n, k, eps, available);
     let params = GreedyParams::fast(k, eps, budget);
-    let out = learn_from_samples(n, &main, &sets, &params).map_err(fmt_err)?;
+    let out = learn(oracle, &params).map_err(fmt_err)?;
     let summary = compress_to_k(&out.tiling, k).map_err(fmt_err)?;
     let normalized = summary.normalized().map_err(fmt_err)?;
     let mut report = format!(
         "learned {}-piece histogram over [0, {n}) from {} samples\n",
         normalized.piece_count(),
-        samples.len()
+        out.stats.samples_used,
     );
     for (iv, v) in normalized.pieces() {
         report.push_str(&format!(
@@ -199,7 +220,64 @@ pub fn run_learn(
     Ok(report)
 }
 
-/// Runs `test` on raw samples and renders a verdict line.
+/// Runs `learn` on in-memory samples: splits *all* of them round-robin
+/// into one equal lane per budgeted set (the seed behaviour — unlike the
+/// streaming path, which reservoir-subsamples down to the budgeted sizes)
+/// and replays the split through the generic path.
+pub fn run_learn(
+    samples: &[usize],
+    k: usize,
+    eps: f64,
+    n_override: usize,
+) -> Result<String, String> {
+    let n = infer_domain(samples, n_override)?;
+    // run_learn_with recomputes this same (deterministic) budget; it fixes
+    // the lane count the replayed split must provide.
+    let budget = budget_for_data(n, k, eps, samples.len());
+    let (main, sets) = split_for_learner(samples, budget.r);
+    let mut recorded = vec![main];
+    recorded.extend(sets);
+    let mut oracle = ReplayOracle::from_sets(n, recorded);
+    run_learn_with(&mut oracle, k, eps, samples.len())
+}
+
+/// The tester's split of `available` records: `r` equal sets of `m`.
+/// Single source of truth — [`run_test`]'s replayed chunks must match the
+/// sets [`run_test_with`] requests.
+fn tester_split(available: usize) -> Result<(usize, usize), String> {
+    let r = 7usize.min(available / 2).max(1);
+    let m = available / r;
+    if m < 2 {
+        return Err("not enough samples to test".into());
+    }
+    Ok((r, m))
+}
+
+/// Runs `test` against any [`SampleOracle`]: draws `r` equal sets in one
+/// batched call and renders a verdict line.
+pub fn run_test_with<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    k: usize,
+    eps: f64,
+    norm: &str,
+    available: usize,
+) -> Result<String, String> {
+    let n = oracle.domain_size();
+    let (r, m) = tester_split(available)?;
+    let sets = oracle.draw_sets(r, m);
+    // Streaming/replay backends may serve sets of a different (equal) size;
+    // the flatness thresholds scale with the actual per-set count.
+    let m = sets.first().map(|s| s.total() as usize).unwrap_or(0);
+    let report = match norm {
+        "l1" => test_l1_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
+        _ => test_l2_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
+    };
+    Ok(format!(
+        "{norm} tiling {k}-histogram test over [0, {n}): {report}\n"
+    ))
+}
+
+/// Runs `test` on in-memory samples via a [`ReplayOracle`] of equal chunks.
 pub fn run_test(
     samples: &[usize],
     k: usize,
@@ -208,22 +286,10 @@ pub fn run_test(
     norm: &str,
 ) -> Result<String, String> {
     let n = infer_domain(samples, n_override)?;
-    // Split the data into r equal sets for the tester.
-    let r = 7usize.min(samples.len() / 2).max(1);
-    let m = samples.len() / r;
-    if m < 2 {
-        return Err("not enough samples to test".into());
-    }
-    let sets: Vec<SampleSet> = (0..r)
-        .map(|j| SampleSet::from_samples(samples[j * m..(j + 1) * m].to_vec()))
-        .collect();
-    let report = match norm {
-        "l1" => test_l1_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
-        _ => test_l2_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
-    };
-    Ok(format!(
-        "{norm} tiling {k}-histogram test over [0, {n}): {report}\n"
-    ))
+    let (r, m) = tester_split(samples.len())?;
+    let chunks: Vec<Vec<usize>> = (0..r).map(|j| samples[j * m..(j + 1) * m].to_vec()).collect();
+    let mut oracle = ReplayOracle::from_raw(n, chunks);
+    run_test_with(&mut oracle, k, eps, norm, samples.len())
 }
 
 /// Runs `summarize` and renders basic statistics.
@@ -247,12 +313,14 @@ pub fn usage() -> &'static str {
     "khist — k-histogram learning and testing from samples (PODS 2012)\n\
      \n\
      usage:\n\
-     \x20 khist learn     <samples.txt> [--k K] [--eps E] [--n N]\n\
-     \x20 khist test      <samples.txt> [--k K] [--eps E] [--n N] [--norm l1|l2]\n\
-     \x20 khist summarize <samples.txt> [--n N]\n\
+     \x20 khist learn     <records.txt> [--k K] [--eps E] [--n N] [--seed S]\n\
+     \x20 khist test      <records.txt> [--k K] [--eps E] [--n N] [--norm l1|l2] [--seed S]\n\
+     \x20 khist summarize <records.txt> [--n N]\n\
      \n\
-     input: one integer sample per line; '#' comments and blank lines ignored.\n\
-     The domain defaults to [0, max_sample]; override with --n.\n"
+     input: one integer record per line; '#' comments and blank lines ignored.\n\
+     The domain defaults to [0, max_record]; override with --n.\n\
+     learn/test stream the file through fixed-size reservoirs (constant\n\
+     memory in the file length); --seed (default 0) fixes the subsample.\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
@@ -265,9 +333,11 @@ fn budget_for_data(n: usize, k: usize, eps: f64, available: usize) -> LearnerBud
         while budget.total_samples() > available && budget.r > 3 {
             budget.r -= 2;
         }
+        // Data is scarcer than the paper's budget, so none of it should go
+        // unused: the main sample absorbs whatever the collision sets leave.
         let fixed = budget.r * budget.m;
         if fixed < available {
-            budget.ell = budget.ell.min(available - fixed).max(16);
+            budget.ell = (available - fixed).max(16);
         }
     }
     budget
@@ -278,12 +348,24 @@ fn fmt_err(e: DistError) -> String {
 }
 
 /// Entry point shared by the binary: dispatches a parsed command.
+///
+/// `learn` and `test` stream the record file through a
+/// [`RecordFileOracle`] — the file is scanned once for validation (domain
+/// violations against `--n` fail here with the offending line) and then
+/// streamed per draw, never materialized.
 pub fn dispatch(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(usage().to_string()),
-        Command::Learn { path, k, eps, n } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-            run_learn(&parse_samples_text(&text)?, k, eps, n)
+        Command::Learn {
+            path,
+            k,
+            eps,
+            n,
+            seed,
+        } => {
+            let mut oracle = RecordFileOracle::open(&path, n, seed).map_err(fmt_err)?;
+            let available = oracle.records() as usize;
+            run_learn_with(&mut oracle, k, eps, available)
         }
         Command::Test {
             path,
@@ -291,9 +373,11 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
             eps,
             n,
             norm,
+            seed,
         } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-            run_test(&parse_samples_text(&text)?, k, eps, n, &norm)
+            let mut oracle = RecordFileOracle::open(&path, n, seed).map_err(fmt_err)?;
+            let available = oracle.records() as usize;
+            run_test_with(&mut oracle, k, eps, &norm, available)
         }
         Command::Summarize { path, n } => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -306,9 +390,23 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
+    use std::io::Write;
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes samples to a unique temp record file.
+    fn temp_file(samples: &[usize], tag: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "khist-app-{tag}-{}.txt",
+            std::process::id()
+        ));
+        let mut f = std::fs::File::create(&path).expect("temp file writable");
+        for &s in samples {
+            writeln!(f, "{s}").unwrap();
+        }
+        path.to_string_lossy().into_owned()
     }
 
     #[test]
@@ -320,7 +418,8 @@ mod tests {
                 path: "data.txt".into(),
                 k: 8,
                 eps: 0.1,
-                n: 0
+                n: 0,
+                seed: 0
             }
         );
     }
@@ -328,7 +427,7 @@ mod tests {
     #[test]
     fn parse_args_flags() {
         let cmd = parse_args(&strings(&[
-            "test", "d.txt", "--k", "4", "--eps", "0.3", "--norm", "l1",
+            "test", "d.txt", "--k", "4", "--eps", "0.3", "--norm", "l1", "--seed", "9",
         ]))
         .unwrap();
         assert_eq!(
@@ -338,9 +437,21 @@ mod tests {
                 k: 4,
                 eps: 0.3,
                 n: 0,
-                norm: "l1".into()
+                norm: "l1".into(),
+                seed: 9
             }
         );
+    }
+
+    #[test]
+    fn parse_args_seed_flag() {
+        let cmd = parse_args(&strings(&["learn", "d.txt", "--seed", "12345"])).unwrap();
+        match cmd {
+            Command::Learn { seed, .. } => assert_eq!(seed, 12345),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strings(&["learn", "d.txt", "--seed"])).is_err());
+        assert!(parse_args(&strings(&["learn", "d.txt", "--seed", "-1"])).is_err());
     }
 
     #[test]
@@ -428,6 +539,73 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_learn_streams_record_file() {
+        // The full CLI path: record file → RecordFileOracle → generic learn.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let p = khist_dist::generators::two_level(64, 0.25, 0.75).unwrap();
+        let path = temp_file(&p.sample_many(30_000, &mut rng), "learn");
+        let report = dispatch(Command::Learn {
+            path: path.clone(),
+            k: 2,
+            eps: 0.15,
+            n: 64,
+            seed: 7,
+        })
+        .unwrap();
+        assert!(report.contains("2-piece"), "report: {report}");
+        assert!(report.contains("[0, 64)"), "report: {report}");
+        // Reproducible: the same seed yields the same report.
+        let again = dispatch(Command::Learn {
+            path: path.clone(),
+            k: 2,
+            eps: 0.15,
+            n: 64,
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(report, again);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dispatch_test_streams_record_file() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let flat = khist_dist::generators::staircase(64, 4).unwrap();
+        let path = temp_file(&flat.sample_many(100_000, &mut rng), "test");
+        let verdict = dispatch(Command::Test {
+            path: path.clone(),
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            norm: "l2".into(),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(verdict.contains("Accept"), "{verdict}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dispatch_learn_rejects_out_of_domain_record() {
+        // Satellite: an explicit --n smaller than a record must produce a
+        // clear error (not a panic deep inside sample-set construction).
+        let path = temp_file(&[1, 2, 99], "baddomain");
+        let err = dispatch(Command::Learn {
+            path: path.clone(),
+            k: 2,
+            eps: 0.2,
+            n: 50,
+            seed: 0,
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("record 99") && err.contains("[0, 50)"),
+            "unhelpful error: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn summarize_reports_entropy() {
         let samples: Vec<usize> = (0..64).flat_map(|v| std::iter::repeat_n(v, 10)).collect();
         let report = run_summarize(&samples, 0).unwrap();
@@ -450,6 +628,7 @@ mod tests {
     fn dispatch_help() {
         let text = dispatch(Command::Help).unwrap();
         assert!(text.contains("usage"));
+        assert!(text.contains("--seed"));
     }
 
     #[test]
@@ -457,6 +636,16 @@ mod tests {
         let err = dispatch(Command::Summarize {
             path: "/nonexistent/x.txt".into(),
             n: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/x.txt"));
+
+        let err = dispatch(Command::Learn {
+            path: "/nonexistent/x.txt".into(),
+            k: 2,
+            eps: 0.2,
+            n: 0,
+            seed: 0,
         })
         .unwrap_err();
         assert!(err.contains("/nonexistent/x.txt"));

@@ -1,12 +1,15 @@
-//! `khist` — command-line k-histogram learning/testing from sample files.
+//! `khist` — command-line k-histogram learning/testing from record files.
 //!
 //! ```text
-//! khist learn     samples.txt --k 8 --eps 0.1
-//! khist test      samples.txt --k 8 --eps 0.2 --norm l1
-//! khist summarize samples.txt
+//! khist learn     records.txt --k 8 --eps 0.1 --seed 7
+//! khist test      records.txt --k 8 --eps 0.2 --norm l1
+//! khist summarize records.txt
 //! ```
 //!
-//! All logic lives (and is tested) in [`khist::app`].
+//! `learn`/`test` stream the file through a `RecordFileOracle` (constant
+//! memory in the file length); `--seed` fixes the reservoir subsample so
+//! runs are reproducible. All logic lives (and is tested) in
+//! [`khist::app`].
 
 use std::process::ExitCode;
 

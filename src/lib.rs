@@ -27,26 +27,59 @@
 //! | module (re-export) | source crate | contents |
 //! |---|---|---|
 //! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
-//! | [`oracle`] | `khist-oracle` | sample multisets, collision estimators, budgets |
+//! | [`oracle`] | `khist-oracle` | the `SampleOracle` seam + backends, sample multisets, collision estimators, budgets |
 //! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
 //! | [`baseline`] | `khist-baseline` | exact v-optimal DP, `ℓ₁` DP, equi-width/depth, MaxDiff, greedy-merge |
 //! | [`greedy`], [`tester`], [`flatness`], [`mod@partition_search`], [`lower_bound`], [`cost`], [`tiling_state`] | `khist-core` | the paper's algorithms |
+//!
+//! ## Architecture: the sample-oracle seam
+//!
+//! The paper's algorithms only ever interact with the unknown `p` through
+//! i.i.d. draws, so every algorithm entry point is generic over
+//! [`oracle::SampleOracle`] (`domain_size` / `draw_set` / batched
+//! `draw_sets` + `draw_batch`) rather than a concrete distribution:
+//!
+//! ```text
+//!   learn · test_l1 · test_l2 · test_uniformity · test_identity_l2
+//!   test_closeness_l2 · test_monotone_non_increasing      (khist-core)
+//!                          │ generic over
+//!                          ▼
+//!                 trait SampleOracle                      (khist-oracle)
+//!          ┌───────────────┼────────────────────┐
+//!          ▼               ▼                    ▼
+//!    DenseOracle     RecordFileOracle      ReplayOracle
+//! ```
+//!
+//! Backend matrix:
+//!
+//! | backend | source of samples | memory | notes |
+//! |---|---|---|---|
+//! | [`oracle::DenseOracle`] | explicit pmf, Walker–Vose alias table | `O(n)` | `draw_sets` fans the `r` independent sets across threads; per-set RNG streams split from the seed keep results bit-identical to a sequential run |
+//! | [`oracle::RecordFileOracle`] | line-oriented record file, one streaming pass per draw | `O(samples requested)` | reservoir-splits a pass into disjoint lanes; multi-million-line files are never materialized |
+//! | [`oracle::ReplayOracle`] | pre-drawn buffers | `O(recorded)` | deterministic tests and workload replay |
+//!
+//! `*_dense` wrappers (e.g. [`greedy::learn_dense`],
+//! [`tester::test_l2_dense`]) keep the pre-oracle signatures: they spin up
+//! a seeded `DenseOracle` internally so existing call sites migrate by
+//! appending `_dense`. The seam is the attachment point for every future
+//! backend (sharded, network, cached).
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use khist::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
-//!
-//! let mut rng = StdRng::seed_from_u64(7);
 //!
 //! // The unknown distribution: a Zipf over 256 values (not a k-histogram).
 //! let p = khist::dist::generators::zipf(256, 1.1).unwrap();
 //!
+//! // Sample access to p, seeded for reproducibility. Any SampleOracle
+//! // backend (dense pmf, streamed record file, replayed capture) works.
+//! let mut oracle = DenseOracle::new(&p, 7);
+//!
 //! // Learn a 6-piece histogram from samples only.
 //! let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.01);
 //! let params = GreedyParams::fast(6, 0.1, budget);
-//! let learned = learn(&p, &params, &mut rng).unwrap();
+//! let learned = learn(&mut oracle, &params).unwrap();
 //!
 //! // Compare against the information-theoretic optimum.
 //! let opt = v_optimal(&p, 6).unwrap();
@@ -76,12 +109,19 @@ pub mod prelude {
         v_optimal,
     };
     pub use khist_core::compress::compress_to_k;
-    pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};
-    pub use khist_core::identity::{test_closeness_l2, test_identity_l2};
-    pub use khist_core::tester::{test_l1, test_l2, TestOutcome};
-    pub use khist_core::uniformity::{test_uniformity, UniformityBudget};
+    pub use khist_core::greedy::{
+        learn, learn_dense, learn_from_samples, CandidatePolicy, GreedyParams,
+    };
+    pub use khist_core::identity::{
+        test_closeness_l2, test_closeness_l2_dense, test_identity_l2, test_identity_l2_dense,
+    };
+    pub use khist_core::tester::{test_l1, test_l1_dense, test_l2, test_l2_dense, TestOutcome};
+    pub use khist_core::uniformity::{test_uniformity, test_uniformity_dense, UniformityBudget};
     pub use khist_dist::{DenseDistribution, Interval, PriorityHistogram, TilingHistogram};
-    pub use khist_oracle::{L1TesterBudget, L2TesterBudget, LearnerBudget, Reservoir, SampleSet};
+    pub use khist_oracle::{
+        DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
+        ReplayOracle, Reservoir, SampleOracle, SampleSet,
+    };
 }
 
 #[cfg(test)]

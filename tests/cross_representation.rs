@@ -81,7 +81,7 @@ fn greedy_outcome_representations_have_equal_mass() {
     let mut rng = StdRng::seed_from_u64(10);
     let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.03);
     let params = GreedyParams::new(4, 0.15, budget);
-    let out = learn(&p, &params, &mut rng).unwrap();
+    let out = learn_dense(&p, &params, &mut rng).unwrap();
     let t_mass = out.tiling.total_mass();
     let p_mass = out.priority.total_mass(96);
     assert!((t_mass - p_mass).abs() < 1e-9);

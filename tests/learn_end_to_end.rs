@@ -26,7 +26,7 @@ fn gap_for(
         policy,
         max_endpoints: 96,
     };
-    let out = learn(p, &params, &mut rng).unwrap();
+    let out = learn_dense(p, &params, &mut rng).unwrap();
     let opt = v_optimal(p, k).unwrap().sse;
     out.tiling.l2_sq_to(p) - opt
 }
@@ -100,7 +100,7 @@ fn gap_shrinks_with_budget() {
                 let budget = LearnerBudget::calibrated(128, 4, 0.1, scale);
                 let params = GreedyParams::new(4, 0.1, budget);
                 let _ = i;
-                let out = learn(&p, &params, &mut rng).unwrap();
+                let out = learn_dense(&p, &params, &mut rng).unwrap();
                 out.tiling.l2_sq_to(&p)
             })
             .sum::<f64>()
@@ -120,7 +120,7 @@ fn learner_beats_naive_equal_partition_on_skew() {
     let mut rng = StdRng::seed_from_u64(4);
     let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.02);
     let params = GreedyParams::fast(6, 0.1, budget);
-    let learned = learn(&p, &params, &mut rng).unwrap().tiling.l2_sq_to(&p);
+    let learned = learn_dense(&p, &params, &mut rng).unwrap().tiling.l2_sq_to(&p);
     let ew = equi_width(&p, 6).unwrap().l2_sq_to(&p);
     assert!(
         learned < ew,
@@ -134,7 +134,7 @@ fn priority_and_tiling_representations_agree() {
     let mut rng = StdRng::seed_from_u64(5);
     let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.05);
     let params = GreedyParams::new(4, 0.15, budget);
-    let out = learn(&p, &params, &mut rng).unwrap();
+    let out = learn_dense(&p, &params, &mut rng).unwrap();
     let from_priority = out.priority.to_tiling(96).unwrap();
     for i in 0..96 {
         assert!(

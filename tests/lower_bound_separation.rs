@@ -17,7 +17,7 @@ fn l1_tester_separates_the_ensemble() {
     let yes = khist::dist::generators::yes_instance(n, k).unwrap();
     let mut yes_accepts = 0;
     for _ in 0..7 {
-        if test_l1(&yes.dist, k, eps, budget, &mut rng)
+        if test_l1_dense(&yes.dist, k, eps, budget, &mut rng)
             .unwrap()
             .outcome
             .is_accept()
@@ -30,7 +30,7 @@ fn l1_tester_separates_the_ensemble() {
     let mut no_rejects = 0;
     for _ in 0..7 {
         let no = khist::dist::generators::no_instance(n, k, &mut rng).unwrap();
-        if !test_l1(&no.dist, k, eps, budget, &mut rng)
+        if !test_l1_dense(&no.dist, k, eps, budget, &mut rng)
             .unwrap()
             .outcome
             .is_accept()

@@ -1,7 +1,7 @@
 //! Cross-crate integration of the extension testers (uniformity, identity,
 //! monotonicity) and the stream-to-sample bridge.
 
-use khist::monotone::{monotonicity_budget, test_monotone_non_increasing};
+use khist::monotone::{monotonicity_budget, test_monotone_non_increasing_dense};
 use khist::prelude::*;
 use khist::uniformity::test_uniformity_from_set;
 use rand::rngs::StdRng;
@@ -42,7 +42,7 @@ fn identity_tester_distinguishes_learned_models() {
     let b = khist::dist::generators::two_level(n, 0.1, 0.8).unwrap();
 
     let budget = LearnerBudget::calibrated(n, 4, 0.1, 0.05);
-    let model = learn(&a, &GreedyParams::new(4, 0.1, budget), &mut rng)
+    let model = learn_dense(&a, &GreedyParams::new(4, 0.1, budget), &mut rng)
         .unwrap()
         .normalized_tiling()
         .unwrap()
@@ -52,14 +52,14 @@ fn identity_tester_distinguishes_learned_models() {
     let mut same_ok = 0;
     let mut drift_ok = 0;
     for _ in 0..9 {
-        if test_identity_l2(&a, &model, 0.2, 8000, &mut rng)
+        if test_identity_l2_dense(&a, &model, 0.2, 8000, &mut rng)
             .unwrap()
             .outcome
             .is_accept()
         {
             same_ok += 1;
         }
-        if !test_identity_l2(&b, &model, 0.2, 8000, &mut rng)
+        if !test_identity_l2_dense(&b, &model, 0.2, 8000, &mut rng)
             .unwrap()
             .outcome
             .is_accept()
@@ -91,7 +91,7 @@ fn monotonicity_and_khistogram_testers_are_orthogonal() {
     let tb = L2TesterBudget::calibrated(n, 0.25, 0.05);
     let accepts = (0..7)
         .filter(|_| {
-            test_l2(&p, 3, 0.25, tb, &mut rng)
+            test_l2_dense(&p, 3, 0.25, tb, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -106,7 +106,7 @@ fn monotonicity_and_khistogram_testers_are_orthogonal() {
     let m = monotonicity_budget(n, 0.3, 1.0);
     let rejects = (0..7)
         .filter(|_| {
-            !test_monotone_non_increasing(&p, 0.3, m, &mut rng)
+            !test_monotone_non_increasing_dense(&p, 0.3, m, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -126,7 +126,7 @@ fn cli_pipeline_matches_library_results() {
     assert!(report.contains("2-piece"));
     // Direct library path:
     let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05);
-    let out = learn(&p, &GreedyParams::fast(2, 0.15, budget), &mut rng).unwrap();
+    let out = learn_dense(&p, &GreedyParams::fast(2, 0.15, budget), &mut rng).unwrap();
     let compressed = compress_to_k(&out.tiling, 2).unwrap();
     assert!(compressed.l2_sq_to(&p) < 0.01);
 }

@@ -12,7 +12,7 @@ fn vote_l2(p: &DenseDistribution, k: usize, eps: f64, scale: f64, seed: u64, run
     let mut rng = StdRng::seed_from_u64(seed);
     let accepts = (0..runs)
         .filter(|_| {
-            test_l2(p, k, eps, budget, &mut rng)
+            test_l2_dense(p, k, eps, budget, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -26,7 +26,7 @@ fn vote_l1(p: &DenseDistribution, k: usize, eps: f64, scale: f64, seed: u64, run
     let mut rng = StdRng::seed_from_u64(seed);
     let accepts = (0..runs)
         .filter(|_| {
-            test_l1(p, k, eps, budget, &mut rng)
+            test_l1_dense(p, k, eps, budget, &mut rng)
                 .unwrap()
                 .outcome
                 .is_accept()
