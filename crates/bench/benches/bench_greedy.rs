@@ -19,7 +19,7 @@ fn bench_greedy(c: &mut Criterion) {
     let eps = 0.1;
     for &n in &[128usize, 256, 512] {
         let p = generators::zipf(n, 1.2).expect("valid zipf");
-        let budget = LearnerBudget::calibrated(n, k, eps, 0.02);
+        let budget = LearnerBudget::calibrated(n, k, eps, 0.02).expect("budget");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let main = SampleSet::draw(&p, budget.ell, &mut rng);
         let sets = SampleSet::draw_many(&p, budget.m, budget.r, &mut rng);

@@ -18,13 +18,13 @@ fn bench_tester(c: &mut Criterion) {
     let mut group = c.benchmark_group("l2_tester_decision");
     for &n in &[256usize, 1024, 4096] {
         let eps = 0.2;
-        let budget = L2TesterBudget::calibrated(n, eps, 0.05);
+        let budget = L2TesterBudget::calibrated(n, eps, 0.05).expect("budget");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let (_, p) =
             generators::random_tiling_histogram_distinct(n, k, &mut rng).expect("valid instance");
         let sets = SampleSet::draw_many(&p, budget.m, budget.r, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| test_l2_from_sets(n, k, eps, budget.m, &sets).expect("tester runs"));
+            b.iter(|| test_l2_from_sets(n, k, eps, &sets).expect("tester runs"));
         });
     }
     group.finish();
@@ -33,12 +33,12 @@ fn bench_tester(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[256usize, 1024] {
         let eps = 0.4;
-        let budget = L1TesterBudget::calibrated(n, k, eps, 0.005);
+        let budget = L1TesterBudget::calibrated(n, k, eps, 0.005).expect("budget");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let inst = generators::yes_instance(n, k).expect("valid instance");
         let sets = SampleSet::draw_many(&inst.dist, budget.m, budget.r, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs"));
+            b.iter(|| test_l1_from_sets(n, k, eps, &sets).expect("tester runs"));
         });
     }
     group.finish();

@@ -10,7 +10,7 @@
 //! is orders of magnitude below it).
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{CandidatePolicy, GreedyParams};
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +39,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let rows = parallel_map(grid, |&(wi, ki, ei, k, eps)| {
         let p = &workloads[wi].1;
         let opt = v_optimal(p, k).expect("DP succeeds").sse;
-        let budget = LearnerBudget::calibrated(n, k, eps, scale);
+        let budget = LearnerBudget::calibrated(n, k, eps, scale).expect("budget");
         let mut errs = Vec::with_capacity(trials);
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(1, &[wi, ki, ei, t]));
@@ -50,7 +50,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 policy: CandidatePolicy::All,
                 max_endpoints: 0,
             };
-            let out = learn_dense(p, &params, &mut rng).expect("learner succeeds");
+            let out = super::learn_sampled(p, &params, &mut rng).expect("learner succeeds");
             errs.push(out.tiling.l2_sq_to(p));
         }
         let mean_err = khist_stats::mean(&errs);
@@ -60,7 +60,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             workloads[wi].0.to_string(),
             k.to_string(),
             fmt::f3(eps),
-            fmt::int(budget.total_samples()),
+            fmt::int(budget.total_samples().expect("fits usize")),
             fmt::sci(opt),
             fmt::sci(mean_err),
             fmt::sci(gap.max(0.0)),

@@ -21,7 +21,7 @@
 //! paper's remark invites.
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
@@ -40,7 +40,7 @@ fn budget_with_k_exponent(
     scale: f64,
     exponent: i32,
 ) -> LearnerBudget {
-    let mut b = LearnerBudget::calibrated(n, k0, eps, scale);
+    let mut b = LearnerBudget::calibrated(n, k0, eps, scale).expect("budget");
     // Rescale the k-dependent counts from k0 to k with the chosen exponent.
     let factor = (k as f64 / k0 as f64).powi(exponent);
     b.ell = ((b.ell as f64) * factor).ceil().max(16.0) as usize;
@@ -78,10 +78,10 @@ pub fn run(quick: bool) -> Vec<Table> {
                     policy: CandidatePolicy::All,
                     max_endpoints: 0,
                 };
-                let out = learn_dense(&p, &params, &mut rng).expect("learner runs");
+                let out = super::learn_sampled(&p, &params, &mut rng).expect("learner runs");
                 worst_gap = worst_gap.max(out.tiling.l2_sq_to(&p) - opt);
             }
-            cells.push(fmt::int(budget.total_samples()));
+            cells.push(fmt::int(budget.total_samples().expect("fits usize")));
             cells.push(fmt::sci(worst_gap.max(0.0)));
         }
         cells
@@ -115,7 +115,7 @@ fn n_dependence_table(quick: bool) -> Table {
     };
     let trials = if quick { 3 } else { 6 };
 
-    let anchored = LearnerBudget::calibrated(n0, k, eps, scale);
+    let anchored = LearnerBudget::calibrated(n0, k, eps, scale).expect("budget");
     let rows = parallel_map(ns.to_vec(), |&n| {
         let mut rng = StdRng::seed_from_u64(seed_for(101, &[n]));
         let (_, p) =
@@ -125,15 +125,15 @@ fn n_dependence_table(quick: bool) -> Table {
         // proven ln n budget vs the n0-anchored constant budget; the fast
         // (Theorem 2) candidate policy keeps the probe about *sample*
         // budgets rather than exploding the O(n²) candidate enumeration.
-        for budget in [LearnerBudget::calibrated(n, k, eps, scale), anchored] {
+        for budget in [LearnerBudget::calibrated(n, k, eps, scale).expect("budget"), anchored] {
             let mut worst_gap = 0.0f64;
             for t in 0..trials {
                 let mut rng = StdRng::seed_from_u64(seed_for(102, &[n, t]));
                 let params = GreedyParams::fast(k, eps, budget);
-                let out = learn_dense(&p, &params, &mut rng).expect("learner runs");
+                let out = super::learn_sampled(&p, &params, &mut rng).expect("learner runs");
                 worst_gap = worst_gap.max(out.tiling.l2_sq_to(&p) - opt);
             }
-            cells.push(fmt::int(budget.total_samples()));
+            cells.push(fmt::int(budget.total_samples().expect("fits usize")));
             cells.push(fmt::sci(worst_gap.max(0.0)));
         }
         cells

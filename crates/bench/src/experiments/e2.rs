@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use khist_baseline::v_optimal;
-use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use khist_stats::log_log_fit;
@@ -52,11 +52,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     let points: Vec<Point> = parallel_map(ns.to_vec(), |&n| {
         let p = generators::zipf(n, 1.2).expect("valid zipf");
         let opt = v_optimal(&p, k).expect("DP succeeds").sse;
-        let budget = LearnerBudget::calibrated(n, k, eps, scale);
+        let budget = LearnerBudget::calibrated(n, k, eps, scale).expect("budget");
         let mut rng = StdRng::seed_from_u64(seed_for(2, &[n]));
 
         let t0 = Instant::now();
-        let slow = learn_dense(
+        let slow = super::learn_sampled(
             &p,
             &GreedyParams {
                 k,
@@ -71,7 +71,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let slow_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
-        let fast = learn_dense(
+        let fast = super::learn_sampled(
             &p,
             &GreedyParams {
                 k,

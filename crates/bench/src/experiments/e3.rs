@@ -38,7 +38,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spikes = 16;
 
     let rows = parallel_map(ns.to_vec(), |&n| {
-        let budget = L2TesterBudget::calibrated(n, eps, scale);
+        let budget = L2TesterBudget::calibrated(n, eps, scale).expect("budget");
 
         // NO instance, certified ε-far in ℓ₂ by the exact DP.
         let far = generators::spike_comb(n, spikes).expect("valid comb");
@@ -67,7 +67,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let no_ci = no_counter.interval(1.96);
         vec![
             n.to_string(),
-            fmt::int(budget.total_samples()),
+            fmt::int(budget.total_samples().expect("fits usize")),
             fmt::f3(cert),
             yes_counter.to_string(),
             format!("[{:.2},{:.2}]", yes_ci.lo, yes_ci.hi),
@@ -94,9 +94,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         "the l2 budget's ln^2 n growth: each row shows samples(n)/samples(min n) vs n/min n",
         &["n", "samples", "budget ratio", "domain ratio"],
     );
-    let base = L2TesterBudget::calibrated(ns[0], eps, scale).total_samples() as f64;
+    let base = L2TesterBudget::calibrated(ns[0], eps, scale).expect("budget").total_samples().expect("fits usize") as f64;
     for &n in ns {
-        let b = L2TesterBudget::calibrated(n, eps, scale).total_samples();
+        let b = L2TesterBudget::calibrated(n, eps, scale).expect("budget").total_samples().expect("fits usize");
         shape.push_row(vec![
             n.to_string(),
             fmt::int(b),

@@ -38,12 +38,12 @@ fn accuracy_at(n: usize, k: usize, eps: f64, m: usize, trials: usize, rng: &mut 
     let mut counter = SuccessCounter::new();
     for _ in 0..trials {
         let sets = yes_oracle.draw_sets(R_SETS, m);
-        let verdict = test_l1_from_sets(n, k, eps, m, &sets).expect("tester runs");
+        let verdict = test_l1_from_sets(n, k, eps, &sets).expect("tester runs");
         counter.record(verdict.outcome.is_accept());
 
         let no = generators::no_instance(n, k, rng).expect("valid instance");
         let sets = DenseOracle::new(&no.dist, rng.random()).draw_sets(R_SETS, m);
-        let verdict = test_l1_from_sets(n, k, eps, m, &sets).expect("tester runs");
+        let verdict = test_l1_from_sets(n, k, eps, &sets).expect("tester runs");
         counter.record(!verdict.outcome.is_accept());
     }
     counter.rate()
@@ -63,7 +63,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     let k = 4;
     let rows = parallel_map(ns.to_vec(), |&n| {
-        let budget = L1TesterBudget::calibrated(n, k, eps, scale);
+        let budget = L1TesterBudget::calibrated(n, k, eps, scale).expect("budget");
         let mut rng = StdRng::seed_from_u64(seed_for(4, &[n]));
 
         let yes = generators::yes_instance(n, k).expect("valid instance");
@@ -73,7 +73,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut min_cert = f64::INFINITY;
         for _ in 0..trials {
             let sets = yes_oracle.draw_sets(budget.r, budget.m);
-            let verdict = test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs");
+            let verdict = test_l1_from_sets(n, k, eps, &sets).expect("tester runs");
             yes_counter.record(verdict.outcome.is_accept());
 
             let no = generators::no_instance(n, k, &mut rng).expect("valid instance");
@@ -81,7 +81,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 l1_flatten_optimal(&no.dist, k).expect("DP succeeds");
             min_cert = min_cert.min(cert.l1_lower_bound());
             let sets = DenseOracle::new(&no.dist, rng.random()).draw_sets(budget.r, budget.m);
-            let verdict = test_l1_from_sets(n, k, eps, budget.m, &sets).expect("tester runs");
+            let verdict = test_l1_from_sets(n, k, eps, &sets).expect("tester runs");
             no_counter.record(!verdict.outcome.is_accept());
         }
         vec![

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use khist_baseline::{equi_depth, equi_width, greedy_merge, max_diff, sample_then_dp, v_optimal};
 use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn_dense, GreedyParams};
+use khist_core::greedy::{GreedyParams};
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +33,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let rows: Vec<Vec<Vec<String>>> = parallel_map((0..workloads.len()).collect(), |&wi| {
         let (name, p) = &workloads[wi];
-        let budget = LearnerBudget::calibrated(n, k, eps, scale);
+        let budget = LearnerBudget::calibrated(n, k, eps, scale).expect("budget");
         let mut rng = StdRng::seed_from_u64(seed_for(6, &[wi]));
         let mut out: Vec<Vec<String>> = Vec::new();
         let mut push = |method: &str, sse: f64, ms: f64, pieces: usize, samples: usize| {
@@ -62,14 +62,14 @@ pub fn run(quick: bool) -> Vec<Table> {
         );
 
         let t0 = Instant::now();
-        let g = learn_dense(p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
+        let g = super::learn_sampled(p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
         let g_ms = t0.elapsed().as_secs_f64() * 1e3;
         push(
             "greedy (paper, raw)",
             g.tiling.l2_sq_to(p),
             g_ms,
             g.tiling.piece_count(),
-            budget.total_samples(),
+            budget.total_samples().expect("fits usize"),
         );
 
         let t0 = Instant::now();
@@ -79,17 +79,17 @@ pub fn run(quick: bool) -> Vec<Table> {
             ck.l2_sq_to(p),
             g_ms + t0.elapsed().as_secs_f64() * 1e3,
             ck.piece_count(),
-            budget.total_samples(),
+            budget.total_samples().expect("fits usize"),
         );
 
         let t0 = Instant::now();
-        let sdp = sample_then_dp(p, k, budget.total_samples(), &mut rng).expect("baseline runs");
+        let sdp = sample_then_dp(p, k, budget.total_samples().expect("fits usize"), &mut rng).expect("baseline runs");
         push(
             "sample+DP (CMN98-style)",
             sdp.sse_vs_truth,
             t0.elapsed().as_secs_f64() * 1e3,
             sdp.histogram.piece_count(),
-            budget.total_samples(),
+            budget.total_samples().expect("fits usize"),
         );
 
         type Builder = fn(
@@ -115,7 +115,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E6 histogram construction shoot-out",
         format!(
             "n = {n}, k = {k}; sampled methods see {} samples, others read the full pmf",
-            LearnerBudget::calibrated(n, k, eps, scale).total_samples()
+            LearnerBudget::calibrated(n, k, eps, scale).expect("budget").total_samples().expect("fits usize")
         ),
         &["workload", "method", "l2sq error", "ms", "pieces", "input"],
     );

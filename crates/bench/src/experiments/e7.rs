@@ -10,7 +10,7 @@
 //! for sample-then-DP at the identical total budget.
 
 use khist_baseline::{sample_then_dp, v_optimal};
-use khist_core::greedy::{learn_dense, GreedyParams};
+use khist_core::greedy::{GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
@@ -35,14 +35,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let opt = v_optimal(&p, k).expect("DP succeeds").sse;
 
     let rows = parallel_map(scales.to_vec(), |&scale| {
-        let budget = LearnerBudget::calibrated(n, k, eps, scale);
-        let total = budget.total_samples();
+        let budget = LearnerBudget::calibrated(n, k, eps, scale).expect("budget");
+        let total = budget.total_samples().expect("fits usize");
         let mut greedy_gaps = Vec::with_capacity(trials);
         let mut sdp_gaps = Vec::with_capacity(trials);
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(7, &[(scale * 1e6) as usize, t]));
             let out =
-                learn_dense(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
+                super::learn_sampled(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
             greedy_gaps.push((out.tiling.l2_sq_to(&p) - opt).max(0.0));
             let sdp = sample_then_dp(&p, k, total, &mut rng).expect("baseline runs");
             sdp_gaps.push((sdp.sse_vs_truth - opt).max(0.0));

@@ -17,7 +17,7 @@
 
 use khist_baseline::v_optimal;
 use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn_dense, CandidatePolicy, GreedyParams};
+use khist_core::greedy::{CandidatePolicy, GreedyParams};
 use khist_dist::generators;
 use khist_oracle::LearnerBudget;
 use rand::rngs::StdRng;
@@ -42,7 +42,7 @@ fn ablation_r(trials: usize) -> Table {
     let k = 4;
     let eps = 0.1;
     let p = generators::discrete_gaussian(n, 64.0, 14.0).expect("valid");
-    let base = LearnerBudget::calibrated(n, k, eps, 0.02);
+    let base = LearnerBudget::calibrated(n, k, eps, 0.02).expect("budget");
     let total_collision = 27 * (base.m / 4).max(64);
     let rows = parallel_map(vec![1usize, 3, 9, 27], |&r| {
         let mut budget = base;
@@ -51,7 +51,7 @@ fn ablation_r(trials: usize) -> Table {
         let mut errs = Vec::with_capacity(trials);
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(91, &[r, t]));
-            let out = learn_dense(
+            let out = super::learn_sampled(
                 &p,
                 &GreedyParams {
                     k,
@@ -89,7 +89,7 @@ fn ablation_policy(trials: usize) -> Table {
     let eps = 0.1;
     let p = generators::zipf(n, 1.5).expect("valid");
     let opt = v_optimal(&p, k).expect("DP succeeds").sse;
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.02);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.02).expect("budget");
     let policies: Vec<(&str, CandidatePolicy, usize)> = vec![
         ("all intervals", CandidatePolicy::All, 0),
         ("sample endpoints", CandidatePolicy::SampleEndpoints, 128),
@@ -102,7 +102,7 @@ fn ablation_policy(trials: usize) -> Table {
         let mut cands = 0usize;
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(92, &[pi, t]));
-            let out = learn_dense(
+            let out = super::learn_sampled(
                 &p,
                 &GreedyParams {
                     k,
@@ -140,7 +140,7 @@ fn ablation_q(trials: usize) -> Table {
     let eps = 0.1;
     let p = generators::discrete_gaussian(n, 64.0, 14.0).expect("valid");
     let opt = v_optimal(&p, k).expect("DP succeeds").sse;
-    let base = LearnerBudget::calibrated(n, k, eps, 0.02);
+    let base = LearnerBudget::calibrated(n, k, eps, 0.02).expect("budget");
     let mut t = Table::new(
         "E9c iteration count q",
         format!(
@@ -156,7 +156,7 @@ fn ablation_q(trials: usize) -> Table {
         let mut gaps = Vec::with_capacity(trials);
         for tr in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed_for(93, &[q, tr]));
-            let out = learn_dense(
+            let out = super::learn_sampled(
                 &p,
                 &GreedyParams {
                     k,
@@ -186,12 +186,12 @@ fn ablation_pieces(trials: usize) -> Table {
     let n = 256;
     let k = 5;
     let eps = 0.1;
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.02);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.02).expect("budget");
     let results = parallel_map((0..trials).collect(), |&t| {
         let mut rng = StdRng::seed_from_u64(seed_for(94, &[t]));
         let (_, p) =
             generators::random_tiling_histogram_distinct(n, k, &mut rng).expect("valid instance");
-        let out = learn_dense(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
+        let out = super::learn_sampled(&p, &GreedyParams::fast(k, eps, budget), &mut rng).expect("learner runs");
         let raw_pieces = out.tiling.piece_count();
         let bound = 2 * out.stats.iterations + 1;
         let raw_err = out.tiling.l2_sq_to(&p);

@@ -13,7 +13,22 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 
-use khist_dist::{generators, DenseDistribution};
+use khist_core::greedy::{learn, GreedyOutcome, GreedyParams};
+use khist_dist::{generators, DenseDistribution, DistError};
+use khist_oracle::DenseOracle;
+
+/// Samples-and-learns from an explicit pmf through a freshly seeded
+/// [`DenseOracle`] — the experiments' replacement for the deprecated
+/// `learn_dense` wrapper (same rng discipline: one `rng.random()` seed per
+/// run).
+pub(crate) fn learn_sampled<R: rand::Rng + ?Sized>(
+    p: &DenseDistribution,
+    params: &GreedyParams,
+    rng: &mut R,
+) -> Result<GreedyOutcome, DistError> {
+    let mut oracle = DenseOracle::new(p, rng.random());
+    learn(&mut oracle, params)
+}
 
 /// The shared workload family used by the learning experiments: the
 /// attribute shapes the database-histogram literature models (skewed,

@@ -180,9 +180,10 @@ mod tests {
     fn end_to_end_learned_then_compressed_stays_accurate() {
         let mut rng = StdRng::seed_from_u64(6);
         let (_, p) = generators::random_tiling_histogram_distinct(96, 4, &mut rng).unwrap();
-        let budget = khist_oracle::LearnerBudget::calibrated(96, 4, 0.1, 0.03);
+        let budget = khist_oracle::LearnerBudget::calibrated(96, 4, 0.1, 0.03).unwrap();
         let params = crate::greedy::GreedyParams::new(4, 0.1, budget);
-        let out = crate::greedy::learn_dense(&p, &params, &mut rng).unwrap();
+        let mut oracle = khist_oracle::DenseOracle::new(&p, rand::Rng::random(&mut rng));
+        let out = crate::greedy::learn(&mut oracle, &params).unwrap();
         let compressed = compress_to_k(&out.tiling, 4).unwrap();
         assert!(compressed.piece_count() <= 4);
         let opt = v_optimal(&p, 4).unwrap().sse;

@@ -11,11 +11,13 @@
 //!    `z_I ≈ ‖p_I‖₂²` is compared against the uniform floor `1/|I|`:
 //!    equality characterizes uniformity, excess means structure inside `I`.
 //!
-//! The thresholds are expressed as *fractions of the per-set sample size*
-//! so they remain meaningful under the calibrated budgets: under the
-//! theoretical budgets they reduce exactly to the paper's counts (e.g.
+//! The thresholds are expressed as *fractions of each set's own sample
+//! count* so they remain meaningful under the calibrated budgets — under
+//! the theoretical budgets they reduce exactly to the paper's counts (e.g.
 //! Algorithm 4's `|Sⁱ_I| < 16³·√|I|/ε⁴` with `m = 2¹³·√(kn)·ε⁻⁵` is the
-//! fraction `(ε/2)·√(|I|/(kn))`).
+//! fraction `(ε/2)·√(|I|/(kn))`) — and stay correct when a streaming
+//! backend serves sets whose sizes differ slightly (the analysis API's
+//! shared reservoir draw on a record file does exactly that).
 
 use khist_dist::Interval;
 use khist_oracle::{MedianBooster, SampleSet};
@@ -29,24 +31,22 @@ pub trait FlatnessTest {
 
 /// `testFlatness-ℓ₂` (Algorithm 3).
 ///
-/// Accepts when some set sees `|Sⁱ_I|/m < ε²/2` (light interval: Fact 1
+/// Accepts when some set sees `|Sⁱ_I|/|Sⁱ| < ε²/2` (light interval: Fact 1
 /// bounds `p(I) < ε²`), otherwise compares the median conditional collision
-/// estimate against `1/|I| + max_i ε²/(2·p̂ᵢ(I))` with `p̂ᵢ(I) = 2|Sⁱ_I|/m`.
+/// estimate against `1/|I| + max_i ε²/(2·p̂ᵢ(I))` with `p̂ᵢ(I) = 2|Sⁱ_I|/|Sⁱ|`.
 pub struct L2Flatness<'a> {
     booster: MedianBooster<'a>,
-    m: usize,
     eps: f64,
 }
 
 impl<'a> L2Flatness<'a> {
-    /// Wraps `r` sample sets of size `m` each with accuracy `ε`.
-    pub fn new(sets: &'a [SampleSet], m: usize, eps: f64) -> Self {
+    /// Wraps `r` sample sets (sizes may differ slightly — every fraction
+    /// is normalized per set) with accuracy `ε`.
+    pub fn new(sets: &'a [SampleSet], eps: f64) -> Self {
         assert!(!sets.is_empty(), "need at least one sample set");
-        assert!(m > 0, "per-set size must be positive");
         assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
         L2Flatness {
             booster: MedianBooster::new(sets),
-            m,
             eps,
         }
     }
@@ -54,12 +54,15 @@ impl<'a> L2Flatness<'a> {
 
 impl FlatnessTest for L2Flatness<'_> {
     fn is_flat(&self, iv: Interval) -> bool {
-        let m = self.m as f64;
         let eps2 = self.eps * self.eps;
         // Step 2: light-interval early accept + collect the slack term.
         let mut max_slack = 0.0f64;
         for set in self.booster.sets() {
-            let frac = set.count_in(iv) as f64 / m;
+            let total = set.total() as f64;
+            if total == 0.0 {
+                return true; // no evidence at all ⇒ no structure seen
+            }
+            let frac = set.count_in(iv) as f64 / total;
             if frac < eps2 / 2.0 {
                 return true;
             }
@@ -79,36 +82,35 @@ impl FlatnessTest for L2Flatness<'_> {
 
 /// `testFlatness-ℓ₁` (Algorithm 4).
 ///
-/// Accepts when some set sees `|Sⁱ_I|/m < (ε/2)·√(|I|/(kn))` (the paper's
-/// `|Sⁱ_I| < 16³·√|I|/ε⁴` under the theoretical `m`), otherwise compares
-/// the median conditional collision estimate against `(1/|I|)(1 + ε²/4)`.
+/// Accepts when some set sees `|Sⁱ_I|/|Sⁱ| < (ε/2)·√(|I|/(kn))` (the
+/// paper's `|Sⁱ_I| < 16³·√|I|/ε⁴` under the theoretical `m`), otherwise
+/// compares the median conditional collision estimate against
+/// `(1/|I|)(1 + ε²/4)`.
 pub struct L1Flatness<'a> {
     booster: MedianBooster<'a>,
-    m: usize,
     eps: f64,
     k: usize,
     n: usize,
 }
 
 impl<'a> L1Flatness<'a> {
-    /// Wraps `r` sample sets of size `m` for testing `k`-histograms over
-    /// `[n]` at accuracy `ε`.
-    pub fn new(sets: &'a [SampleSet], m: usize, eps: f64, k: usize, n: usize) -> Self {
+    /// Wraps `r` sample sets (sizes may differ slightly — every fraction
+    /// is normalized per set) for testing `k`-histograms over `[n]` at
+    /// accuracy `ε`.
+    pub fn new(sets: &'a [SampleSet], eps: f64, k: usize, n: usize) -> Self {
         assert!(!sets.is_empty(), "need at least one sample set");
-        assert!(m > 0, "per-set size must be positive");
         assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
         assert!(k >= 1 && n >= 1, "k and n must be positive");
         L1Flatness {
             booster: MedianBooster::new(sets),
-            m,
             eps,
             k,
             n,
         }
     }
 
-    /// The lightness threshold as a fraction of `m` for an interval of the
-    /// given length.
+    /// The lightness threshold as a fraction of the per-set sample count
+    /// for an interval of the given length.
     pub fn light_fraction(&self, len: usize) -> f64 {
         (self.eps / 2.0) * ((len as f64) / (self.k as f64 * self.n as f64)).sqrt()
     }
@@ -116,10 +118,10 @@ impl<'a> L1Flatness<'a> {
 
 impl FlatnessTest for L1Flatness<'_> {
     fn is_flat(&self, iv: Interval) -> bool {
-        let m = self.m as f64;
         let light = self.light_fraction(iv.len());
         for set in self.booster.sets() {
-            if (set.count_in(iv) as f64) / m < light {
+            let total = set.total() as f64;
+            if total == 0.0 || (set.count_in(iv) as f64) / total < light {
                 return true;
             }
         }
@@ -174,9 +176,9 @@ mod tests {
     #[test]
     fn l2_accepts_flat_interval_of_uniform() {
         let p = DenseDistribution::uniform(64).unwrap();
-        let b = L2TesterBudget::calibrated(64, 0.25, 0.05);
+        let b = L2TesterBudget::calibrated(64, 0.25, 0.05).unwrap();
         let sets = draw_sets(&p, b.m, b.r, 1);
-        let t = L2Flatness::new(&sets, b.m, 0.25);
+        let t = L2Flatness::new(&sets, 0.25);
         assert!(t.is_flat(iv(0, 63)));
         assert!(t.is_flat(iv(10, 40)));
         assert!(t.is_flat(iv(5, 5)));
@@ -188,9 +190,9 @@ mod tests {
         let mut w = vec![1.0f64; 64];
         w[20] = 200.0;
         let p = DenseDistribution::from_weights(&w).unwrap();
-        let b = L2TesterBudget::calibrated(64, 0.25, 0.05);
+        let b = L2TesterBudget::calibrated(64, 0.25, 0.05).unwrap();
         let sets = draw_sets(&p, b.m, b.r, 2);
-        let t = L2Flatness::new(&sets, b.m, 0.25);
+        let t = L2Flatness::new(&sets, 0.25);
         assert!(!t.is_flat(iv(0, 63)), "spiked interval must not be flat");
         // but intervals avoiding the spike are flat
         assert!(t.is_flat(iv(30, 63)));
@@ -206,25 +208,25 @@ mod tests {
         }
         w[40] = 0.001; // trace mass, far below ε²/2
         let p = DenseDistribution::from_weights(&w).unwrap();
-        let b = L2TesterBudget::calibrated(64, 0.3, 0.05);
+        let b = L2TesterBudget::calibrated(64, 0.3, 0.05).unwrap();
         let sets = draw_sets(&p, b.m, b.r, 3);
-        let t = L2Flatness::new(&sets, b.m, 0.3);
+        let t = L2Flatness::new(&sets, 0.3);
         assert!(t.is_flat(iv(32, 63)));
     }
 
     #[test]
     fn l1_accepts_flat_and_rejects_spiked() {
         let uniform = DenseDistribution::uniform(128).unwrap();
-        let b = L1TesterBudget::calibrated(128, 4, 0.3, 0.01);
+        let b = L1TesterBudget::calibrated(128, 4, 0.3, 0.01).unwrap();
         let sets = draw_sets(&uniform, b.m, b.r, 4);
-        let t = L1Flatness::new(&sets, b.m, 0.3, 4, 128);
+        let t = L1Flatness::new(&sets, 0.3, 4, 128);
         assert!(t.is_flat(iv(0, 127)));
 
         let mut w = vec![1.0f64; 128];
         w[60] = 300.0;
         let spiked = DenseDistribution::from_weights(&w).unwrap();
         let sets = draw_sets(&spiked, b.m, b.r, 5);
-        let t = L1Flatness::new(&sets, b.m, 0.3, 4, 128);
+        let t = L1Flatness::new(&sets, 0.3, 4, 128);
         assert!(!t.is_flat(iv(0, 127)));
     }
 
@@ -235,9 +237,9 @@ mod tests {
         let n = 256;
         let k = 4;
         let eps = 0.5;
-        let b = L1TesterBudget::theoretical(n, k, eps);
+        let b = L1TesterBudget::theoretical(n, k, eps).unwrap();
         let sets = vec![SampleSet::from_samples(vec![0])];
-        let t = L1Flatness::new(&sets, b.m, eps, k, n);
+        let t = L1Flatness::new(&sets, eps, k, n);
         for len in [1usize, 16, 100, 256] {
             let count_threshold = 4096.0 * (len as f64).sqrt() / eps.powi(4);
             let fraction_threshold = t.light_fraction(len) * b.m as f64;
@@ -256,9 +258,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let inst = generators::no_instance(128, 4, &mut rng).unwrap();
         let bucket = inst.perturbed.unwrap();
-        let b = L1TesterBudget::calibrated(128, 4, 0.4, 0.02);
+        let b = L1TesterBudget::calibrated(128, 4, 0.4, 0.02).unwrap();
         let sets = draw_sets(&inst.dist, b.m, b.r, 7);
-        let t = L1Flatness::new(&sets, b.m, 0.4, 4, 128);
+        let t = L1Flatness::new(&sets, 0.4, 4, 128);
         assert!(!t.is_flat(bucket), "perturbed bucket must fail flatness");
         // an unperturbed heavy bucket stays flat
         let other = inst
@@ -276,8 +278,8 @@ mod tests {
         w[3] = 100.0;
         let p = DenseDistribution::from_weights(&w).unwrap();
         let sets = draw_sets(&p, 2000, 5, 8);
-        let t2 = L2Flatness::new(&sets, 2000, 0.3);
-        let t1 = L1Flatness::new(&sets, 2000, 0.3, 2, 16);
+        let t2 = L2Flatness::new(&sets, 0.3);
+        let t1 = L1Flatness::new(&sets, 0.3, 2, 16);
         for i in 0..16 {
             assert!(t2.is_flat(iv(i, i)), "l2 point {i}");
             assert!(t1.is_flat(iv(i, i)), "l1 point {i}");
@@ -296,13 +298,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one sample set")]
     fn l2_requires_sets() {
-        L2Flatness::new(&[], 10, 0.5);
+        L2Flatness::new(&[], 0.5);
     }
 
     #[test]
     #[should_panic(expected = "ε must lie in (0, 1)")]
     fn l1_requires_valid_eps() {
         let sets = vec![SampleSet::from_samples(vec![0])];
-        L1Flatness::new(&sets, 10, 1.5, 2, 8);
+        L1Flatness::new(&sets, 1.5, 2, 8);
     }
 }

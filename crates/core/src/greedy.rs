@@ -31,6 +31,7 @@ use rand::Rng;
 use khist_dist::{DenseDistribution, DistError, Interval, PriorityHistogram, TilingHistogram};
 use khist_oracle::{DenseOracle, LearnerBudget, SampleOracle, SampleSet};
 
+use crate::api::SamplePlan;
 use crate::cost::{CostOracle, SampleCostOracle};
 use crate::tiling_state::TilingState;
 
@@ -127,33 +128,28 @@ impl GreedyOutcome {
 /// Draws the budgeted samples through a [`SampleOracle`] and runs the
 /// greedy learner.
 ///
-/// The main sample and the `r` collision sets are requested in one
-/// [`SampleOracle::draw_batch`] call, so streaming backends can serve them
-/// from a single pass with disjoint lanes.
+/// The main sample and the `r` collision sets are requested through the
+/// single-analysis [`SamplePlan`] (one [`SampleOracle::draw_batch`] call),
+/// so streaming backends serve them from a single pass with disjoint lanes
+/// — batch the learner with testers via [`crate::api::Session`] to share
+/// that pass further.
 pub fn learn<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     params: &GreedyParams,
 ) -> Result<GreedyOutcome, DistError> {
-    let mut sizes = Vec::with_capacity(params.budget.r + 1);
-    sizes.push(params.budget.ell);
-    sizes.resize(params.budget.r + 1, params.budget.m);
-    let mut drawn = oracle.draw_batch(&sizes);
-    if drawn.len() != sizes.len() {
-        return Err(DistError::BadParameter {
-            reason: format!(
-                "oracle returned {} sets for a batch of {}",
-                drawn.len(),
-                sizes.len()
-            ),
-        });
-    }
-    let main = drawn.remove(0);
-    learn_from_samples(oracle.domain_size(), &main, &drawn, params)
+    let (main, sets) = SamplePlan::learner(&params.budget).draw(oracle)?;
+    let main = main.ok_or_else(|| DistError::BadParameter {
+        reason: "learner budget requests an empty main sample".into(),
+    })?;
+    learn_from_samples(oracle.domain_size(), &main, &sets, params)
 }
 
 /// Convenience wrapper: learns from an explicit [`DenseDistribution`] by
 /// spinning up a seeded [`DenseOracle`] (the pre-oracle entry point;
 /// existing call sites migrate by appending `_dense`).
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session with api::Learn) and call learn"
+)]
 pub fn learn_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     params: &GreedyParams,
@@ -324,7 +320,7 @@ mod tests {
         seed: u64,
     ) -> GreedyOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
-        let budget = LearnerBudget::calibrated(p.n(), k, eps, scale);
+        let budget = LearnerBudget::calibrated(p.n(), k, eps, scale).unwrap();
         let params = GreedyParams {
             k,
             eps,
@@ -332,7 +328,8 @@ mod tests {
             policy,
             max_endpoints: 96,
         };
-        learn_dense(p, &params, &mut rng).unwrap()
+        let mut oracle = DenseOracle::new(p, rng.random());
+        learn(&mut oracle, &params).unwrap()
     }
 
     #[test]
@@ -436,7 +433,7 @@ mod tests {
         assert!(out.stats.samples_used > 0);
         assert!(out.stats.candidates_evaluated > 0);
         assert_eq!(out.stats.endpoints_used, 32);
-        let budget = LearnerBudget::calibrated(32, 2, 0.2, 0.05);
+        let budget = LearnerBudget::calibrated(32, 2, 0.2, 0.05).unwrap();
         assert_eq!(out.stats.iterations, budget.q);
     }
 
@@ -444,13 +441,26 @@ mod tests {
     fn rejects_bad_inputs() {
         let p = DenseDistribution::uniform(8).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let budget = LearnerBudget::calibrated(8, 2, 0.2, 0.1);
+        let budget = LearnerBudget::calibrated(8, 2, 0.2, 0.1).unwrap();
         let mut params = GreedyParams::new(0, 0.2, budget);
-        assert!(learn_dense(&p, &params, &mut rng).is_err());
+        let mut oracle = DenseOracle::new(&p, 1);
+        assert!(learn(&mut oracle, &params).is_err());
         params.k = 2;
         let main = SampleSet::draw(&p, 10, &mut rng);
         assert!(learn_from_samples(8, &main, &[], &params).is_err());
         assert!(learn_from_samples(0, &main, std::slice::from_ref(&main), &params).is_err());
+    }
+
+    #[test]
+    fn deprecated_dense_wrapper_still_works() {
+        #[allow(deprecated)]
+        {
+            let p = generators::two_level(32, 0.25, 0.75).unwrap();
+            let mut rng = StdRng::seed_from_u64(4);
+            let budget = LearnerBudget::calibrated(32, 2, 0.2, 0.05).unwrap();
+            let params = GreedyParams::new(2, 0.2, budget);
+            assert!(learn_dense(&p, &params, &mut rng).is_ok());
+        }
     }
 
     #[test]
@@ -503,12 +513,14 @@ mod tests {
         // q and 3q, final error comparable. Smoke guard against divergence.
         let p = generators::discrete_gaussian(48, 20.0, 6.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let mut budget = LearnerBudget::calibrated(48, 4, 0.2, 0.05);
+        let mut budget = LearnerBudget::calibrated(48, 4, 0.2, 0.05).unwrap();
         let params = GreedyParams::new(4, 0.2, budget);
-        let out1 = learn_dense(&p, &params, &mut rng).unwrap();
+        let mut oracle = DenseOracle::new(&p, rng.random());
+        let out1 = learn(&mut oracle, &params).unwrap();
         budget.q *= 3;
         let params3 = GreedyParams::new(4, 0.2, budget);
-        let out3 = learn_dense(&p, &params3, &mut rng).unwrap();
+        let mut oracle = DenseOracle::new(&p, rng.random());
+        let out3 = learn(&mut oracle, &params3).unwrap();
         assert!(out3.tiling.l2_sq_to(&p) < out1.tiling.l2_sq_to(&p) + 0.05);
     }
 }

@@ -29,7 +29,17 @@ use rand::Rng;
 use khist_dist::{DenseDistribution, DistError, Interval};
 use khist_oracle::{absolute_collision_estimate, DenseOracle, SampleOracle, SampleSet};
 
+use crate::api::SamplePlan;
 use crate::tester::TestOutcome;
+
+fn check_eps(eps: f64) -> Result<(), DistError> {
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("ε = {eps} must lie in (0, 1)"),
+        });
+    }
+    Ok(())
+}
 
 /// Unbiased estimate of `‖p − q‖₂²` from one sample set per distribution.
 ///
@@ -77,20 +87,35 @@ where
             reason: format!("domain mismatch: {n} vs {}", oracle_q.domain_size()),
         });
     }
-    if !(eps > 0.0 && eps < 1.0) {
-        return Err(DistError::BadParameter {
-            reason: format!("ε = {eps} must lie in (0, 1)"),
-        });
-    }
+    check_eps(eps)?;
     if m < 2 {
         return Err(DistError::BadParameter {
             reason: "need at least two samples per side".into(),
         });
     }
-    let set_p = oracle_p.draw_set(m);
-    let set_q = oracle_q.draw_set(m);
+    let (set_p, _) = SamplePlan::single(m).draw(oracle_p)?;
+    let (set_q, _) = SamplePlan::single(m).draw(oracle_q)?;
+    test_closeness_l2_from_sets(
+        &set_p.expect("single plan yields a main set"),
+        &set_q.expect("single plan yields a main set"),
+        n,
+        eps,
+    )
+}
+
+/// Tests closeness from pre-drawn sample sets, one per side (the entry
+/// point the analysis API's engine uses on its shared draw).
+pub fn test_closeness_l2_from_sets(
+    set_p: &SampleSet,
+    set_q: &SampleSet,
+    n: usize,
+    eps: f64,
+) -> Result<ClosenessReport, DistError> {
+    check_eps(eps)?;
     let statistic =
-        l2_distance_sq_estimate(&set_p, &set_q, n).expect("both sets have ≥ 2 samples");
+        l2_distance_sq_estimate(set_p, set_q, n).ok_or_else(|| DistError::BadParameter {
+            reason: "need at least two samples per side".into(),
+        })?;
     let threshold = eps * eps / 2.0;
     Ok(ClosenessReport {
         outcome: if statistic <= threshold {
@@ -100,12 +125,15 @@ where
         },
         statistic,
         threshold,
-        samples_used: 2 * m,
+        samples_used: set_p.total() as usize + set_q.total() as usize,
     })
 }
 
 /// Convenience wrapper: closeness testing between two explicit
 /// [`DenseDistribution`]s through seeded [`DenseOracle`]s.
+#[deprecated(
+    note = "construct DenseOracles (or api::Session with api::ClosenessL2) and call test_closeness_l2"
+)]
 pub fn test_closeness_l2_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     q: &DenseDistribution,
@@ -130,14 +158,10 @@ pub fn test_identity_l2<O: SampleOracle + ?Sized>(
     m: usize,
 ) -> Result<ClosenessReport, DistError> {
     let n = oracle_p.domain_size();
+    check_eps(eps)?;
     if n != known_q.n() {
         return Err(DistError::BadParameter {
             reason: format!("domain mismatch: {n} vs {}", known_q.n()),
-        });
-    }
-    if !(eps > 0.0 && eps < 1.0) {
-        return Err(DistError::BadParameter {
-            reason: format!("ε = {eps} must lie in (0, 1)"),
         });
     }
     if m < 2 {
@@ -145,9 +169,36 @@ pub fn test_identity_l2<O: SampleOracle + ?Sized>(
             reason: "need at least two samples".into(),
         });
     }
-    let set_p = oracle_p.draw_set(m);
+    let (set_p, _) = SamplePlan::single(m).draw(oracle_p)?;
+    test_identity_l2_from_set(
+        &set_p.expect("single plan yields a main set"),
+        known_q,
+        n,
+        eps,
+    )
+}
+
+/// Tests identity from a pre-drawn `p`-sample (the entry point the
+/// analysis API's engine uses on its shared draw).
+pub fn test_identity_l2_from_set(
+    set_p: &SampleSet,
+    known_q: &DenseDistribution,
+    n: usize,
+    eps: f64,
+) -> Result<ClosenessReport, DistError> {
+    check_eps(eps)?;
+    if n != known_q.n() {
+        return Err(DistError::BadParameter {
+            reason: format!("domain mismatch: {n} vs {}", known_q.n()),
+        });
+    }
+    if set_p.total() < 2 {
+        return Err(DistError::BadParameter {
+            reason: "need at least two samples".into(),
+        });
+    }
     let full = Interval::full(n)?;
-    let p_sq = absolute_collision_estimate(&set_p, full);
+    let p_sq = absolute_collision_estimate(set_p, full);
     // ⟨p, q⟩ estimated by E_{x∼p}[q(x)] — each sample contributes q(x).
     let mut inner = 0.0;
     for &v in set_p.unique_values() {
@@ -164,12 +215,15 @@ pub fn test_identity_l2<O: SampleOracle + ?Sized>(
         },
         statistic,
         threshold,
-        samples_used: m,
+        samples_used: set_p.total() as usize,
     })
 }
 
 /// Convenience wrapper: identity testing of an explicit
 /// [`DenseDistribution`] `p` through a seeded [`DenseOracle`].
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session with api::IdentityL2) and call test_identity_l2"
+)]
 pub fn test_identity_l2_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     known_q: &DenseDistribution,
@@ -236,7 +290,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_closeness_l2_dense(p, q, eps, m, &mut rng)
+                let mut oracle_p = DenseOracle::new(p, rng.random());
+                let mut oracle_q = DenseOracle::new(q, rng.random());
+                test_closeness_l2(&mut oracle_p, &mut oracle_q, eps, m)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -268,14 +324,16 @@ mod tests {
         let mut ok_same = 0;
         let mut ok_far = 0;
         for _ in 0..9 {
-            if test_identity_l2_dense(&q, &q, 0.2, 5000, &mut rng)
+            let mut oracle_q = DenseOracle::new(&q, rng.random());
+            if test_identity_l2(&mut oracle_q, &q, 0.2, 5000)
                 .unwrap()
                 .outcome
                 .is_accept()
             {
                 ok_same += 1;
             }
-            if !test_identity_l2_dense(&far, &q, 0.2, 5000, &mut rng)
+            let mut oracle_far = DenseOracle::new(&far, rng.random());
+            if !test_identity_l2(&mut oracle_far, &q, 0.2, 5000)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -297,14 +355,54 @@ mod tests {
     fn validation_errors() {
         let p = DenseDistribution::uniform(8).unwrap();
         let q = DenseDistribution::uniform(9).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        assert!(test_closeness_l2_dense(&p, &q, 0.3, 100, &mut rng).is_err());
         let q8 = DenseDistribution::uniform(8).unwrap();
-        assert!(test_closeness_l2_dense(&p, &q8, 1.5, 100, &mut rng).is_err());
-        assert!(test_closeness_l2_dense(&p, &q8, 0.3, 1, &mut rng).is_err());
-        assert!(test_identity_l2_dense(&p, &q, 0.3, 100, &mut rng).is_err());
-        assert!(test_identity_l2_dense(&p, &q8, 0.0, 100, &mut rng).is_err());
-        assert!(test_identity_l2_dense(&p, &q8, 0.3, 0, &mut rng).is_err());
+        let pair = |a: &DenseDistribution, b: &DenseDistribution| {
+            (DenseOracle::new(a, 1), DenseOracle::new(b, 2))
+        };
+        let (mut op, mut oq) = pair(&p, &q);
+        assert!(test_closeness_l2(&mut op, &mut oq, 0.3, 100).is_err());
+        let (mut op, mut oq8) = pair(&p, &q8);
+        assert!(test_closeness_l2(&mut op, &mut oq8, 1.5, 100).is_err());
+        assert!(test_closeness_l2(&mut op, &mut oq8, 0.3, 1).is_err());
+        let mut op = DenseOracle::new(&p, 3);
+        assert!(test_identity_l2(&mut op, &q, 0.3, 100).is_err());
+        assert!(test_identity_l2(&mut op, &q8, 0.0, 100).is_err());
+        assert!(test_identity_l2(&mut op, &q8, 0.3, 0).is_err());
+    }
+
+    #[test]
+    fn deprecated_dense_wrappers_still_work() {
+        #[allow(deprecated)]
+        {
+            let p = DenseDistribution::uniform(32).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            assert!(test_closeness_l2_dense(&p, &p, 0.3, 500, &mut rng).is_ok());
+            assert!(test_identity_l2_dense(&p, &p, 0.3, 500, &mut rng).is_ok());
+        }
+    }
+
+    #[test]
+    fn from_sets_matches_oracle_entry_points() {
+        // The shims draw one set and delegate; feeding the same sets to the
+        // from_sets entry points must reproduce the report exactly.
+        let p = generators::zipf(64, 1.0).unwrap();
+        let q = DenseDistribution::uniform(64).unwrap();
+        let mut oracle_p = DenseOracle::new(&p, 21);
+        let mut oracle_q = DenseOracle::new(&q, 22);
+        let via_oracle = test_closeness_l2(&mut oracle_p, &mut oracle_q, 0.2, 3000).unwrap();
+        let mut oracle_p = DenseOracle::new(&p, 21);
+        let mut oracle_q = DenseOracle::new(&q, 22);
+        let set_p = oracle_p.draw_set(3000);
+        let set_q = oracle_q.draw_set(3000);
+        let via_sets = test_closeness_l2_from_sets(&set_p, &set_q, 64, 0.2).unwrap();
+        assert_eq!(via_oracle, via_sets);
+
+        let mut oracle_p = DenseOracle::new(&p, 23);
+        let via_oracle = test_identity_l2(&mut oracle_p, &q, 0.2, 3000).unwrap();
+        let mut oracle_p = DenseOracle::new(&p, 23);
+        let set_p = oracle_p.draw_set(3000);
+        let via_set = test_identity_l2_from_set(&set_p, &q, 64, 0.2).unwrap();
+        assert_eq!(via_oracle, via_set);
     }
 
     #[test]

@@ -23,31 +23,34 @@
 //!
 //! Every algorithm entry point is generic over
 //! [`khist_oracle::SampleOracle`] — the sample-access model of §2 made into
-//! a seam — with `*_dense` convenience wrappers for the common case of an
-//! explicit [`khist_dist::DenseDistribution`].
+//! a seam. The [`api`] module is the front door above them all: typed
+//! [`api::Analysis`] requests run through one [`api::Session`] engine that
+//! computes a shared [`api::SamplePlan`] per batch and returns uniform,
+//! serde-serializable [`api::Report`]s. The per-algorithm free functions
+//! remain as thin shims over the same plan layer; the `*_dense`
+//! convenience wrappers are deprecated in favour of explicit oracles.
 //!
 //! # Example: learn a histogram from samples
 //!
 //! ```
-//! use khist_core::greedy::{learn, CandidatePolicy, GreedyParams};
+//! use khist_core::api::{Learn, Session};
 //! use khist_dist::generators;
-//! use khist_oracle::{DenseOracle, LearnerBudget};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let (_, p) = generators::random_tiling_histogram_distinct(64, 3, &mut rng).unwrap();
-//! let budget = LearnerBudget::calibrated(64, 3, 0.1, 0.02);
-//! let params = GreedyParams::new(3, 0.1, budget);
-//! // Any SampleOracle backend works here; DenseOracle simulates sample
-//! // access to the explicit pmf.
-//! let mut oracle = DenseOracle::new(&p, 1);
-//! let out = learn(&mut oracle, &params).unwrap();
-//! assert!(out.tiling.l2_sq_to(&p) < 0.05);
+//! // Any SampleOracle backend works here; Session::from_dense simulates
+//! // sample access to the explicit pmf.
+//! let mut session = Session::from_dense(&p, 1);
+//! let report = session.run_one(Learn::k(3).eps(0.1).scale(0.02)).unwrap();
+//! let learned = report.histogram.as_ref().unwrap();
+//! assert!(learned.l2_sq_to(&p) < 0.05);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod compress;
 pub mod cost;
 pub mod flatness;
@@ -60,22 +63,38 @@ pub mod tester;
 pub mod tiling_state;
 pub mod uniformity;
 
+pub use api::{
+    run_analyses, Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn,
+    LedgerEntry, Monotone, Report, SamplePlan, Session, TestL1, TestL2, Uniformity,
+};
 pub use compress::compress_to_k;
 pub use cost::{CostOracle, ExactCostOracle, SampleCostOracle};
 pub use flatness::{FlatnessTest, L1Flatness, L2Flatness};
 pub use greedy::{
-    greedy_with_oracle, learn, learn_dense, learn_from_samples, CandidatePolicy, GreedyOutcome,
-    GreedyParams,
+    greedy_with_oracle, learn, learn_from_samples, CandidatePolicy, GreedyOutcome, GreedyParams,
 };
 pub use identity::{
-    test_closeness_l2, test_closeness_l2_dense, test_identity_l2, test_identity_l2_dense,
+    test_closeness_l2, test_closeness_l2_from_sets, test_identity_l2, test_identity_l2_from_set,
     ClosenessReport,
 };
 pub use monotone::{
-    birge_partition, pav_non_increasing, test_monotone_non_increasing,
-    test_monotone_non_increasing_dense, MonotonicityReport,
+    birge_partition, pav_non_increasing, test_monotone_non_increasing, MonotonicityReport,
 };
 pub use partition_search::{partition_search, PartitionOutcome};
-pub use tester::{test_l1, test_l1_dense, test_l2, test_l2_dense, TestOutcome, TestReport};
+pub use tester::{test_l1, test_l2, TestOutcome, TestReport};
 pub use tiling_state::TilingState;
-pub use uniformity::{test_uniformity, test_uniformity_dense, UniformityBudget, UniformityReport};
+pub use uniformity::{test_uniformity, UniformityBudget, UniformityReport};
+
+// The deprecated `*_dense` wrappers stay re-exported so downstream code
+// migrates on its own schedule; the deprecation fires at *their* call
+// sites, not here.
+#[allow(deprecated)]
+pub use greedy::learn_dense;
+#[allow(deprecated)]
+pub use identity::{test_closeness_l2_dense, test_identity_l2_dense};
+#[allow(deprecated)]
+pub use monotone::test_monotone_non_increasing_dense;
+#[allow(deprecated)]
+pub use tester::{test_l1_dense, test_l2_dense};
+#[allow(deprecated)]
+pub use uniformity::test_uniformity_dense;

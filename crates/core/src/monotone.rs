@@ -26,6 +26,7 @@ use rand::Rng;
 use khist_dist::{DenseDistribution, DistError, Interval, TilingHistogram};
 use khist_oracle::{DenseOracle, SampleOracle, SampleSet};
 
+use crate::api::SamplePlan;
 use crate::tester::TestOutcome;
 
 /// The Birgé partition of `[n]`: consecutive intervals with lengths
@@ -111,25 +112,51 @@ pub struct MonotonicityReport {
 
 /// Sample budget for the monotonicity tester: bucket-mass estimation needs
 /// `O(B/ε²)` samples for `B` buckets (union bound over buckets).
-pub fn monotonicity_budget(n: usize, eps: f64, scale: f64) -> usize {
+///
+/// Checked like the other budgets: out-of-range `ε`/`scale` or a sample
+/// count exceeding `usize` is an error, not a saturated count.
+pub fn monotonicity_budget(n: usize, eps: f64, scale: f64) -> Result<usize, DistError> {
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("ε = {eps} must lie in (0, 1)"),
+        });
+    }
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("scale = {scale} must lie in (0, 1]"),
+        });
+    }
     let buckets = (((n as f64).ln() / (eps / 2.0)).ceil()).max(1.0);
-    ((16.0 * buckets / (eps * eps) * scale).ceil() as usize).max(64)
+    let exact = 16.0 * buckets / (eps * eps) * scale;
+    if !exact.is_finite() || exact >= usize::MAX as f64 {
+        return Err(DistError::BadParameter {
+            reason: format!("budget overflow: m = {exact:.3e} exceeds usize"),
+        });
+    }
+    Ok((exact.ceil() as usize).max(64))
 }
 
 /// Tests whether the sampled distribution is non-increasing (vs `ε`-far in
 /// `ℓ₁` from every non-increasing distribution) from `m` fresh samples
-/// drawn through a [`SampleOracle`].
+/// drawn through a [`SampleOracle`] (a thin shim over the [`SamplePlan`]
+/// single-set path).
 pub fn test_monotone_non_increasing<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     eps: f64,
     m: usize,
 ) -> Result<MonotonicityReport, DistError> {
-    let set = oracle.draw_set(m);
+    let (set, _) = SamplePlan::single(m).draw(oracle)?;
+    let set = set.ok_or_else(|| DistError::BadParameter {
+        reason: "need at least one sample".into(),
+    })?;
     test_monotone_from_set(oracle.domain_size(), eps, &set)
 }
 
 /// Convenience wrapper: monotonicity testing of an explicit
 /// [`DenseDistribution`] through a seeded [`DenseOracle`].
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session with api::Monotone) and call test_monotone_non_increasing"
+)]
 pub fn test_monotone_non_increasing_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     eps: f64,
@@ -289,7 +316,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_monotone_non_increasing_dense(p, eps, m, &mut rng)
+                let mut oracle = DenseOracle::new(p, rng.random());
+                test_monotone_non_increasing(&mut oracle, eps, m)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -304,7 +332,7 @@ mod tests {
 
     #[test]
     fn accepts_monotone_distributions() {
-        let m = monotonicity_budget(512, 0.3, 1.0);
+        let m = monotonicity_budget(512, 0.3, 1.0).unwrap();
         for p in [
             generators::zipf(512, 1.0).unwrap(),
             generators::geometric(512, 0.99).unwrap(),
@@ -320,7 +348,7 @@ mod tests {
         let z = generators::zipf(512, 1.2).unwrap();
         let rev: Vec<f64> = z.to_vec().into_iter().rev().collect();
         let p = DenseDistribution::from_pmf(rev).unwrap();
-        let m = monotonicity_budget(512, 0.3, 1.0);
+        let m = monotonicity_budget(512, 0.3, 1.0).unwrap();
         assert_eq!(majority(&p, 0.3, m, 2), TestOutcome::Reject);
     }
 
@@ -337,7 +365,7 @@ mod tests {
             ),
         ])
         .unwrap();
-        let m = monotonicity_budget(512, 0.3, 1.0);
+        let m = monotonicity_budget(512, 0.3, 1.0).unwrap();
         assert_eq!(majority(&p, 0.3, m, 3), TestOutcome::Reject);
     }
 
@@ -366,10 +394,20 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_dense_wrapper_still_works() {
+        #[allow(deprecated)]
+        {
+            let p = generators::geometric(64, 0.9).unwrap();
+            let mut rng = StdRng::seed_from_u64(6);
+            assert!(test_monotone_non_increasing_dense(&p, 0.3, 5_000, &mut rng).is_ok());
+        }
+    }
+
+    #[test]
     fn report_fields_are_consistent() {
         let p = generators::geometric(128, 0.95).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
-        let rep = test_monotone_non_increasing_dense(&p, 0.3, 20_000, &mut rng).unwrap();
+        let mut oracle = DenseOracle::new(&p, 5);
+        let rep = test_monotone_non_increasing(&mut oracle, 0.3, 20_000).unwrap();
         assert_eq!(rep.samples_used, 20_000);
         assert!(rep.buckets > 3 && rep.buckets < 128);
         assert!(rep.isotonic_distance >= 0.0);

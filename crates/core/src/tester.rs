@@ -17,6 +17,7 @@ use rand::Rng;
 use khist_dist::{DenseDistribution, DistError};
 use khist_oracle::{DenseOracle, L1TesterBudget, L2TesterBudget, SampleOracle, SampleSet};
 
+use crate::api::SamplePlan;
 use crate::flatness::{L1Flatness, L2Flatness};
 use crate::partition_search::partition_search;
 
@@ -51,19 +52,24 @@ pub struct TestReport {
 }
 
 /// Runs the `ℓ₂` tester (Algorithm 2 + `testFlatness-ℓ₂`) on fresh sample
-/// sets drawn through a [`SampleOracle`].
+/// sets drawn through a [`SampleOracle`] (a thin shim over the
+/// [`SamplePlan`] set-batch path — batch it with other analyses via
+/// [`crate::api::Session`] to share the draw).
 pub fn test_l2<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     k: usize,
     eps: f64,
     budget: L2TesterBudget,
 ) -> Result<TestReport, DistError> {
-    let sets = oracle.draw_sets(budget.r, budget.m);
-    test_l2_from_sets(oracle.domain_size(), k, eps, budget.m, &sets)
+    let (_, sets) = SamplePlan::sets(budget.r, budget.m).draw(oracle)?;
+    test_l2_from_sets(oracle.domain_size(), k, eps, &sets)
 }
 
 /// Convenience wrapper: runs the `ℓ₂` tester against an explicit
 /// [`DenseDistribution`] through a seeded [`DenseOracle`].
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session with api::TestL2) and call test_l2"
+)]
 pub fn test_l2_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     k: usize,
@@ -76,16 +82,17 @@ pub fn test_l2_dense<R: Rng + ?Sized>(
 }
 
 /// Runs the `ℓ₂` tester on pre-drawn sample sets (entry point for real
-/// data).
+/// data; the flatness thresholds are normalized per set, so sets of
+/// slightly different sizes — e.g. reservoir lanes of a shared streaming
+/// draw — are handled correctly).
 pub fn test_l2_from_sets(
     n: usize,
     k: usize,
     eps: f64,
-    m: usize,
     sets: &[SampleSet],
 ) -> Result<TestReport, DistError> {
-    validate(n, k, eps, m, sets)?;
-    let flat = L2Flatness::new(sets, m, eps);
+    validate(n, k, eps, sets)?;
+    let flat = L2Flatness::new(sets, eps);
     let search = partition_search(n, k, &flat);
     Ok(TestReport {
         outcome: if search.accepted {
@@ -100,19 +107,23 @@ pub fn test_l2_from_sets(
 }
 
 /// Runs the `ℓ₁` tester (Algorithm 2 + `testFlatness-ℓ₁`) on fresh sample
-/// sets drawn through a [`SampleOracle`].
+/// sets drawn through a [`SampleOracle`] (a thin shim over the
+/// [`SamplePlan`] set-batch path).
 pub fn test_l1<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     k: usize,
     eps: f64,
     budget: L1TesterBudget,
 ) -> Result<TestReport, DistError> {
-    let sets = oracle.draw_sets(budget.r, budget.m);
-    test_l1_from_sets(oracle.domain_size(), k, eps, budget.m, &sets)
+    let (_, sets) = SamplePlan::sets(budget.r, budget.m).draw(oracle)?;
+    test_l1_from_sets(oracle.domain_size(), k, eps, &sets)
 }
 
 /// Convenience wrapper: runs the `ℓ₁` tester against an explicit
 /// [`DenseDistribution`] through a seeded [`DenseOracle`].
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session with api::TestL1) and call test_l1"
+)]
 pub fn test_l1_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     k: usize,
@@ -124,16 +135,16 @@ pub fn test_l1_dense<R: Rng + ?Sized>(
     test_l1(&mut oracle, k, eps, budget)
 }
 
-/// Runs the `ℓ₁` tester on pre-drawn sample sets.
+/// Runs the `ℓ₁` tester on pre-drawn sample sets (per-set-normalized
+/// thresholds, like [`test_l2_from_sets`]).
 pub fn test_l1_from_sets(
     n: usize,
     k: usize,
     eps: f64,
-    m: usize,
     sets: &[SampleSet],
 ) -> Result<TestReport, DistError> {
-    validate(n, k, eps, m, sets)?;
-    let flat = L1Flatness::new(sets, m, eps, k, n);
+    validate(n, k, eps, sets)?;
+    let flat = L1Flatness::new(sets, eps, k, n);
     let search = partition_search(n, k, &flat);
     Ok(TestReport {
         outcome: if search.accepted {
@@ -164,7 +175,7 @@ impl std::fmt::Display for TestReport {
     }
 }
 
-fn validate(n: usize, k: usize, eps: f64, m: usize, sets: &[SampleSet]) -> Result<(), DistError> {
+fn validate(n: usize, k: usize, eps: f64, sets: &[SampleSet]) -> Result<(), DistError> {
     if n == 0 {
         return Err(DistError::EmptyDomain);
     }
@@ -178,16 +189,12 @@ fn validate(n: usize, k: usize, eps: f64, m: usize, sets: &[SampleSet]) -> Resul
             reason: format!("ε = {eps} must lie in (0, 1)"),
         });
     }
-    if m == 0 || sets.is_empty() {
+    // Every decision fraction is normalized by its own set's count, so the
+    // sets need not be equal-sized — but an empty set carries no evidence
+    // and almost surely signals a broken split upstream.
+    if sets.is_empty() || sets.iter().any(|s| s.total() == 0) {
         return Err(DistError::BadParameter {
             reason: "need non-empty sample sets".into(),
-        });
-    }
-    // The flatness thresholds are fractions of the nominal per-set size `m`;
-    // sets of a different size would silently skew every decision.
-    if let Some(bad) = sets.iter().find(|s| s.total() as usize != m) {
-        return Err(DistError::BadParameter {
-            reason: format!("sample set holds {} samples but m = {m}", bad.total()),
         });
     }
     Ok(())
@@ -209,12 +216,13 @@ mod tests {
         scale: f64,
         seed: u64,
     ) -> TestOutcome {
-        let budget = L2TesterBudget::calibrated(p.n(), eps, scale);
+        let budget = L2TesterBudget::calibrated(p.n(), eps, scale).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut accepts = 0;
         let runs = 7;
         for _ in 0..runs {
-            if test_l2_dense(p, k, eps, budget, &mut rng)
+            let mut oracle = DenseOracle::new(p, rng.random());
+            if test_l2(&mut oracle, k, eps, budget)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -236,12 +244,13 @@ mod tests {
         scale: f64,
         seed: u64,
     ) -> TestOutcome {
-        let budget = L1TesterBudget::calibrated(p.n(), k, eps, scale);
+        let budget = L1TesterBudget::calibrated(p.n(), k, eps, scale).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut accepts = 0;
         let runs = 7;
         for _ in 0..runs {
-            if test_l1_dense(p, k, eps, budget, &mut rng)
+            let mut oracle = DenseOracle::new(p, rng.random());
+            if test_l1(&mut oracle, k, eps, budget)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -324,9 +333,9 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let p = DenseDistribution::uniform(64).unwrap();
-        let budget = L2TesterBudget::calibrated(64, 0.3, 0.02);
-        let mut rng = StdRng::seed_from_u64(10);
-        let rep = test_l2_dense(&p, 2, 0.3, budget, &mut rng).unwrap();
+        let budget = L2TesterBudget::calibrated(64, 0.3, 0.02).unwrap();
+        let mut oracle = DenseOracle::new(&p, 10);
+        let rep = test_l2(&mut oracle, 2, 0.3, budget).unwrap();
         assert_eq!(rep.samples_used, budget.r * budget.m);
         assert!(rep.probes > 0);
         if rep.outcome.is_accept() {
@@ -335,19 +344,49 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_dense_wrappers_still_work() {
+        #[allow(deprecated)]
+        {
+            let p = DenseDistribution::uniform(64).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let l2 = L2TesterBudget::calibrated(64, 0.3, 0.02).unwrap();
+            assert!(test_l2_dense(&p, 2, 0.3, l2, &mut rng).is_ok());
+            let l1 = L1TesterBudget::calibrated(64, 2, 0.4, 0.01).unwrap();
+            assert!(test_l1_dense(&p, 2, 0.4, l1, &mut rng).is_ok());
+        }
+    }
+
+    #[test]
     fn validation_errors() {
         let p = DenseDistribution::uniform(8).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let budget = L2TesterBudget::calibrated(8, 0.3, 0.1);
-        assert!(test_l2_dense(&p, 0, 0.3, budget, &mut rng).is_err());
+        let budget = L2TesterBudget::calibrated(8, 0.3, 0.1).unwrap();
+        let mut oracle = DenseOracle::new(&p, 1);
+        assert!(test_l2(&mut oracle, 0, 0.3, budget).is_err());
         let sets = SampleSet::draw_many(&p, 16, 3, &mut rng);
-        assert!(test_l2_from_sets(0, 2, 0.3, 16, &sets).is_err());
-        assert!(test_l2_from_sets(8, 2, 1.5, 16, &sets).is_err());
-        assert!(test_l2_from_sets(8, 2, 0.3, 0, &sets).is_err());
-        assert!(test_l1_from_sets(8, 2, 0.3, 16, &[]).is_err());
-        // declared m must match the actual set sizes
-        assert!(test_l2_from_sets(8, 2, 0.3, 32, &sets).is_err());
-        assert!(test_l1_from_sets(8, 2, 0.3, 17, &sets).is_err());
+        assert!(test_l2_from_sets(0, 2, 0.3, &sets).is_err());
+        assert!(test_l2_from_sets(8, 2, 1.5, &sets).is_err());
+        assert!(test_l1_from_sets(8, 2, 0.3, &[]).is_err());
+        // empty sets carry no evidence and signal a broken split
+        let with_empty = [sets[0].clone(), SampleSet::from_samples(vec![])];
+        assert!(test_l2_from_sets(8, 2, 0.3, &with_empty).is_err());
+        assert!(test_l1_from_sets(8, 2, 0.3, &with_empty).is_err());
+    }
+
+    #[test]
+    fn unequal_set_sizes_are_accepted() {
+        // Streaming backends serve reservoir lanes that can differ by a few
+        // samples; per-set-normalized thresholds handle that directly.
+        let p = generators::staircase(64, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let sets = vec![
+            SampleSet::draw(&p, 4000, &mut rng),
+            SampleSet::draw(&p, 3900, &mut rng),
+            SampleSet::draw(&p, 4100, &mut rng),
+        ];
+        let rep = test_l2_from_sets(64, 4, 0.25, &sets).unwrap();
+        assert_eq!(rep.samples_used, 12_000);
+        assert!(test_l1_from_sets(64, 4, 0.4, &sets).is_ok());
     }
 
     #[test]
@@ -357,12 +396,13 @@ mod tests {
         // structure, even if the binary search overshoots a boundary by an
         // element or two within the flatness slack.
         let p = generators::staircase(64, 4).unwrap();
-        let budget = L2TesterBudget::calibrated(64, 0.2, 0.2);
+        let budget = L2TesterBudget::calibrated(64, 0.2, 0.2).unwrap();
         let mut rng = StdRng::seed_from_u64(12);
         let mut best_witness_err = f64::INFINITY;
         let mut accepts = 0;
         for _ in 0..7 {
-            let rep = test_l2_dense(&p, 4, 0.2, budget, &mut rng).unwrap();
+            let mut oracle = DenseOracle::new(&p, rng.random());
+            let rep = test_l2(&mut oracle, 4, 0.2, budget).unwrap();
             if rep.outcome.is_accept() {
                 accepts += 1;
                 let h = khist_dist::TilingHistogram::project(&p, &rep.cuts).unwrap();

@@ -19,8 +19,10 @@
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, DistError, Interval};
-use khist_oracle::{absolute_collision_estimate, DenseOracle, SampleOracle, SampleSet};
+use khist_oracle::{absolute_collision_estimate, Budget, DenseOracle, SampleOracle, SampleSet};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
+use crate::api::SamplePlan;
 use crate::tester::TestOutcome;
 
 /// Budget for the standalone uniformity tester.
@@ -33,20 +35,73 @@ pub struct UniformityBudget {
 impl UniformityBudget {
     /// The `Õ(√n/ε⁴)` budget from the Goldreich–Ron analysis (constant
     /// from [BFR+10]'s presentation), scaled by `scale` like the other
-    /// calibrated budgets.
-    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Self {
-        assert!(n >= 2, "domain too small to test");
-        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
-        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
-        let m = 16.0 * (n as f64).sqrt() / eps.powi(4);
-        UniformityBudget {
-            m: ((m * scale).ceil() as usize).max(16),
+    /// calibrated budgets. Fails on out-of-range parameters or a sample
+    /// count exceeding `usize` (checked like the `khist-oracle` budgets).
+    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Result<Self, DistError> {
+        let bad = |reason: String| DistError::BadParameter { reason };
+        if n < 2 {
+            return Err(bad(format!("domain size {n} too small to test")));
         }
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(bad(format!("ε = {eps} must lie in (0, 1)")));
+        }
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(bad(format!("scale = {scale} must lie in (0, 1]")));
+        }
+        let exact = 16.0 * (n as f64).sqrt() / eps.powi(4) * scale;
+        if !exact.is_finite() || exact >= usize::MAX as f64 {
+            return Err(bad(format!(
+                "budget overflow: m = {exact:.3e} exceeds usize"
+            )));
+        }
+        Ok(UniformityBudget {
+            m: (exact.ceil() as usize).max(16),
+        })
     }
 
     /// The unscaled theoretical budget.
-    pub fn theoretical(n: usize, eps: f64) -> Self {
+    pub fn theoretical(n: usize, eps: f64) -> Result<Self, DistError> {
         Self::calibrated(n, eps, 1.0)
+    }
+
+    /// Total samples drawn under this budget.
+    pub fn total_samples(&self) -> Result<usize, DistError> {
+        Ok(self.m)
+    }
+}
+
+impl Budget for UniformityBudget {
+    type Params = (usize, f64);
+    const KIND: &'static str = "uniformity";
+
+    fn calibrated((n, eps): Self::Params, scale: f64) -> Result<Self, DistError> {
+        UniformityBudget::calibrated(n, eps, scale)
+    }
+
+    fn total_samples(&self) -> Result<usize, DistError> {
+        UniformityBudget::total_samples(self)
+    }
+}
+
+impl Serialize for UniformityBudget {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", Value::Str(Self::KIND.into())),
+            ("m", self.m.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for UniformityBudget {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        khist_oracle::budget::check_kind(value, Self::KIND)?;
+        Ok(UniformityBudget {
+            m: usize::deserialize(
+                value
+                    .get("m")
+                    .ok_or_else(|| SerdeError::new("uniformity budget missing 'm'"))?,
+            )?,
+        })
     }
 }
 
@@ -63,18 +118,26 @@ pub struct UniformityReport {
     pub samples_used: usize,
 }
 
-/// Tests uniformity from fresh samples drawn through a [`SampleOracle`].
+/// Tests uniformity from fresh samples drawn through a [`SampleOracle`]
+/// (a thin shim over the [`SamplePlan`] single-set path — batch it with
+/// other analyses via [`crate::api::Session`] to share the draw).
 pub fn test_uniformity<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     eps: f64,
     budget: UniformityBudget,
 ) -> Result<UniformityReport, DistError> {
-    let set = oracle.draw_set(budget.m);
+    let (set, _) = SamplePlan::single(budget.m).draw(oracle)?;
+    let set = set.ok_or_else(|| DistError::BadParameter {
+        reason: "need at least two samples".into(),
+    })?;
     test_uniformity_from_set(oracle.domain_size(), eps, &set)
 }
 
 /// Convenience wrapper: tests uniformity of an explicit
 /// [`DenseDistribution`] through a seeded [`DenseOracle`].
+#[deprecated(
+    note = "construct a DenseOracle (or api::Session::from_dense) and call test_uniformity"
+)]
 pub fn test_uniformity_dense<R: Rng + ?Sized>(
     p: &DenseDistribution,
     eps: f64,
@@ -127,11 +190,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn majority(p: &DenseDistribution, eps: f64, scale: f64, seed: u64) -> TestOutcome {
-        let budget = UniformityBudget::calibrated(p.n(), eps, scale);
+        let budget = UniformityBudget::calibrated(p.n(), eps, scale).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let accepts = (0..9)
             .filter(|_| {
-                test_uniformity_dense(p, eps, budget, &mut rng)
+                let mut oracle = DenseOracle::new(p, rng.random());
+                test_uniformity(&mut oracle, eps, budget)
                     .unwrap()
                     .outcome
                     .is_accept()
@@ -168,11 +232,40 @@ mod tests {
     #[test]
     fn statistic_estimates_l2_norm() {
         let p = generators::two_level(256, 0.5, 0.9).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut oracle = DenseOracle::new(&p, 5);
         let budget = UniformityBudget { m: 50_000 };
-        let rep = test_uniformity_dense(&p, 0.3, budget, &mut rng).unwrap();
+        let rep = test_uniformity(&mut oracle, 0.3, budget).unwrap();
         assert!((rep.statistic - p.l2_norm_sq()).abs() < 0.002);
         assert_eq!(rep.samples_used, 50_000);
+    }
+
+    #[test]
+    fn deprecated_dense_wrapper_still_works() {
+        #[allow(deprecated)]
+        {
+            let p = DenseDistribution::uniform(256).unwrap();
+            let budget = UniformityBudget::calibrated(256, 0.4, 0.1).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            assert!(test_uniformity_dense(&p, 0.4, budget, &mut rng).is_ok());
+        }
+    }
+
+    #[test]
+    fn budget_rejects_extreme_parameters() {
+        assert!(UniformityBudget::calibrated(1, 0.3, 1.0).is_err());
+        assert!(UniformityBudget::calibrated(64, 0.0, 1.0).is_err());
+        assert!(UniformityBudget::calibrated(64, 0.3, 0.0).is_err());
+        let err = UniformityBudget::theoretical(usize::MAX, 1e-80).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn budget_serde_round_trips() {
+        let b = UniformityBudget::calibrated(1024, 0.3, 0.1).unwrap();
+        let text = serde::json::to_string(&b.serialize());
+        let back =
+            UniformityBudget::deserialize(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, b);
     }
 
     #[test]
@@ -183,14 +276,15 @@ mod tests {
         // elements sharing 90% of the mass give ‖p − u‖₂ ≈ 0.36 > 0.3.
         // (A milder skew like two_level(256, 0.1, 0.8) is only ≈ 0.15-far
         // in ℓ₂ and the general tester rightly accepts it at ε = 0.3.)
-        use crate::tester::test_l2_dense;
+        use crate::tester::test_l2;
         use khist_oracle::L2TesterBudget;
         let mut rng = StdRng::seed_from_u64(6);
         let uniform = DenseDistribution::uniform(256).unwrap();
         let skewed = generators::two_level(256, 0.02, 0.9).unwrap();
-        let l2_budget = L2TesterBudget::calibrated(256, 0.3, 0.05);
+        let l2_budget = L2TesterBudget::calibrated(256, 0.3, 0.05).unwrap();
         for (p, expect_accept) in [(&uniform, true), (&skewed, false)] {
-            let general = test_l2_dense(p, 1, 0.3, l2_budget, &mut rng)
+            let mut oracle = DenseOracle::new(p, rng.random());
+            let general = test_l2(&mut oracle, 1, 0.3, l2_budget)
                 .unwrap()
                 .outcome
                 .is_accept();
@@ -202,8 +296,8 @@ mod tests {
 
     #[test]
     fn budget_scales_with_sqrt_n() {
-        let b1 = UniformityBudget::theoretical(1 << 10, 0.5);
-        let b2 = UniformityBudget::theoretical(1 << 14, 0.5);
+        let b1 = UniformityBudget::theoretical(1 << 10, 0.5).unwrap();
+        let b2 = UniformityBudget::theoretical(1 << 14, 0.5).unwrap();
         let ratio = b2.m as f64 / b1.m as f64;
         assert!((ratio - 4.0).abs() < 0.05, "√n scaling broken: {ratio}");
     }

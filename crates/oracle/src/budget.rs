@@ -22,6 +22,43 @@
 //! Scaling experiments hold `scale` fixed while sweeping `n`, `k`, `ε`, so
 //! measured growth exponents reflect the formulas' `ln n`, `√(kn)`, `ε⁻ᶜ`
 //! dependence rather than the constant.
+//!
+//! All constructors and [`total_samples`](Budget::total_samples) use
+//! checked arithmetic: extreme `n`/`k`/`ε` (think `ε = 1e-300`, where
+//! `ε⁻⁵` dwarfs `usize::MAX`) yield a [`DistError::BadParameter`] instead
+//! of a silently saturated or wrapped count. The [`Budget`] trait unifies
+//! the three budget shapes behind one vocabulary (`calibrated` /
+//! `theoretical` / `total_samples` / serde round-trip) so generic layers —
+//! the `khist-core` analysis API in particular — can treat them uniformly.
+
+use khist_dist::DistError;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// The unified vocabulary of the three sample budgets.
+///
+/// Each implementor fixes its constructor parameters via
+/// [`Budget::Params`] — `(n, k, ε)` for the learner and the `ℓ₁` tester,
+/// `(n, ε)` for the `ℓ₂` tester — so generic code can build, size and
+/// serialize any budget without knowing which algorithm it feeds.
+pub trait Budget: Sized + Clone + Serialize + Deserialize {
+    /// Constructor parameters (domain size, optional piece count, accuracy).
+    type Params: Copy;
+
+    /// Stable name used in serialized reports (`"learner"`, `"l2"`, `"l1"`).
+    const KIND: &'static str;
+
+    /// The paper's formulas with sample counts scaled by `scale ∈ (0, 1]`.
+    fn calibrated(params: Self::Params, scale: f64) -> Result<Self, DistError>;
+
+    /// The paper's constants, verbatim (`scale = 1`).
+    fn theoretical(params: Self::Params) -> Result<Self, DistError> {
+        Self::calibrated(params, 1.0)
+    }
+
+    /// Total number of samples drawn under this budget, or an error when
+    /// the count exceeds `usize`.
+    fn total_samples(&self) -> Result<usize, DistError>;
+}
 
 /// Budget for the greedy learner (Algorithm 1 / Theorem 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,48 +82,154 @@ fn xi_param(k: usize, eps: f64) -> f64 {
     eps / (k as f64 * log_term)
 }
 
-fn odd_at_least(x: f64, min: usize) -> usize {
-    let v = (x.ceil() as usize).max(min);
-    if v.is_multiple_of(2) {
-        v + 1
-    } else {
-        v
+/// Converts an exact (real-valued) sample count to `usize`, rejecting
+/// non-finite or `usize`-overflowing values instead of saturating.
+fn count_from(exact: f64, what: &str) -> Result<usize, DistError> {
+    // usize::MAX as f64 rounds *up* to 2^64, so `>=` also catches the
+    // values the saturating cast would silently pin to usize::MAX.
+    if !exact.is_finite() || exact >= usize::MAX as f64 {
+        return Err(DistError::BadParameter {
+            reason: format!("budget overflow: {what} = {exact:.3e} exceeds usize"),
+        });
     }
+    Ok(exact.ceil().max(0.0) as usize)
+}
+
+fn odd_at_least(exact: f64, min: usize, what: &str) -> Result<usize, DistError> {
+    let v = count_from(exact, what)?.max(min);
+    Ok(if v.is_multiple_of(2) { v + 1 } else { v })
+}
+
+fn check_common(n: usize, min_n: usize, eps: f64, scale: f64) -> Result<(), DistError> {
+    if n < min_n {
+        return Err(DistError::BadParameter {
+            reason: format!("domain size {n} below minimum {min_n}"),
+        });
+    }
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("ε = {eps} must lie in (0, 1)"),
+        });
+    }
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("scale = {scale} must lie in (0, 1]"),
+        });
+    }
+    Ok(())
+}
+
+fn check_k(k: usize) -> Result<(), DistError> {
+    if k == 0 {
+        return Err(DistError::BadParameter {
+            reason: "k must be positive".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Checked `a + b·c` — the `main + sets` shape shared by all budgets.
+fn checked_total(main: usize, r: usize, m: usize) -> Result<usize, DistError> {
+    r.checked_mul(m)
+        .and_then(|sets| main.checked_add(sets))
+        .ok_or_else(|| DistError::BadParameter {
+            reason: format!("budget overflow: {main} + {r}·{m} exceeds usize"),
+        })
 }
 
 impl LearnerBudget {
     /// The paper's constants, verbatim.
     ///
-    /// # Panics
-    /// Panics unless `n ≥ 1`, `k ≥ 1` and `0 < ε < 1`.
-    pub fn theoretical(n: usize, k: usize, eps: f64) -> Self {
+    /// Fails when `n == 0`, `k == 0`, `ε ∉ (0, 1)`, or a sample count
+    /// exceeds `usize`.
+    pub fn theoretical(n: usize, k: usize, eps: f64) -> Result<Self, DistError> {
         Self::calibrated(n, k, eps, 1.0)
     }
 
     /// The paper's formulas with sample counts scaled by `scale ∈ (0, 1]`.
-    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Self {
-        assert!(n >= 1, "domain must be non-empty");
-        assert!(k >= 1, "k must be positive");
-        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
-        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Result<Self, DistError> {
+        check_common(n, 1, eps, scale)?;
+        check_k(k)?;
         let xi = xi_param(k, eps);
         let nf = n as f64;
         let ell_exact = (12.0 * nf * nf).ln() / (2.0 * xi * xi);
         let r_exact = (6.0 * nf * nf).ln();
         let m_exact = 24.0 / (xi * xi);
-        let q = (k as f64 * (1.0 / eps).ln().max(1.0)).ceil() as usize;
-        LearnerBudget {
+        let q_exact = (k as f64 * (1.0 / eps).ln().max(1.0)).ceil();
+        Ok(LearnerBudget {
             xi,
-            ell: (ell_exact * scale).ceil().max(16.0) as usize,
-            r: odd_at_least(r_exact * scale.sqrt(), 3),
-            m: (m_exact * scale).ceil().max(16.0) as usize,
-            q: q.max(1),
-        }
+            ell: count_from((ell_exact * scale).max(16.0), "ℓ")?,
+            r: odd_at_least(r_exact * scale.sqrt(), 3, "r")?,
+            m: count_from((m_exact * scale).max(16.0), "m")?,
+            q: count_from(q_exact, "q")?.max(1),
+        })
     }
 
     /// Total number of samples drawn under this budget: `ℓ + r·m`.
-    pub fn total_samples(&self) -> usize {
-        self.ell + self.r * self.m
+    pub fn total_samples(&self) -> Result<usize, DistError> {
+        checked_total(self.ell, self.r, self.m)
+    }
+}
+
+impl Budget for LearnerBudget {
+    type Params = (usize, usize, f64);
+    const KIND: &'static str = "learner";
+
+    fn calibrated((n, k, eps): Self::Params, scale: f64) -> Result<Self, DistError> {
+        LearnerBudget::calibrated(n, k, eps, scale)
+    }
+
+    fn total_samples(&self) -> Result<usize, DistError> {
+        LearnerBudget::total_samples(self)
+    }
+}
+
+impl Serialize for LearnerBudget {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", Value::Str(Self::KIND.into())),
+            ("xi", self.xi.serialize()),
+            ("ell", self.ell.serialize()),
+            ("r", self.r.serialize()),
+            ("m", self.m.serialize()),
+            ("q", self.q.serialize()),
+        ])
+    }
+}
+
+/// Reads one field of a serialized budget map.
+fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, SerdeError> {
+    T::deserialize(
+        value
+            .get(key)
+            .ok_or_else(|| SerdeError::new(format!("budget missing field '{key}'")))?,
+    )
+}
+
+/// Rejects a serialized budget whose `kind` tag names a *different* budget
+/// (the `ℓ₁`/`ℓ₂` tester budgets share the `{r, m}` field shape, so without
+/// this check one would silently deserialize as the other). A missing tag
+/// is tolerated for hand-written inputs.
+pub fn check_kind(value: &Value, expected: &'static str) -> Result<(), SerdeError> {
+    match value.get("kind").and_then(Value::as_str) {
+        None => Ok(()),
+        Some(kind) if kind == expected => Ok(()),
+        Some(other) => Err(SerdeError::new(format!(
+            "budget kind '{other}' is not '{expected}'"
+        ))),
+    }
+}
+
+impl Deserialize for LearnerBudget {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        check_kind(value, Self::KIND)?;
+        Ok(LearnerBudget {
+            xi: field(value, "xi")?,
+            ell: field(value, "ell")?,
+            r: field(value, "r")?,
+            m: field(value, "m")?,
+            q: field(value, "q")?,
+        })
     }
 }
 
@@ -101,27 +244,58 @@ pub struct L2TesterBudget {
 
 impl L2TesterBudget {
     /// The paper's constants, verbatim.
-    pub fn theoretical(n: usize, eps: f64) -> Self {
+    pub fn theoretical(n: usize, eps: f64) -> Result<Self, DistError> {
         Self::calibrated(n, eps, 1.0)
     }
 
     /// Scaled-down budget with the same `ln n`, `ε⁻⁴` shape.
-    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Self {
-        assert!(n >= 2, "domain too small to test");
-        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
-        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+    pub fn calibrated(n: usize, eps: f64, scale: f64) -> Result<Self, DistError> {
+        check_common(n, 2, eps, scale)?;
         let nf = n as f64;
         let r_exact = 16.0 * (6.0 * nf * nf).ln();
         let m_exact = 64.0 * nf.ln() * eps.powi(-4);
-        L2TesterBudget {
-            r: odd_at_least(r_exact * scale.sqrt(), 3),
-            m: (m_exact * scale).ceil().max(16.0) as usize,
-        }
+        Ok(L2TesterBudget {
+            r: odd_at_least(r_exact * scale.sqrt(), 3, "r")?,
+            m: count_from((m_exact * scale).max(16.0), "m")?,
+        })
     }
 
     /// Total samples `r·m`.
-    pub fn total_samples(&self) -> usize {
-        self.r * self.m
+    pub fn total_samples(&self) -> Result<usize, DistError> {
+        checked_total(0, self.r, self.m)
+    }
+}
+
+impl Budget for L2TesterBudget {
+    type Params = (usize, f64);
+    const KIND: &'static str = "l2";
+
+    fn calibrated((n, eps): Self::Params, scale: f64) -> Result<Self, DistError> {
+        L2TesterBudget::calibrated(n, eps, scale)
+    }
+
+    fn total_samples(&self) -> Result<usize, DistError> {
+        L2TesterBudget::total_samples(self)
+    }
+}
+
+impl Serialize for L2TesterBudget {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", Value::Str(Self::KIND.into())),
+            ("r", self.r.serialize()),
+            ("m", self.m.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for L2TesterBudget {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        check_kind(value, Self::KIND)?;
+        Ok(L2TesterBudget {
+            r: field(value, "r")?,
+            m: field(value, "m")?,
+        })
     }
 }
 
@@ -136,28 +310,59 @@ pub struct L1TesterBudget {
 
 impl L1TesterBudget {
     /// The paper's constants, verbatim.
-    pub fn theoretical(n: usize, k: usize, eps: f64) -> Self {
+    pub fn theoretical(n: usize, k: usize, eps: f64) -> Result<Self, DistError> {
         Self::calibrated(n, k, eps, 1.0)
     }
 
     /// Scaled-down budget with the same `√(kn)`, `ε⁻⁵` shape.
-    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Self {
-        assert!(n >= 2, "domain too small to test");
-        assert!(k >= 1, "k must be positive");
-        assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0, 1)");
-        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+    pub fn calibrated(n: usize, k: usize, eps: f64, scale: f64) -> Result<Self, DistError> {
+        check_common(n, 2, eps, scale)?;
+        check_k(k)?;
         let nf = n as f64;
         let r_exact = 16.0 * (6.0 * nf * nf).ln();
         let m_exact = 8192.0 * (k as f64 * nf).sqrt() * eps.powi(-5);
-        L1TesterBudget {
-            r: odd_at_least(r_exact * scale.sqrt(), 3),
-            m: (m_exact * scale).ceil().max(16.0) as usize,
-        }
+        Ok(L1TesterBudget {
+            r: odd_at_least(r_exact * scale.sqrt(), 3, "r")?,
+            m: count_from((m_exact * scale).max(16.0), "m")?,
+        })
     }
 
     /// Total samples `r·m`.
-    pub fn total_samples(&self) -> usize {
-        self.r * self.m
+    pub fn total_samples(&self) -> Result<usize, DistError> {
+        checked_total(0, self.r, self.m)
+    }
+}
+
+impl Budget for L1TesterBudget {
+    type Params = (usize, usize, f64);
+    const KIND: &'static str = "l1";
+
+    fn calibrated((n, k, eps): Self::Params, scale: f64) -> Result<Self, DistError> {
+        L1TesterBudget::calibrated(n, k, eps, scale)
+    }
+
+    fn total_samples(&self) -> Result<usize, DistError> {
+        L1TesterBudget::total_samples(self)
+    }
+}
+
+impl Serialize for L1TesterBudget {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", Value::Str(Self::KIND.into())),
+            ("r", self.r.serialize()),
+            ("m", self.m.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for L1TesterBudget {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        check_kind(value, Self::KIND)?;
+        Ok(L1TesterBudget {
+            r: field(value, "r")?,
+            m: field(value, "m")?,
+        })
     }
 }
 
@@ -170,7 +375,7 @@ mod tests {
         let n = 100;
         let k = 4;
         let eps = 0.1;
-        let b = LearnerBudget::theoretical(n, k, eps);
+        let b = LearnerBudget::theoretical(n, k, eps).unwrap();
         let xi = eps / (k as f64 * (10.0f64).ln());
         assert!((b.xi - xi).abs() < 1e-12);
         let ell = ((12.0 * 10_000.0f64).ln() / (2.0 * xi * xi)).ceil() as usize;
@@ -191,14 +396,14 @@ mod tests {
             m: 20,
             q: 3,
         };
-        assert_eq!(b.total_samples(), 200);
+        assert_eq!(b.total_samples().unwrap(), 200);
     }
 
     #[test]
     fn calibrated_scales_down_monotonically() {
-        let full = LearnerBudget::theoretical(1000, 5, 0.1);
-        let half = LearnerBudget::calibrated(1000, 5, 0.1, 0.5);
-        let tiny = LearnerBudget::calibrated(1000, 5, 0.1, 0.01);
+        let full = LearnerBudget::theoretical(1000, 5, 0.1).unwrap();
+        let half = LearnerBudget::calibrated(1000, 5, 0.1, 0.5).unwrap();
+        let tiny = LearnerBudget::calibrated(1000, 5, 0.1, 0.01).unwrap();
         assert!(half.ell < full.ell && tiny.ell < half.ell);
         assert!(half.m < full.m && tiny.m < half.m);
         assert!(tiny.r <= half.r && half.r <= full.r);
@@ -209,8 +414,8 @@ mod tests {
 
     #[test]
     fn budgets_grow_with_log_n() {
-        let small = LearnerBudget::theoretical(100, 4, 0.1);
-        let large = LearnerBudget::theoretical(10_000, 4, 0.1);
+        let small = LearnerBudget::theoretical(100, 4, 0.1).unwrap();
+        let large = LearnerBudget::theoretical(10_000, 4, 0.1).unwrap();
         // ℓ scales with ln(12n²): doubling ln n roughly doubles ℓ.
         assert!(large.ell > small.ell);
         let ratio = large.ell as f64 / small.ell as f64;
@@ -220,25 +425,25 @@ mod tests {
 
     #[test]
     fn l2_budget_shape() {
-        let b1 = L2TesterBudget::theoretical(256, 0.5);
-        let b2 = L2TesterBudget::theoretical(65536, 0.5);
+        let b1 = L2TesterBudget::theoretical(256, 0.5).unwrap();
+        let b2 = L2TesterBudget::theoretical(65536, 0.5).unwrap();
         // m ∝ ln n → ratio 2 between n and n²
         let ratio = b2.m as f64 / b1.m as f64;
         assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
         // ε⁻⁴: halving ε multiplies m by 16
-        let be = L2TesterBudget::theoretical(256, 0.25);
+        let be = L2TesterBudget::theoretical(256, 0.25).unwrap();
         let eratio = be.m as f64 / b1.m as f64;
         assert!((eratio - 16.0).abs() < 0.1, "eratio = {eratio}");
     }
 
     #[test]
     fn l1_budget_shape() {
-        let b1 = L1TesterBudget::theoretical(1000, 4, 0.5);
-        let b4 = L1TesterBudget::theoretical(4000, 4, 0.5);
+        let b1 = L1TesterBudget::theoretical(1000, 4, 0.5).unwrap();
+        let b4 = L1TesterBudget::theoretical(4000, 4, 0.5).unwrap();
         // m ∝ √n → ratio 2 when n quadruples
         let ratio = b4.m as f64 / b1.m as f64;
         assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
-        let bk = L1TesterBudget::theoretical(1000, 16, 0.5);
+        let bk = L1TesterBudget::theoretical(1000, 16, 0.5).unwrap();
         let kratio = bk.m as f64 / b1.m as f64;
         assert!((kratio - 2.0).abs() < 0.01, "kratio = {kratio}");
     }
@@ -248,7 +453,7 @@ mod tests {
         // m = 2¹³·√(kn)/ε⁵ for n = 1000, k = 4, ε = 0.5:
         // 8192 · √4000 · 32 ≈ 16.6M — the "astronomical" constant the
         // calibrated profiles exist to tame.
-        let b = L1TesterBudget::theoretical(1000, 4, 0.5);
+        let b = L1TesterBudget::theoretical(1000, 4, 0.5).unwrap();
         let expect = 8192.0 * 4000.0f64.sqrt() * 32.0;
         assert!((b.m as f64 - expect).abs() / expect < 0.01);
     }
@@ -256,28 +461,121 @@ mod tests {
     #[test]
     fn r_is_always_odd() {
         for scale in [1.0, 0.5, 0.1, 0.01] {
-            assert_eq!(LearnerBudget::calibrated(500, 3, 0.2, scale).r % 2, 1);
-            assert_eq!(L2TesterBudget::calibrated(500, 0.2, scale).r % 2, 1);
-            assert_eq!(L1TesterBudget::calibrated(500, 3, 0.2, scale).r % 2, 1);
+            assert_eq!(
+                LearnerBudget::calibrated(500, 3, 0.2, scale).unwrap().r % 2,
+                1
+            );
+            assert_eq!(
+                L2TesterBudget::calibrated(500, 0.2, scale).unwrap().r % 2,
+                1
+            );
+            assert_eq!(
+                L1TesterBudget::calibrated(500, 3, 0.2, scale).unwrap().r % 2,
+                1
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "ε must lie in (0, 1)")]
-    fn rejects_bad_eps() {
-        LearnerBudget::theoretical(10, 2, 1.5);
+    fn rejects_bad_parameters() {
+        assert!(LearnerBudget::theoretical(10, 2, 1.5).is_err());
+        assert!(LearnerBudget::theoretical(10, 2, 0.0).is_err());
+        assert!(LearnerBudget::theoretical(0, 2, 0.5).is_err());
+        assert!(LearnerBudget::theoretical(10, 0, 0.5).is_err());
+        assert!(LearnerBudget::calibrated(10, 2, 0.5, 0.0).is_err());
+        assert!(LearnerBudget::calibrated(10, 2, 0.5, 1.5).is_err());
+        assert!(L2TesterBudget::theoretical(1, 0.5).is_err());
+        assert!(L1TesterBudget::theoretical(100, 0, 0.5).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "scale must lie in (0, 1]")]
-    fn rejects_bad_scale() {
-        LearnerBudget::calibrated(10, 2, 0.5, 0.0);
+    fn extreme_parameters_error_instead_of_overflowing() {
+        // Satellite: ε⁻⁴ / ε⁻⁵ / ξ⁻² blow past usize for microscopic ε —
+        // the constructors must say so instead of silently saturating.
+        let err = LearnerBudget::theoretical(100, 1_000_000, 1e-300).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        let err = L2TesterBudget::theoretical(100, 1e-100).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        let err = L1TesterBudget::theoretical(usize::MAX, 1000, 1e-60).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn total_samples_checked_against_overflow() {
+        let b = L1TesterBudget {
+            r: usize::MAX / 2,
+            m: 3,
+        };
+        let err = b.total_samples().unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        let b = LearnerBudget {
+            xi: 0.1,
+            ell: usize::MAX,
+            r: 1,
+            m: 1,
+            q: 1,
+        };
+        assert!(b.total_samples().is_err());
     }
 
     #[test]
     fn floors_keep_budgets_usable() {
         // Even with a microscopic scale the budget stays executable.
-        let b = LearnerBudget::calibrated(100, 2, 0.3, 1e-6);
+        let b = LearnerBudget::calibrated(100, 2, 0.3, 1e-6).unwrap();
         assert!(b.ell >= 16 && b.m >= 16 && b.r >= 3);
+    }
+
+    #[test]
+    fn trait_constructors_match_inherent() {
+        let via_trait = <LearnerBudget as Budget>::calibrated((500, 3, 0.2), 0.1).unwrap();
+        let direct = LearnerBudget::calibrated(500, 3, 0.2, 0.1).unwrap();
+        assert_eq!(via_trait, direct);
+        let via_trait = <L2TesterBudget as Budget>::theoretical((256, 0.5)).unwrap();
+        let direct = L2TesterBudget::theoretical(256, 0.5).unwrap();
+        assert_eq!(via_trait, direct);
+        assert_eq!(LearnerBudget::KIND, "learner");
+        assert_eq!(L2TesterBudget::KIND, "l2");
+        assert_eq!(L1TesterBudget::KIND, "l1");
+    }
+
+    #[test]
+    fn budgets_serde_round_trip() {
+        let learner = LearnerBudget::calibrated(500, 3, 0.2, 0.1).unwrap();
+        let text = serde::json::to_string(&learner.serialize());
+        let parsed = serde::json::from_str(&text).unwrap();
+        assert_eq!(LearnerBudget::deserialize(&parsed).unwrap(), learner);
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("learner"));
+
+        let l2 = L2TesterBudget::calibrated(256, 0.3, 0.05).unwrap();
+        let round = L2TesterBudget::deserialize(
+            &serde::json::from_str(&serde::json::to_string(&l2.serialize())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(round, l2);
+
+        let l1 = L1TesterBudget::calibrated(256, 4, 0.3, 0.05).unwrap();
+        let round = L1TesterBudget::deserialize(&l1.serialize()).unwrap();
+        assert_eq!(round, l1);
+
+        // Missing fields are reported, not defaulted.
+        assert!(LearnerBudget::deserialize(&Value::map([("xi", Value::F64(0.1))])).is_err());
+    }
+
+    #[test]
+    fn cross_kind_deserialization_is_rejected() {
+        // L1 and L2 budgets share the {r, m} shape; the kind tag is what
+        // keeps a serialized L2 budget from masquerading as an L1 one.
+        let l2 = L2TesterBudget::calibrated(256, 0.3, 0.05).unwrap();
+        let err = L1TesterBudget::deserialize(&l2.serialize()).unwrap_err();
+        assert!(err.to_string().contains("not 'l1'"), "{err}");
+        let l1 = L1TesterBudget::calibrated(256, 4, 0.3, 0.05).unwrap();
+        assert!(L2TesterBudget::deserialize(&l1.serialize()).is_err());
+        assert!(LearnerBudget::deserialize(&l2.serialize()).is_err());
+        // An untagged map is tolerated (hand-written input).
+        let untagged = Value::map([("r", Value::U64(5)), ("m", Value::U64(100))]);
+        assert_eq!(
+            L1TesterBudget::deserialize(&untagged).unwrap(),
+            L1TesterBudget { r: 5, m: 100 }
+        );
     }
 }

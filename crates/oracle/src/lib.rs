@@ -18,7 +18,8 @@
 //!   median-of-`r` boosting;
 //! * [`budget`] — the paper's sample-size formulas (`theoretical`) and
 //!   scaled-down `calibrated` profiles that keep the functional form in
-//!   `n`, `k`, `ε`;
+//!   `n`, `k`, `ε`, unified behind the [`Budget`] trait (checked
+//!   arithmetic, serde round-trip);
 //! * [`empirical`] — empirical distributions built from sample sets.
 
 #![forbid(unsafe_code)]
@@ -31,7 +32,7 @@ pub mod oracle;
 pub mod reservoir;
 pub mod sample_set;
 
-pub use budget::{L1TesterBudget, L2TesterBudget, LearnerBudget};
+pub use budget::{Budget, L1TesterBudget, L2TesterBudget, LearnerBudget};
 pub use collision::{absolute_collision_estimate, conditional_collision_estimate, MedianBooster};
 pub use empirical::empirical_distribution;
 pub use oracle::{DenseOracle, RecordFileOracle, ReplayOracle, SampleOracle};

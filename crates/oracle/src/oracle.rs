@@ -30,6 +30,7 @@
 //! across threads and still produce output bit-identical to a sequential
 //! run (verified by property test below).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -316,6 +317,7 @@ pub struct RecordFileOracle {
     records: u64,
     seed: u64,
     next_stream: u64,
+    passes: Cell<u64>,
 }
 
 /// Parses one record line; `Ok(None)` for blanks and `#` comments.
@@ -372,6 +374,7 @@ impl RecordFileOracle {
             records,
             seed,
             next_stream: 0,
+            passes: Cell::new(0),
         })
     }
 
@@ -384,6 +387,15 @@ impl RecordFileOracle {
     /// available, which callers use to clamp sample budgets.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Number of streaming passes made over the file since `open` (the
+    /// validation scan is not counted). Every draw call costs exactly one
+    /// pass regardless of how many sets it serves, so batched entry points
+    /// — and the analysis API's shared sample plan on top of them — keep
+    /// this at one per workload. Tests assert on it.
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
     }
 
     /// One streaming pass over the *scanned prefix*: every record is routed
@@ -401,6 +413,7 @@ impl RecordFileOracle {
         let file = std::fs::File::open(&self.path).unwrap_or_else(|e| {
             panic!("{}: vanished after scan: {e}", self.path.display());
         });
+        self.passes.set(self.passes.get() + 1);
         let mut t = 0u64;
         for (idx, line) in std::io::BufReader::new(file).lines().enumerate() {
             if t >= self.records {

@@ -44,10 +44,10 @@ fn main() {
         ),
     ];
 
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.005);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.005).unwrap();
     println!(
         "n = {n}, k = {k}; sampled methods use {} samples; errors are ‖p−H‖₂²\n",
-        budget.total_samples()
+        budget.total_samples().unwrap()
     );
     println!(
         "{:<14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}",
@@ -64,9 +64,10 @@ fn main() {
         let vo = v_optimal(p, k).unwrap().sse;
         let params = GreedyParams::fast(k, eps, budget);
         let t0 = Instant::now();
-        let paper = learn_dense(p, &params, &mut rng).unwrap().tiling.l2_sq_to(p);
+        let mut oracle = DenseOracle::new(p, rand::Rng::random(&mut rng));
+        let paper = learn(&mut oracle, &params).unwrap().tiling.l2_sq_to(p);
         let paper_time = t0.elapsed();
-        let sdp = sample_then_dp(p, k, budget.total_samples(), &mut rng)
+        let sdp = sample_then_dp(p, k, budget.total_samples().unwrap(), &mut rng)
             .unwrap()
             .sse_vs_truth;
         let gm = greedy_merge(p, k).unwrap().l2_sq_to(p);

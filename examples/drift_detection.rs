@@ -28,10 +28,10 @@ fn main() {
     // the buckets go silent and the other half doubles (a sharding bug).
     let faulty = khist::dist::generators::half_empty_perturbation(n, k, k, &mut rng).unwrap();
 
-    let budget = L1TesterBudget::calibrated(n, k, eps, 0.02);
+    let budget = L1TesterBudget::calibrated(n, k, eps, 0.02).unwrap();
     println!(
         "monitoring with ℓ₁ tester: n = {n}, k = {k}, ε = {eps}, {} samples/batch ({}×{})",
-        budget.total_samples(),
+        budget.total_samples().unwrap(),
         budget.r,
         budget.m
     );
@@ -50,7 +50,8 @@ fn main() {
         } else {
             ("FAULTY", &faulty)
         };
-        let report = test_l1_dense(source, k, eps, budget, &mut rng).unwrap();
+        let mut oracle = DenseOracle::new(source, rand::Rng::random(&mut rng));
+        let report = test_l1(&mut oracle, k, eps, budget).unwrap();
         let alarm = !matches!(report.outcome, TestOutcome::Accept);
         if alarm && label == "healthy" {
             alarms_healthy += 1;

@@ -1,4 +1,5 @@
-//! Quickstart: learn a k-histogram from samples and test histogram-ness.
+//! Quickstart: learn a k-histogram from samples and test histogram-ness
+//! through the typed analysis API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
@@ -9,13 +10,15 @@
 //!    samples (Algorithm 1 / Theorem 2 of the paper), and compare it with
 //!    the exact offline optimum;
 //! 2. test whether a distribution *is* a tiling `k`-histogram (Theorem 3).
+//!
+//! Everything goes through one front door: build a typed request
+//! (`Learn::k(6).eps(0.1)`), run it in a `Session`, get a structured
+//! `Report` back (JSON-serializable — this is what `khist … --json`
+//! prints).
 
 use khist::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2012);
     let n = 512;
     let k = 6;
     let eps = 0.1;
@@ -27,17 +30,20 @@ fn main() {
     println!("domain n = {n}, target pieces k = {k}, accuracy ε = {eps}");
 
     // --- Learn from samples ------------------------------------------------
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.01);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.01).unwrap();
     println!(
         "sample budget: ℓ = {} (weights) + r·m = {}·{} (collisions) = {} samples",
         budget.ell,
         budget.r,
         budget.m,
-        budget.total_samples()
+        budget.total_samples().unwrap()
     );
-    let params = GreedyParams::fast(k, eps, budget);
-    let learned = learn_dense(&p, &params, &mut rng).unwrap();
-    let learned_err = learned.tiling.l2_sq_to(&p);
+    let mut session = Session::from_dense(&p, 2012);
+    let report = session
+        .run_one(Learn::k(k).eps(eps).budget(budget))
+        .unwrap();
+    let learned = report.histogram.as_ref().unwrap();
+    let learned_err = learned.l2_sq_to(&p);
 
     // --- Compare with the exact offline optimum ----------------------------
     let opt = v_optimal(&p, k).unwrap();
@@ -49,28 +55,36 @@ fn main() {
         8.0 * eps
     );
     println!(
-        "candidates scored = {}, endpoints used = {}",
-        learned.stats.candidates_evaluated, learned.stats.endpoints_used
+        "samples spent     = {} in {:.1} ms (seed {})",
+        report.samples_spent,
+        report.wall_seconds * 1e3,
+        report.seed
     );
 
     println!("\nlearned histogram pieces:");
-    for (iv, v) in learned.tiling.pieces() {
+    for (iv, v) in learned.pieces() {
         println!("  {iv}  density {v:.6}");
     }
 
     // --- Test histogram-ness ------------------------------------------------
-    let tb = L2TesterBudget::calibrated(n, 0.25, 0.05);
     let staircase = khist::dist::generators::staircase(n, k).unwrap();
-    let verdict_in = test_l2_dense(&staircase, k, 0.25, tb, &mut rng).unwrap();
     let spiky = khist::dist::generators::spike_comb(n, 32).unwrap();
-    let verdict_out = test_l2_dense(&spiky, k, 0.25, tb, &mut rng).unwrap();
-    println!("\nℓ₂ tester ({} samples each):", tb.total_samples());
+    let request = || TestL2::k(k).eps(0.25).scale(0.05);
+    let verdict_in = Session::from_dense(&staircase, 7)
+        .run_one(request())
+        .unwrap();
+    let verdict_out = Session::from_dense(&spiky, 8).run_one(request()).unwrap();
+    println!("\nℓ₂ tester ({} samples each):", verdict_in.samples_spent);
     println!(
         "  staircase (true {k}-histogram) → {:?}",
-        verdict_in.outcome
+        verdict_in.verdict.unwrap()
     );
     println!(
         "  spike comb (ε-far)             → {:?}",
-        verdict_out.outcome
+        verdict_out.verdict.unwrap()
     );
+
+    // --- Structured output ---------------------------------------------------
+    println!("\nthe same report as JSON (what `khist learn --json` emits):");
+    println!("{}", report.to_json());
 }

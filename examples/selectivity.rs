@@ -41,15 +41,16 @@ fn main() {
     let p = order_value_attribute(n);
 
     // Learn the histogram from samples of the table only.
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.005);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.005).unwrap();
     let params = GreedyParams::fast(k, eps, budget);
-    let learned = learn_dense(&p, &params, &mut rng)
+    let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+    let learned = learn(&mut oracle, &params)
         .unwrap()
         .normalized_tiling()
         .unwrap();
     println!(
         "learned {k}-piece histogram from {} samples (domain n = {n})",
-        budget.total_samples()
+        budget.total_samples().unwrap()
     );
 
     // Classical summaries built with FULL knowledge of the data (an
@@ -101,6 +102,6 @@ fn main() {
         "\nThe sampled learner tracks the full-data v-optimal summary and beats\n\
          blind equi-width pieces on this skewed attribute, using {} samples\n\
          instead of the full table.",
-        budget.total_samples()
+        budget.total_samples().unwrap()
     );
 }

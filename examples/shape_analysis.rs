@@ -1,56 +1,74 @@
-//! Distribution shape analysis: the full tester toolbox on one dataset.
+//! Distribution shape analysis: the full tester toolbox on one dataset —
+//! through one `Session` and ONE shared sample draw.
 //!
 //! Run with: `cargo run --release --example shape_analysis`
 //!
 //! Given only samples of an unknown distribution, run the whole battery —
 //! uniformity (k = 1 lineage), k-histogram structure (the paper's
-//! Theorems 3–4), monotonicity (the BKR04-style histogram reduction) and
-//! identity against a reference — and print a structural profile. This is
-//! the workflow the property-testing literature envisions: cheap sample-only
-//! probes before any expensive full-data processing.
+//! Theorem 3 at three different k), monotonicity (the BKR04-style
+//! histogram reduction) and identity against a reference — and print a
+//! structural profile. Before the analysis API this cost one sample draw
+//! *per probe*; a `Session` batch computes the shared `SamplePlan` and
+//! draws once, which is exactly the workflow the property-testing
+//! literature envisions: cheap sample-only probes before any expensive
+//! full-data processing.
 
-use khist::monotone::{monotonicity_budget, test_monotone_non_increasing_dense};
 use khist::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn profile(name: &str, p: &DenseDistribution, rng: &mut StdRng) {
+fn profile(name: &str, p: &DenseDistribution, seed: u64) {
     let n = p.n();
     println!("── {name} (n = {n}) ──");
 
-    let ub = UniformityBudget::calibrated(n, 0.3, 0.1);
-    let uni = test_uniformity_dense(p, 0.3, ub, rng).unwrap();
+    let reference = khist::dist::generators::zipf(n, 1.0).unwrap();
+    let mut session = Session::from_dense(p, seed);
+    let reports = session
+        .run(&[
+            Uniformity::eps(0.3).scale(0.1).into(),
+            Monotone::eps(0.3).into(),
+            TestL2::k(2).eps(0.2).scale(0.05).into(),
+            TestL2::k(4).eps(0.2).scale(0.05).into(),
+            TestL2::k(8).eps(0.2).scale(0.05).into(),
+            IdentityL2::against(reference).eps(0.15).samples(20_000).into(),
+        ])
+        .unwrap();
+
+    let uni = &reports[0];
     println!(
         "  uniform?        {:?}  (collision stat {:.2e} vs threshold {:.2e}, {} samples)",
-        uni.outcome, uni.statistic, uni.threshold, uni.samples_used
+        uni.verdict.unwrap(),
+        uni.statistic.unwrap(),
+        uni.threshold.unwrap(),
+        uni.samples_spent
     );
-
-    let mono = test_monotone_non_increasing_dense(p, 0.3, monotonicity_budget(n, 0.3, 1.0), rng).unwrap();
+    let mono = &reports[1];
     println!(
-        "  non-increasing? {:?}  (isotonic residual {:.3} vs {:.3}, {} Birgé buckets)",
-        mono.outcome, mono.isotonic_distance, mono.threshold, mono.buckets
+        "  non-increasing? {:?}  (isotonic residual {:.3} vs {:.3})",
+        mono.verdict.unwrap(),
+        mono.statistic.unwrap(),
+        mono.threshold.unwrap()
     );
-
-    for k in [2usize, 4, 8] {
-        let tb = L2TesterBudget::calibrated(n, 0.2, 0.05);
-        let rep = test_l2_dense(p, k, 0.2, tb, rng).unwrap();
+    for (k, rep) in [2usize, 4, 8].iter().zip(&reports[2..5]) {
         println!(
             "  {k:>2}-histogram?   {:?}  ({} probes)",
-            rep.outcome, rep.probes
+            rep.verdict.unwrap(),
+            rep.probes.unwrap()
         );
     }
-
-    let reference = khist::dist::generators::zipf(n, 1.0).unwrap();
-    let id = test_identity_l2_dense(p, &reference, 0.15, 20_000, rng).unwrap();
+    let id = &reports[5];
     println!(
         "  = zipf(1.0)?    {:?}  (‖p−q‖₂² estimate {:.2e})",
-        id.outcome, id.statistic
+        id.verdict.unwrap(),
+        id.statistic.unwrap()
     );
-    println!();
+    println!(
+        "  cost: {} samples drawn once, {} consumed across {} probes\n",
+        session.samples_drawn(),
+        reports.iter().map(|r| r.samples_spent).sum::<usize>(),
+        reports.len()
+    );
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2024);
     let n = 512;
 
     let subjects: Vec<(&str, DenseDistribution)> = vec![
@@ -75,8 +93,8 @@ fn main() {
             .unwrap(),
         ),
     ];
-    for (name, p) in &subjects {
-        profile(name, p, &mut rng);
+    for (i, (name, p)) in subjects.iter().enumerate() {
+        profile(name, p, 2024 + i as u64);
     }
     println!(
         "Reading the profiles: uniform passes every structural test but is\n\
@@ -85,6 +103,7 @@ fn main() {
          the staircase and bimodal shapes pass the ℓ₂ histogram tests even\n\
          at k = 2 because their ℓ₂ distance to coarse histograms is tiny —\n\
          the norm-sensitivity the paper's ℓ₁ tester (and its √(kn) price)\n\
-         exists to overcome; the bimodal shape alone fails monotonicity."
+         exists to overcome; the staircase (ascending) and the bimodal\n\
+         shape both fail monotonicity."
     );
 }

@@ -34,7 +34,7 @@ fn main() {
     .unwrap();
 
     // Budget decides the reservoir capacities.
-    let budget = LearnerBudget::calibrated(n, k, eps, 0.01);
+    let budget = LearnerBudget::calibrated(n, k, eps, 0.01).unwrap();
     let mut main_res = Reservoir::new(budget.ell);
     let mut coll_res: Vec<Reservoir> = (0..budget.r).map(|_| Reservoir::new(budget.m)).collect();
 

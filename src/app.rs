@@ -9,20 +9,29 @@
 //! access model of the paper. The domain size is `max + 1` unless
 //! overridden with `--n`.
 //!
-//! `learn` and `test` are generic over [`SampleOracle`]: the binary streams
-//! record files through a [`RecordFileOracle`] (fixed-size reservoirs, so a
-//! multi-million-line file never gets materialized as a `Vec`), while the
-//! in-memory helpers ([`run_learn`] / [`run_test`]) feed pre-split data
-//! through a [`ReplayOracle`]. Randomness comes from `--seed` (default 0),
-//! so every run is reproducible.
+//! Every command is a thin shell over the typed analysis API
+//! ([`khist_core::api`]): `learn`/`test` run a single [`Analysis`] and
+//! `analyze` runs a whole batch through one shared
+//! [`SamplePlan`](khist_core::api::SamplePlan) — a single streaming pass
+//! over the record file no matter how many analyses ride on it. The
+//! binary streams record files through a [`RecordFileOracle`] (fixed-size
+//! reservoirs, so a multi-million-line file never gets materialized),
+//! while the in-memory helpers ([`run_learn`] / [`run_test`]) feed
+//! pre-split data through a [`ReplayOracle`]. Randomness comes from
+//! `--seed` (default 0), so every run is reproducible. `--json` swaps the
+//! human rendering for the serde [`Report`] JSON.
 
-use khist_core::compress::compress_to_k;
-use khist_core::greedy::{learn, GreedyParams};
-use khist_core::tester::{test_l1_from_sets, test_l2_from_sets};
-use khist_dist::DistError;
-use khist_oracle::{
-    empirical_distribution, LearnerBudget, RecordFileOracle, ReplayOracle, SampleOracle, SampleSet,
+use khist_core::api::{
+    run_analyses, Analysis, AnalysisKind, Learn, LedgerEntry, Monotone, Report, TestL1, TestL2,
+    Uniformity,
 };
+use khist_core::monotone::monotonicity_budget;
+use khist_core::uniformity::UniformityBudget;
+use khist_oracle::{
+    empirical_distribution, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
+    ReplayOracle, SampleOracle, SampleSet,
+};
+use serde::{Serialize, Value};
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +48,8 @@ pub enum Command {
         n: usize,
         /// RNG seed for the sampling oracle.
         seed: u64,
+        /// Emit the serde `Report` as JSON instead of human text.
+        json: bool,
     },
     /// Test whether the file's distribution is a tiling `k`-histogram.
     Test {
@@ -54,6 +65,25 @@ pub enum Command {
         norm: String,
         /// RNG seed for the sampling oracle.
         seed: u64,
+        /// Emit the serde `Report` as JSON instead of human text.
+        json: bool,
+    },
+    /// Run a batch of analyses through one shared sample plan.
+    Analyze {
+        /// Input path.
+        path: String,
+        /// Number of pieces (for `learn`/`l1`/`l2`).
+        k: usize,
+        /// Accuracy parameter.
+        eps: f64,
+        /// Domain override (`0` = infer from data).
+        n: usize,
+        /// RNG seed for the sampling oracle.
+        seed: u64,
+        /// Emit the reports as a JSON array instead of human text.
+        json: bool,
+        /// Which analyses to run (`--run learn,l2,uniformity`).
+        runs: Vec<String>,
     },
     /// Print summary statistics of the file's empirical distribution.
     Summarize {
@@ -79,16 +109,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut n = 0usize;
     let mut norm = "l2".to_string();
     let mut seed = 0u64;
+    let mut json = false;
+    let mut runs: Vec<String> = vec!["learn".into(), "l2".into(), "uniformity".into()];
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--k" => k = next_parsed(&mut it, "--k")?,
             "--eps" => eps = next_parsed(&mut it, "--eps")?,
             "--n" => n = next_parsed(&mut it, "--n")?,
             "--seed" => seed = next_parsed(&mut it, "--seed")?,
+            "--json" => json = true,
             "--norm" => {
                 norm = it.next().ok_or("--norm requires a value")?.clone();
                 if norm != "l1" && norm != "l2" {
                     return Err(format!("--norm must be l1 or l2, got {norm}"));
+                }
+            }
+            "--run" => {
+                let list = it.next().ok_or("--run requires a value")?;
+                runs = list.split(',').map(|s| s.trim().to_string()).collect();
+                for run in &runs {
+                    if !matches!(run.as_str(), "learn" | "l1" | "l2" | "uniformity" | "monotone") {
+                        return Err(format!(
+                            "--run accepts learn, l1, l2, uniformity, monotone; got {run}"
+                        ));
+                    }
                 }
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -107,6 +151,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             eps,
             n,
             seed,
+            json,
         }),
         "test" => Ok(Command::Test {
             path: need_path(path)?,
@@ -115,6 +160,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             n,
             norm,
             seed,
+            json,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            path: need_path(path)?,
+            k,
+            eps,
+            n,
+            seed,
+            json,
+            runs,
         }),
         "summarize" => Ok(Command::Summarize {
             path: need_path(path)?,
@@ -184,9 +239,16 @@ pub fn split_for_learner(samples: &[usize], r: usize) -> (SampleSet, Vec<SampleS
     (main, sets)
 }
 
-/// Runs `learn` against any [`SampleOracle`]: draws the budgeted main +
-/// collision sets in one batch (a single pass for streaming backends) and
-/// renders the learned histogram.
+/// Builds the CLI's learn request: the paper's budget clamped to the data
+/// actually available, Theorem 2 candidates.
+fn learn_analysis(n: usize, k: usize, eps: f64, available: usize) -> Result<Analysis, String> {
+    let budget = budget_for_data(n, k, eps, available)?;
+    Ok(Learn::k(k).eps(eps).budget(budget).into())
+}
+
+/// Runs `learn` against any [`SampleOracle`] through the analysis engine:
+/// one batched draw (a single pass for streaming backends), a typed
+/// [`Report`] back.
 ///
 /// `available` is the number of records the backend can actually serve
 /// (used to clamp the paper's budget).
@@ -195,21 +257,26 @@ pub fn run_learn_with<O: SampleOracle + ?Sized>(
     k: usize,
     eps: f64,
     available: usize,
-) -> Result<String, String> {
-    let n = oracle.domain_size();
-    // Budget bounded by the data actually available.
-    let budget = budget_for_data(n, k, eps, available);
-    let params = GreedyParams::fast(k, eps, budget);
-    let out = learn(oracle, &params).map_err(fmt_err)?;
-    let summary = compress_to_k(&out.tiling, k).map_err(fmt_err)?;
-    let normalized = summary.normalized().map_err(fmt_err)?;
-    let mut report = format!(
-        "learned {}-piece histogram over [0, {n}) from {} samples\n",
-        normalized.piece_count(),
-        out.stats.samples_used,
+    seed: u64,
+) -> Result<Report, String> {
+    let analysis = learn_analysis(oracle.domain_size(), k, eps, available)?;
+    let (mut reports, _) = run_analyses(oracle, seed, &[analysis]).map_err(fmt_err)?;
+    Ok(reports.pop().expect("one analysis, one report"))
+}
+
+/// Renders a learn [`Report`] as the human piece table.
+pub fn render_learn(report: &Report) -> String {
+    let Some(histogram) = &report.histogram else {
+        return format!("{report}\n");
+    };
+    let mut text = format!(
+        "learned {}-piece histogram over [0, {}) from {} samples\n",
+        histogram.piece_count(),
+        report.n,
+        report.samples_spent,
     );
-    for (iv, v) in normalized.pieces() {
-        report.push_str(&format!(
+    for (iv, v) in histogram.pieces() {
+        text.push_str(&format!(
             "  [{:>6}, {:>6}]  density {:.6e}  mass {:.4}\n",
             iv.lo(),
             iv.hi(),
@@ -217,7 +284,7 @@ pub fn run_learn_with<O: SampleOracle + ?Sized>(
             v * iv.len() as f64
         ));
     }
-    Ok(report)
+    text
 }
 
 /// Runs `learn` on in-memory samples: splits *all* of them round-robin
@@ -233,12 +300,12 @@ pub fn run_learn(
     let n = infer_domain(samples, n_override)?;
     // run_learn_with recomputes this same (deterministic) budget; it fixes
     // the lane count the replayed split must provide.
-    let budget = budget_for_data(n, k, eps, samples.len());
+    let budget = budget_for_data(n, k, eps, samples.len())?;
     let (main, sets) = split_for_learner(samples, budget.r);
     let mut recorded = vec![main];
     recorded.extend(sets);
     let mut oracle = ReplayOracle::from_sets(n, recorded);
-    run_learn_with(&mut oracle, k, eps, samples.len())
+    run_learn_with(&mut oracle, k, eps, samples.len(), 0).map(|r| render_learn(&r))
 }
 
 /// The tester's split of `available` records: `r` equal sets of `m`.
@@ -253,28 +320,51 @@ fn tester_split(available: usize) -> Result<(usize, usize), String> {
     Ok((r, m))
 }
 
-/// Runs `test` against any [`SampleOracle`]: draws `r` equal sets in one
-/// batched call and renders a verdict line.
+/// Builds the CLI's test request for the chosen norm, sized to the data.
+fn test_analysis(k: usize, eps: f64, norm: &str, available: usize) -> Result<Analysis, String> {
+    let (r, m) = tester_split(available)?;
+    Ok(match norm {
+        "l1" => TestL1::k(k).eps(eps).budget(L1TesterBudget { r, m }).into(),
+        _ => TestL2::k(k).eps(eps).budget(L2TesterBudget { r, m }).into(),
+    })
+}
+
+/// Runs `test` against any [`SampleOracle`] through the analysis engine:
+/// `r` equal sets in one batched draw, a typed [`Report`] back.
 pub fn run_test_with<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     k: usize,
     eps: f64,
     norm: &str,
     available: usize,
-) -> Result<String, String> {
-    let n = oracle.domain_size();
-    let (r, m) = tester_split(available)?;
-    let sets = oracle.draw_sets(r, m);
-    // Streaming/replay backends may serve sets of a different (equal) size;
-    // the flatness thresholds scale with the actual per-set count.
-    let m = sets.first().map(|s| s.total() as usize).unwrap_or(0);
-    let report = match norm {
-        "l1" => test_l1_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
-        _ => test_l2_from_sets(n, k, eps, m, &sets).map_err(fmt_err)?,
+    seed: u64,
+) -> Result<Report, String> {
+    let analysis = test_analysis(k, eps, norm, available)?;
+    let (mut reports, _) = run_analyses(oracle, seed, &[analysis]).map_err(fmt_err)?;
+    Ok(reports.pop().expect("one analysis, one report"))
+}
+
+/// Renders a tester [`Report`] as the human verdict line.
+pub fn render_test(report: &Report, k: usize) -> String {
+    let norm = match report.analysis {
+        AnalysisKind::TestL1 => "l1",
+        _ => "l2",
     };
-    Ok(format!(
-        "{norm} tiling {k}-histogram test over [0, {n}): {report}\n"
-    ))
+    let verdict = report
+        .verdict
+        .map(|v| format!("{v:?}"))
+        .unwrap_or_else(|| "?".into());
+    let cuts = if report.cuts.is_empty() {
+        String::new()
+    } else {
+        format!(", cuts at {:?}", report.cuts)
+    };
+    format!(
+        "{norm} tiling {k}-histogram test over [0, {}): {verdict} ({} samples, {} probes{cuts})\n",
+        report.n,
+        report.samples_spent,
+        report.probes.unwrap_or(0),
+    )
 }
 
 /// Runs `test` on in-memory samples via a [`ReplayOracle`] of equal chunks.
@@ -289,7 +379,85 @@ pub fn run_test(
     let (r, m) = tester_split(samples.len())?;
     let chunks: Vec<Vec<usize>> = (0..r).map(|j| samples[j * m..(j + 1) * m].to_vec()).collect();
     let mut oracle = ReplayOracle::from_raw(n, chunks);
-    run_test_with(&mut oracle, k, eps, norm, samples.len())
+    run_test_with(&mut oracle, k, eps, norm, samples.len(), 0).map(|rep| render_test(&rep, k))
+}
+
+/// Builds the `analyze` batch from the `--run` list, every budget clamped
+/// to the records actually available.
+fn analyze_batch(
+    n: usize,
+    k: usize,
+    eps: f64,
+    available: usize,
+    runs: &[String],
+) -> Result<Vec<Analysis>, String> {
+    runs.iter()
+        .map(|run| match run.as_str() {
+            "learn" => learn_analysis(n, k, eps, available),
+            "l1" | "l2" => test_analysis(k, eps, run, available),
+            "uniformity" => {
+                let derived = UniformityBudget::calibrated(n, eps, 1.0).map_err(fmt_err)?;
+                let m = derived.m.min(available).max(2);
+                Ok(Uniformity::eps(eps).budget(UniformityBudget { m }).into())
+            }
+            "monotone" => {
+                let m = monotonicity_budget(n, eps, 1.0).map_err(fmt_err)?.min(available).max(1);
+                Ok(Monotone::eps(eps).samples(m).into())
+            }
+            other => Err(format!("unknown analysis {other}")),
+        })
+        .collect()
+}
+
+/// Runs an `analyze` batch against any [`SampleOracle`]: one shared
+/// sample plan, one draw, all reports plus the run's ledger.
+///
+/// Each analysis's budget is clamped to `available` *individually*, but
+/// the combined plan (max main + max sets across the batch) can still
+/// exceed what a finite record file holds; in that case the streaming
+/// backend fills every reservoir lane proportionally and the analyses run
+/// on correspondingly fewer samples than their nominal budgets. That is
+/// graceful degradation, not an error: the per-set-normalized testers
+/// stay valid, and every `Report.samples_spent` / ledger entry records
+/// the *actual* counts consumed, so under-sampling is visible.
+#[allow(clippy::type_complexity)]
+pub fn run_analyze_with<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    k: usize,
+    eps: f64,
+    runs: &[String],
+    available: usize,
+    seed: u64,
+) -> Result<(Vec<Report>, Vec<LedgerEntry>), String> {
+    let batch = analyze_batch(oracle.domain_size(), k, eps, available, runs)?;
+    run_analyses(oracle, seed, &batch).map_err(fmt_err)
+}
+
+/// Renders an `analyze` run: one line per report, then the sample ledger.
+pub fn render_analyze(reports: &[Report], ledger: &[LedgerEntry]) -> String {
+    let n = reports.first().map_or(0, |r| r.n);
+    let mut text = format!(
+        "analyzed [0, {n}): {} analyses from one shared draw\n",
+        reports.len()
+    );
+    for report in reports {
+        text.push_str(&format!("  {report}\n"));
+    }
+    text.push_str("ledger:\n");
+    for entry in ledger {
+        text.push_str(&format!(
+            "  {:<12} {:>10} samples  {:.3}s\n",
+            entry.label, entry.samples, entry.seconds
+        ));
+    }
+    text
+}
+
+/// Serializes a batch of reports as one JSON array (the `--json` output of
+/// `khist analyze`).
+pub fn reports_to_json(reports: &[Report]) -> String {
+    let values: Vec<Value> = reports.iter().map(Serialize::serialize).collect();
+    serde::json::to_string(&Value::Seq(values))
 }
 
 /// Runs `summarize` and renders basic statistics.
@@ -313,24 +481,35 @@ pub fn usage() -> &'static str {
     "khist — k-histogram learning and testing from samples (PODS 2012)\n\
      \n\
      usage:\n\
-     \x20 khist learn     <records.txt> [--k K] [--eps E] [--n N] [--seed S]\n\
-     \x20 khist test      <records.txt> [--k K] [--eps E] [--n N] [--norm l1|l2] [--seed S]\n\
+     \x20 khist learn     <records.txt> [--k K] [--eps E] [--n N] [--seed S] [--json]\n\
+     \x20 khist test      <records.txt> [--k K] [--eps E] [--n N] [--norm l1|l2] [--seed S] [--json]\n\
+     \x20 khist analyze   <records.txt> [--k K] [--eps E] [--n N] [--seed S] [--json]\n\
+     \x20                 [--run learn,l1,l2,uniformity,monotone]\n\
      \x20 khist summarize <records.txt> [--n N]\n\
      \n\
      input: one integer record per line; '#' comments and blank lines ignored.\n\
      The domain defaults to [0, max_record]; override with --n.\n\
-     learn/test stream the file through fixed-size reservoirs (constant\n\
-     memory in the file length); --seed (default 0) fixes the subsample.\n"
+     learn/test/analyze stream the file through fixed-size reservoirs\n\
+     (constant memory in the file length); --seed (default 0) fixes the\n\
+     subsample. analyze runs its whole batch (default learn,l2,uniformity)\n\
+     from ONE shared sample draw — a single pass over the file. --json\n\
+     emits the structured report(s) instead of human text.\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
-fn budget_for_data(n: usize, k: usize, eps: f64, available: usize) -> LearnerBudget {
-    let mut budget = LearnerBudget::calibrated(n, k, eps, 1.0);
-    if budget.total_samples() > available {
-        let scale = available as f64 / budget.total_samples() as f64;
-        budget = LearnerBudget::calibrated(n, k, eps, scale.clamp(1e-9, 1.0));
+fn budget_for_data(
+    n: usize,
+    k: usize,
+    eps: f64,
+    available: usize,
+) -> Result<LearnerBudget, String> {
+    let mut budget = LearnerBudget::calibrated(n, k, eps, 1.0).map_err(fmt_err)?;
+    let total = budget.total_samples().map_err(fmt_err)?;
+    if total > available {
+        let scale = available as f64 / total as f64;
+        budget = LearnerBudget::calibrated(n, k, eps, scale.clamp(1e-9, 1.0)).map_err(fmt_err)?;
         // The calibrated floors may still exceed tiny files; final clamp.
-        while budget.total_samples() > available && budget.r > 3 {
+        while budget.total_samples().map_err(fmt_err)? > available && budget.r > 3 {
             budget.r -= 2;
         }
         // Data is scarcer than the paper's budget, so none of it should go
@@ -340,20 +519,24 @@ fn budget_for_data(n: usize, k: usize, eps: f64, available: usize) -> LearnerBud
             budget.ell = (available - fixed).max(16);
         }
     }
-    budget
+    Ok(budget)
 }
 
-fn fmt_err(e: DistError) -> String {
+fn fmt_err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
 /// Entry point shared by the binary: dispatches a parsed command.
 ///
-/// `learn` and `test` stream the record file through a
+/// `learn`, `test` and `analyze` stream the record file through a
 /// [`RecordFileOracle`] — the file is scanned once for validation (domain
 /// violations against `--n` fail here with the offending line) and then
-/// streamed per draw, never materialized.
+/// streamed per draw, never materialized. `analyze` serves its whole
+/// batch from one draw, i.e. one pass.
 pub fn dispatch(cmd: Command) -> Result<String, String> {
+    let open = |path: &str, n: usize, seed: u64| -> Result<RecordFileOracle, String> {
+        RecordFileOracle::open(path, n, seed).map_err(fmt_err)
+    };
     match cmd {
         Command::Help => Ok(usage().to_string()),
         Command::Learn {
@@ -362,10 +545,16 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
             eps,
             n,
             seed,
+            json,
         } => {
-            let mut oracle = RecordFileOracle::open(&path, n, seed).map_err(fmt_err)?;
+            let mut oracle = open(&path, n, seed)?;
             let available = oracle.records() as usize;
-            run_learn_with(&mut oracle, k, eps, available)
+            let report = run_learn_with(&mut oracle, k, eps, available, seed)?;
+            Ok(if json {
+                format!("{}\n", report.to_json())
+            } else {
+                render_learn(&report)
+            })
         }
         Command::Test {
             path,
@@ -374,10 +563,36 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
             n,
             norm,
             seed,
+            json,
         } => {
-            let mut oracle = RecordFileOracle::open(&path, n, seed).map_err(fmt_err)?;
+            let mut oracle = open(&path, n, seed)?;
             let available = oracle.records() as usize;
-            run_test_with(&mut oracle, k, eps, &norm, available)
+            let report = run_test_with(&mut oracle, k, eps, &norm, available, seed)?;
+            Ok(if json {
+                format!("{}\n", report.to_json())
+            } else {
+                render_test(&report, k)
+            })
+        }
+        Command::Analyze {
+            path,
+            k,
+            eps,
+            n,
+            seed,
+            json,
+            runs,
+        } => {
+            let mut oracle = open(&path, n, seed)?;
+            let available = oracle.records() as usize;
+            let (reports, ledger) =
+                run_analyze_with(&mut oracle, k, eps, &runs, available, seed)?;
+            debug_assert_eq!(oracle.passes(), 1, "analyze must make exactly one pass");
+            Ok(if json {
+                format!("{}\n", reports_to_json(&reports))
+            } else {
+                render_analyze(&reports, &ledger)
+            })
         }
         Command::Summarize { path, n } => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -419,7 +634,8 @@ mod tests {
                 k: 8,
                 eps: 0.1,
                 n: 0,
-                seed: 0
+                seed: 0,
+                json: false,
             }
         );
     }
@@ -427,7 +643,7 @@ mod tests {
     #[test]
     fn parse_args_flags() {
         let cmd = parse_args(&strings(&[
-            "test", "d.txt", "--k", "4", "--eps", "0.3", "--norm", "l1", "--seed", "9",
+            "test", "d.txt", "--k", "4", "--eps", "0.3", "--norm", "l1", "--seed", "9", "--json",
         ]))
         .unwrap();
         assert_eq!(
@@ -438,9 +654,36 @@ mod tests {
                 eps: 0.3,
                 n: 0,
                 norm: "l1".into(),
-                seed: 9
+                seed: 9,
+                json: true,
             }
         );
+    }
+
+    #[test]
+    fn parse_args_analyze() {
+        let cmd = parse_args(&strings(&["analyze", "d.txt", "--k", "3"])).unwrap();
+        match cmd {
+            Command::Analyze { k, runs, json, .. } => {
+                assert_eq!(k, 3);
+                assert!(!json);
+                assert_eq!(runs, vec!["learn", "l2", "uniformity"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&strings(&[
+            "analyze", "d.txt", "--run", "l1,monotone", "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyze { runs, json, .. } => {
+                assert!(json);
+                assert_eq!(runs, vec!["l1", "monotone"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strings(&["analyze", "d.txt", "--run", "bogus"])).is_err());
+        assert!(parse_args(&strings(&["analyze"])).is_err());
     }
 
     #[test]
@@ -540,30 +783,30 @@ mod tests {
 
     #[test]
     fn dispatch_learn_streams_record_file() {
-        // The full CLI path: record file → RecordFileOracle → generic learn.
+        // The full CLI path: record file → RecordFileOracle → analysis API.
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         let p = khist_dist::generators::two_level(64, 0.25, 0.75).unwrap();
         let path = temp_file(&p.sample_many(30_000, &mut rng), "learn");
-        let report = dispatch(Command::Learn {
+        let learn = |json: bool| Command::Learn {
             path: path.clone(),
             k: 2,
             eps: 0.15,
             n: 64,
             seed: 7,
-        })
-        .unwrap();
+            json,
+        };
+        let report = dispatch(learn(false)).unwrap();
         assert!(report.contains("2-piece"), "report: {report}");
         assert!(report.contains("[0, 64)"), "report: {report}");
         // Reproducible: the same seed yields the same report.
-        let again = dispatch(Command::Learn {
-            path: path.clone(),
-            k: 2,
-            eps: 0.15,
-            n: 64,
-            seed: 7,
-        })
-        .unwrap();
+        let again = dispatch(learn(false)).unwrap();
         assert_eq!(report, again);
+        // --json emits the structured report and round-trips.
+        let json = dispatch(learn(true)).unwrap();
+        let parsed = Report::from_json(json.trim()).unwrap();
+        assert_eq!(parsed.analysis, AnalysisKind::Learn);
+        assert_eq!(parsed.seed, 7);
+        assert!(parsed.histogram.is_some());
         std::fs::remove_file(&path).ok();
     }
 
@@ -579,16 +822,88 @@ mod tests {
             n: 64,
             norm: "l2".into(),
             seed: 3,
+            json: false,
         })
         .unwrap();
         assert!(verdict.contains("Accept"), "{verdict}");
+        let json = dispatch(Command::Test {
+            path: path.clone(),
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            norm: "l2".into(),
+            seed: 3,
+            json: true,
+        })
+        .unwrap();
+        let parsed = Report::from_json(json.trim()).unwrap();
+        assert_eq!(parsed.analysis, AnalysisKind::TestL2);
+        assert!(parsed.accepted(), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dispatch_analyze_runs_batch_from_one_pass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let p = khist_dist::generators::staircase(64, 4).unwrap();
+        let path = temp_file(&p.sample_many(60_000, &mut rng), "analyze");
+        let human = dispatch(Command::Analyze {
+            path: path.clone(),
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            seed: 5,
+            json: false,
+            runs: strings(&["learn", "l2", "uniformity", "monotone"]),
+        })
+        .unwrap();
+        assert!(human.contains("4 analyses"), "{human}");
+        assert!(human.contains("ledger:"), "{human}");
+        assert!(human.contains("draw"), "{human}");
+
+        let json = dispatch(Command::Analyze {
+            path: path.clone(),
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            seed: 5,
+            json: true,
+            runs: strings(&["learn", "l2", "uniformity"]),
+        })
+        .unwrap();
+        let value = serde::json::from_str(json.trim()).expect("valid JSON");
+        let reports = value.as_seq().expect("JSON array");
+        assert_eq!(reports.len(), 3);
+        let kinds: Vec<&str> = reports
+            .iter()
+            .map(|r| r.get("analysis").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, ["learn", "test_l2", "uniformity"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_on_oracle_is_one_pass() {
+        // The shared-plan guarantee at the app layer: a whole batch costs
+        // the streaming backend exactly one pass after open's scan.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let p = khist_dist::generators::staircase(64, 4).unwrap();
+        let path = temp_file(&p.sample_many(40_000, &mut rng), "onepass");
+        let mut oracle = RecordFileOracle::open(&path, 64, 9).unwrap();
+        let available = oracle.records() as usize;
+        let runs = strings(&["learn", "l2", "uniformity"]);
+        let (reports, ledger) =
+            run_analyze_with(&mut oracle, 4, 0.25, &runs, available, 9).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(oracle.passes(), 1, "batch must cost exactly one pass");
+        assert_eq!(ledger.iter().filter(|e| e.label == "draw").count(), 1);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn dispatch_learn_rejects_out_of_domain_record() {
-        // Satellite: an explicit --n smaller than a record must produce a
-        // clear error (not a panic deep inside sample-set construction).
+        // An explicit --n smaller than a record must produce a clear error
+        // (not a panic deep inside sample-set construction).
         let path = temp_file(&[1, 2, 99], "baddomain");
         let err = dispatch(Command::Learn {
             path: path.clone(),
@@ -596,6 +911,7 @@ mod tests {
             eps: 0.2,
             n: 50,
             seed: 0,
+            json: false,
         })
         .unwrap_err();
         assert!(
@@ -615,11 +931,11 @@ mod tests {
 
     #[test]
     fn budget_respects_available_data() {
-        let b = budget_for_data(256, 4, 0.1, 5_000);
+        let b = budget_for_data(256, 4, 0.1, 5_000).unwrap();
         assert!(
-            b.total_samples() <= 5_000 || b.r == 3,
+            b.total_samples().unwrap() <= 5_000 || b.r == 3,
             "budget {} exceeds data 5000 with r = {}",
-            b.total_samples(),
+            b.total_samples().unwrap(),
             b.r
         );
     }
@@ -629,6 +945,8 @@ mod tests {
         let text = dispatch(Command::Help).unwrap();
         assert!(text.contains("usage"));
         assert!(text.contains("--seed"));
+        assert!(text.contains("analyze"));
+        assert!(text.contains("--json"));
     }
 
     #[test]
@@ -646,6 +964,7 @@ mod tests {
             eps: 0.2,
             n: 0,
             seed: 0,
+            json: false,
         })
         .unwrap_err();
         assert!(err.contains("/nonexistent/x.txt"));

@@ -1,15 +1,18 @@
 //! `khist` — command-line k-histogram learning/testing from record files.
 //!
 //! ```text
-//! khist learn     records.txt --k 8 --eps 0.1 --seed 7
-//! khist test      records.txt --k 8 --eps 0.2 --norm l1
+//! khist learn     records.txt --k 8 --eps 0.1 --seed 7 [--json]
+//! khist test      records.txt --k 8 --eps 0.2 --norm l1 [--json]
+//! khist analyze   records.txt --k 8 --run learn,l2,uniformity [--json]
 //! khist summarize records.txt
 //! ```
 //!
-//! `learn`/`test` stream the file through a `RecordFileOracle` (constant
-//! memory in the file length); `--seed` fixes the reservoir subsample so
-//! runs are reproducible. All logic lives (and is tested) in
-//! [`khist::app`].
+//! `learn`/`test`/`analyze` stream the file through a `RecordFileOracle`
+//! (constant memory in the file length); `--seed` fixes the reservoir
+//! subsample so runs are reproducible. `analyze` serves its whole batch
+//! from ONE shared sample draw — a single pass over the file — and
+//! `--json` emits the structured serde `Report`(s). All logic lives (and
+//! is tested) in [`khist::app`].
 
 use std::process::ExitCode;
 

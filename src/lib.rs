@@ -13,12 +13,13 @@
 //! samples from `p`, this library can
 //!
 //! 1. **Learn** a `k`-histogram whose squared `ℓ₂` error is within an
-//!    additive `O(ε)` of the best possible (`khist::greedy`, Theorems 1–2),
+//!    additive `O(ε)` of the best possible ([`api::Learn`], Theorems 1–2),
 //!    using `Õ((k/ε)² ln n)` samples — far fewer than the `Ω(n)` any
 //!    pointwise method needs;
 //! 2. **Test** whether `p` even is a `k`-histogram, or is `ε`-far from every
 //!    one, in `ℓ₂` (`O(ε⁻⁴ ln² n)` samples) or `ℓ₁` (`Õ(ε⁻⁵ √(kn))`
-//!    samples) — `khist::tester`, Theorems 3–4;
+//!    samples) — [`api::TestL2`] / [`api::TestL1`], Theorems 3–4 — plus the
+//!    companion uniformity, identity, closeness and monotonicity testers;
 //! 3. Reproduce the paper's `Ω(√(kn))` **lower bound** empirically
 //!    (`khist::lower_bound`, Theorem 5).
 //!
@@ -26,43 +27,67 @@
 //!
 //! | module (re-export) | source crate | contents |
 //! |---|---|---|
+//! | [`api`] | `khist-core` | **the front door**: typed requests, `Session`, shared `SamplePlan`, serde `Report` |
 //! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
 //! | [`oracle`] | `khist-oracle` | the `SampleOracle` seam + backends, sample multisets, collision estimators, budgets |
 //! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
 //! | [`baseline`] | `khist-baseline` | exact v-optimal DP, `ℓ₁` DP, equi-width/depth, MaxDiff, greedy-merge |
 //! | [`greedy`], [`tester`], [`flatness`], [`mod@partition_search`], [`lower_bound`], [`cost`], [`tiling_state`] | `khist-core` | the paper's algorithms |
 //!
-//! ## Architecture: the sample-oracle seam
+//! ## Architecture: requests → Session → SampleOracle
 //!
-//! The paper's algorithms only ever interact with the unknown `p` through
-//! i.i.d. draws, so every algorithm entry point is generic over
-//! [`oracle::SampleOracle`] (`domain_size` / `draw_set` / batched
-//! `draw_sets` + `draw_batch`) rather than a concrete distribution:
+//! Every workload enters through a typed [`api::Analysis`] request, runs in
+//! an [`api::Session`] that owns a [`oracle::SampleOracle`] backend, and
+//! returns a structured [`api::Report`]:
 //!
 //! ```text
-//!   learn · test_l1 · test_l2 · test_uniformity · test_identity_l2
-//!   test_closeness_l2 · test_monotone_non_increasing      (khist-core)
-//!                          │ generic over
-//!                          ▼
-//!                 trait SampleOracle                      (khist-oracle)
-//!          ┌───────────────┼────────────────────┐
-//!          ▼               ▼                    ▼
-//!    DenseOracle     RecordFileOracle      ReplayOracle
+//!  Learn::k(6).eps(0.1)  TestL2::k(6)  TestL1::k(6)  Uniformity::eps(0.3)
+//!  IdentityL2::against(q)  ClosenessL2::against(q)  Monotone::eps(0.3)
+//!            │                    │                        │
+//!            └────────────────────┼────────────────────────┘
+//!                                 ▼           typed Analysis requests
+//!                       Session::run(&[…])
+//!                                 │           one engine, one batch
+//!                                 ▼
+//!                      SamplePlan::for_batch   max(ℓ), max(r), max(m)
+//!                                 │           ONE draw shared by all
+//!                                 ▼
+//!                        trait SampleOracle
+//!               ┌─────────────────┼────────────────────┐
+//!               ▼                 ▼                    ▼
+//!         DenseOracle      RecordFileOracle       ReplayOracle
+//!         alias table,     one-pass reservoir     pre-drawn buffers,
+//!         parallel draws   splitting (1 file      deterministic
+//!                          pass per batch!)       replay
+//!                                 │
+//!                                 ▼
+//!               Vec<Report>  (verdict/histogram, statistic,
+//!                            samples spent, budget, seed, wall time;
+//!                            serde → `khist … --json`)
 //! ```
 //!
-//! Backend matrix:
+//! Batching matters on streaming backends: a `Session::run` over
+//! {learn, test-`ℓ₂`, uniformity} draws **once** — a single pass over a
+//! [`oracle::RecordFileOracle`]'s file — where the pre-API free functions
+//! cost one pass each. The per-algorithm free functions (`greedy::learn`,
+//! `tester::test_l2`, …) remain as thin shims over the same
+//! [`api::SamplePlan`] layer; the `*_dense` wrappers are **deprecated**.
 //!
-//! | backend | source of samples | memory | notes |
+//! ## Budgets
+//!
+//! All sample budgets implement the [`oracle::Budget`] trait (checked
+//! `total_samples`, `calibrated`/`theoretical` constructors, serde
+//! round-trip):
+//!
+//! | budget | params | shape | feeds |
 //! |---|---|---|---|
-//! | [`oracle::DenseOracle`] | explicit pmf, Walker–Vose alias table | `O(n)` | `draw_sets` fans the `r` independent sets across threads; per-set RNG streams split from the seed keep results bit-identical to a sequential run |
-//! | [`oracle::RecordFileOracle`] | line-oriented record file, one streaming pass per draw | `O(samples requested)` | reservoir-splits a pass into disjoint lanes; multi-million-line files are never materialized |
-//! | [`oracle::ReplayOracle`] | pre-drawn buffers | `O(recorded)` | deterministic tests and workload replay |
+//! | [`oracle::LearnerBudget`] | `(n, k, ε)` | `ℓ = ln(12n²)/2ξ²`, `r = ln(6n²)`, `m = 24/ξ²` | [`api::Learn`] |
+//! | [`oracle::L2TesterBudget`] | `(n, ε)` | `r = 16·ln(6n²)`, `m = 64·ln n·ε⁻⁴` | [`api::TestL2`] |
+//! | [`oracle::L1TesterBudget`] | `(n, k, ε)` | `r = 16·ln(6n²)`, `m = 2¹³√(kn)·ε⁻⁵` | [`api::TestL1`] |
+//! | [`uniformity::UniformityBudget`] | `(n, ε)` | `m = 16√n·ε⁻⁴` | [`api::Uniformity`] (+ identity/closeness defaults) |
 //!
-//! `*_dense` wrappers (e.g. [`greedy::learn_dense`],
-//! [`tester::test_l2_dense`]) keep the pre-oracle signatures: they spin up
-//! a seeded `DenseOracle` internally so existing call sites migrate by
-//! appending `_dense`. The seam is the attachment point for every future
-//! backend (sharded, network, cached).
+//! Extreme parameters (`ε = 1e-300`, `n = usize::MAX`) produce a
+//! [`dist::DistError`] instead of silently overflowing.
 //!
 //! ## Quickstart
 //!
@@ -72,19 +97,28 @@
 //! // The unknown distribution: a Zipf over 256 values (not a k-histogram).
 //! let p = khist::dist::generators::zipf(256, 1.1).unwrap();
 //!
-//! // Sample access to p, seeded for reproducibility. Any SampleOracle
-//! // backend (dense pmf, streamed record file, replayed capture) works.
-//! let mut oracle = DenseOracle::new(&p, 7);
+//! // One session = one oracle + one seed. Any backend works: an explicit
+//! // pmf (here), a streamed record file, or a replayed capture.
+//! let mut session = Session::from_dense(&p, 7);
 //!
-//! // Learn a 6-piece histogram from samples only.
-//! let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.01);
-//! let params = GreedyParams::fast(6, 0.1, budget);
-//! let learned = learn(&mut oracle, &params).unwrap();
+//! // One batch, one shared draw: learn a 6-piece histogram AND test
+//! // 6-histogram-ness AND check uniformity from the same samples.
+//! let reports = session
+//!     .run(&[
+//!         Learn::k(6).eps(0.1).scale(0.01).into(),
+//!         TestL2::k(6).eps(0.3).scale(0.02).into(),
+//!         Uniformity::eps(0.3).scale(0.05).into(),
+//!     ])
+//!     .unwrap();
 //!
-//! // Compare against the information-theoretic optimum.
+//! // Structured reports: histogram out of the learner…
+//! let learned = reports[0].histogram.as_ref().unwrap();
 //! let opt = v_optimal(&p, 6).unwrap();
-//! let gap = learned.tiling.l2_sq_to(&p) - opt.sse;
-//! assert!(gap < 8.0 * 0.1, "Theorem 2 bound holds");
+//! assert!(learned.l2_sq_to(&p) - opt.sse < 8.0 * 0.1, "Theorem 2 bound");
+//! // …verdicts out of the testers, and JSON out of everything.
+//! assert!(reports[2].verdict.is_some());
+//! let round_trip = khist::api::Report::from_json(&reports[0].to_json()).unwrap();
+//! assert_eq!(round_trip, reports[0]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -98,8 +132,8 @@ pub use khist_oracle as oracle;
 pub use khist_stats as stats;
 
 pub use khist_core::{
-    compress, cost, flatness, greedy, identity, lower_bound, monotone, partition_search, tester,
-    tiling_state, uniformity,
+    api, compress, cost, flatness, greedy, identity, lower_bound, monotone, partition_search,
+    tester, tiling_state, uniformity,
 };
 
 /// One-line imports for the common workflow.
@@ -108,20 +142,31 @@ pub mod prelude {
         equi_depth, equi_width, greedy_merge, l1_flatten_optimal, max_diff, sample_then_dp,
         v_optimal,
     };
+    pub use khist_core::api::{
+        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn, Monotone, Report,
+        SamplePlan, Session, TestL1, TestL2, Uniformity,
+    };
     pub use khist_core::compress::compress_to_k;
-    pub use khist_core::greedy::{
-        learn, learn_dense, learn_from_samples, CandidatePolicy, GreedyParams,
-    };
-    pub use khist_core::identity::{
-        test_closeness_l2, test_closeness_l2_dense, test_identity_l2, test_identity_l2_dense,
-    };
-    pub use khist_core::tester::{test_l1, test_l1_dense, test_l2, test_l2_dense, TestOutcome};
-    pub use khist_core::uniformity::{test_uniformity, test_uniformity_dense, UniformityBudget};
+    pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};
+    pub use khist_core::identity::{test_closeness_l2, test_identity_l2};
+    pub use khist_core::tester::{test_l1, test_l2, TestOutcome};
+    pub use khist_core::uniformity::{test_uniformity, UniformityBudget};
     pub use khist_dist::{DenseDistribution, Interval, PriorityHistogram, TilingHistogram};
     pub use khist_oracle::{
-        DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
+        Budget, DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
         ReplayOracle, Reservoir, SampleOracle, SampleSet,
     };
+
+    // Deprecated pre-API wrappers, re-exported so downstream code keeps
+    // compiling while it migrates (the deprecation fires at call sites).
+    #[allow(deprecated)]
+    pub use khist_core::greedy::learn_dense;
+    #[allow(deprecated)]
+    pub use khist_core::identity::{test_closeness_l2_dense, test_identity_l2_dense};
+    #[allow(deprecated)]
+    pub use khist_core::tester::{test_l1_dense, test_l2_dense};
+    #[allow(deprecated)]
+    pub use khist_core::uniformity::test_uniformity_dense;
 }
 
 #[cfg(test)]
@@ -131,6 +176,8 @@ mod tests {
         use crate::prelude::*;
         let p = DenseDistribution::uniform(4).unwrap();
         assert_eq!(p.n(), 4);
-        let _ = LearnerBudget::calibrated(4, 1, 0.5, 0.5);
+        let _ = LearnerBudget::calibrated(4, 1, 0.5, 0.5).unwrap();
+        let _session = Session::from_dense(&p, 1);
+        let _analysis: Analysis = Learn::k(1).eps(0.5).scale(0.5).into();
     }
 }

@@ -79,9 +79,10 @@ fn baseline_histograms_evaluate_consistently_via_dense() {
 fn greedy_outcome_representations_have_equal_mass() {
     let p = khist::dist::generators::zipf(96, 1.2).unwrap();
     let mut rng = StdRng::seed_from_u64(10);
-    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.03);
+    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.03).unwrap();
     let params = GreedyParams::new(4, 0.15, budget);
-    let out = learn_dense(&p, &params, &mut rng).unwrap();
+    let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+    let out = learn(&mut oracle, &params).unwrap();
     let t_mass = out.tiling.total_mass();
     let p_mass = out.priority.total_mass(96);
     assert!((t_mass - p_mass).abs() < 1e-9);

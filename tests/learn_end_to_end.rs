@@ -18,7 +18,7 @@ fn gap_for(
     seed: u64,
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let budget = LearnerBudget::calibrated(p.n(), k, eps, scale);
+    let budget = LearnerBudget::calibrated(p.n(), k, eps, scale).unwrap();
     let params = GreedyParams {
         k,
         eps,
@@ -26,7 +26,8 @@ fn gap_for(
         policy,
         max_endpoints: 96,
     };
-    let out = learn_dense(p, &params, &mut rng).unwrap();
+    let mut oracle = DenseOracle::new(p, rand::Rng::random(&mut rng));
+    let out = learn(&mut oracle, &params).unwrap();
     let opt = v_optimal(p, k).unwrap().sse;
     out.tiling.l2_sq_to(p) - opt
 }
@@ -97,10 +98,11 @@ fn gap_shrinks_with_budget() {
     let mut avg = |scale: f64| -> f64 {
         (0..5)
             .map(|i| {
-                let budget = LearnerBudget::calibrated(128, 4, 0.1, scale);
+                let budget = LearnerBudget::calibrated(128, 4, 0.1, scale).unwrap();
                 let params = GreedyParams::new(4, 0.1, budget);
                 let _ = i;
-                let out = learn_dense(&p, &params, &mut rng).unwrap();
+                let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+                let out = learn(&mut oracle, &params).unwrap();
                 out.tiling.l2_sq_to(&p)
             })
             .sum::<f64>()
@@ -118,9 +120,10 @@ fn gap_shrinks_with_budget() {
 fn learner_beats_naive_equal_partition_on_skew() {
     let p = khist::dist::generators::zipf(256, 1.5).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
-    let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.02);
+    let budget = LearnerBudget::calibrated(256, 6, 0.1, 0.02).unwrap();
     let params = GreedyParams::fast(6, 0.1, budget);
-    let learned = learn_dense(&p, &params, &mut rng).unwrap().tiling.l2_sq_to(&p);
+    let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+    let learned = learn(&mut oracle, &params).unwrap().tiling.l2_sq_to(&p);
     let ew = equi_width(&p, 6).unwrap().l2_sq_to(&p);
     assert!(
         learned < ew,
@@ -132,9 +135,10 @@ fn learner_beats_naive_equal_partition_on_skew() {
 fn priority_and_tiling_representations_agree() {
     let p = khist::dist::generators::discrete_gaussian(96, 40.0, 12.0).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
-    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.05);
+    let budget = LearnerBudget::calibrated(96, 4, 0.15, 0.05).unwrap();
     let params = GreedyParams::new(4, 0.15, budget);
-    let out = learn_dense(&p, &params, &mut rng).unwrap();
+    let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+    let out = learn(&mut oracle, &params).unwrap();
     let from_priority = out.priority.to_tiling(96).unwrap();
     for i in 0..96 {
         assert!(
@@ -152,7 +156,7 @@ fn learn_from_samples_accepts_real_data() {
     // from-samples entry point.
     let p = khist::dist::generators::two_level(64, 0.25, 0.75).unwrap();
     let mut rng = StdRng::seed_from_u64(6);
-    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05);
+    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05).unwrap();
     let main = SampleSet::draw(&p, budget.ell, &mut rng);
     let sets: Vec<SampleSet> = (0..budget.r)
         .map(|_| SampleSet::draw(&p, budget.m, &mut rng))

@@ -11,13 +11,14 @@ fn l1_tester_separates_the_ensemble() {
     let n = 128;
     let k = 4;
     let eps = 0.4;
-    let budget = L1TesterBudget::calibrated(n, k, eps, 0.02);
+    let budget = L1TesterBudget::calibrated(n, k, eps, 0.02).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
 
     let yes = khist::dist::generators::yes_instance(n, k).unwrap();
     let mut yes_accepts = 0;
     for _ in 0..7 {
-        if test_l1_dense(&yes.dist, k, eps, budget, &mut rng)
+        let mut oracle = DenseOracle::new(&yes.dist, rand::Rng::random(&mut rng));
+        if test_l1(&mut oracle, k, eps, budget)
             .unwrap()
             .outcome
             .is_accept()
@@ -30,7 +31,8 @@ fn l1_tester_separates_the_ensemble() {
     let mut no_rejects = 0;
     for _ in 0..7 {
         let no = khist::dist::generators::no_instance(n, k, &mut rng).unwrap();
-        if !test_l1_dense(&no.dist, k, eps, budget, &mut rng)
+        let mut oracle = DenseOracle::new(&no.dist, rand::Rng::random(&mut rng));
+        if !test_l1(&mut oracle, k, eps, budget)
             .unwrap()
             .outcome
             .is_accept()

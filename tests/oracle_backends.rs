@@ -26,7 +26,7 @@ fn replay_of_dense_draws_reproduces_learner_outcome() {
     // Capture a DenseOracle workload, replay it, and check the learner is a
     // deterministic function of the oracle: identical tilings, bit for bit.
     let p = khist::dist::generators::two_level(64, 0.25, 0.75).unwrap();
-    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.02);
+    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.02).unwrap();
     let params = GreedyParams::fast(2, 0.15, budget);
 
     let mut dense = DenseOracle::new(&p, 99);
@@ -52,7 +52,7 @@ fn generic_entry_points_accept_dyn_oracles() {
     let p = khist::dist::generators::staircase(64, 4).unwrap();
     let mut dense = DenseOracle::new(&p, 5);
     let oracle: &mut dyn SampleOracle = &mut dense;
-    let budget = L2TesterBudget::calibrated(64, 0.25, 0.05);
+    let budget = L2TesterBudget::calibrated(64, 0.25, 0.05).unwrap();
     let report = test_l2(oracle, 4, 0.25, budget).unwrap();
     assert_eq!(report.samples_used, budget.r * budget.m);
 }
@@ -67,7 +67,8 @@ fn record_file_learner_recovers_two_level_histogram() {
 
     let mut oracle = RecordFileOracle::open(&path, 64, 17).unwrap();
     let available = oracle.records() as usize;
-    let report = khist::app::run_learn_with(&mut oracle, 2, 0.15, available).unwrap();
+    let report = khist::app::run_learn_with(&mut oracle, 2, 0.15, available, 17).unwrap();
+    let report = khist::app::render_learn(&report);
     assert!(report.contains("2-piece"), "report: {report}");
     let found = (14..=18).any(|b| report.contains(&format!("{b}]")));
     assert!(found, "no boundary near 16 in: {report}");
@@ -87,7 +88,9 @@ fn record_file_and_replay_testers_agree_on_clear_instances() {
 
         let mut streaming = RecordFileOracle::open(&path, 64, 3).unwrap();
         let verdict_file =
-            khist::app::run_test_with(&mut streaming, 4, 0.25, "l2", samples.len()).unwrap();
+            khist::app::run_test_with(&mut streaming, 4, 0.25, "l2", samples.len(), 3)
+                .map(|r| khist::app::render_test(&r, 4))
+                .unwrap();
         let verdict_mem = khist::app::run_test(&samples, 4, 0.25, 64, "l2").unwrap();
 
         let want = if expect_accept { "Accept" } else { "Reject" };

@@ -1,7 +1,7 @@
 //! Cross-crate integration of the extension testers (uniformity, identity,
 //! monotonicity) and the stream-to-sample bridge.
 
-use khist::monotone::{monotonicity_budget, test_monotone_non_increasing_dense};
+use khist::monotone::{monotonicity_budget, test_monotone_non_increasing};
 use khist::prelude::*;
 use khist::uniformity::test_uniformity_from_set;
 use rand::rngs::StdRng;
@@ -41,8 +41,9 @@ fn identity_tester_distinguishes_learned_models() {
     let a = khist::dist::generators::staircase(n, 4).unwrap();
     let b = khist::dist::generators::two_level(n, 0.1, 0.8).unwrap();
 
-    let budget = LearnerBudget::calibrated(n, 4, 0.1, 0.05);
-    let model = learn_dense(&a, &GreedyParams::new(4, 0.1, budget), &mut rng)
+    let budget = LearnerBudget::calibrated(n, 4, 0.1, 0.05).unwrap();
+    let mut oracle = DenseOracle::new(&a, rand::Rng::random(&mut rng));
+    let model = learn(&mut oracle, &GreedyParams::new(4, 0.1, budget))
         .unwrap()
         .normalized_tiling()
         .unwrap()
@@ -52,14 +53,16 @@ fn identity_tester_distinguishes_learned_models() {
     let mut same_ok = 0;
     let mut drift_ok = 0;
     for _ in 0..9 {
-        if test_identity_l2_dense(&a, &model, 0.2, 8000, &mut rng)
+        let mut oracle_a = DenseOracle::new(&a, rand::Rng::random(&mut rng));
+        if test_identity_l2(&mut oracle_a, &model, 0.2, 8000)
             .unwrap()
             .outcome
             .is_accept()
         {
             same_ok += 1;
         }
-        if !test_identity_l2_dense(&b, &model, 0.2, 8000, &mut rng)
+        let mut oracle_b = DenseOracle::new(&b, rand::Rng::random(&mut rng));
+        if !test_identity_l2(&mut oracle_b, &model, 0.2, 8000)
             .unwrap()
             .outcome
             .is_accept()
@@ -88,10 +91,11 @@ fn monotonicity_and_khistogram_testers_are_orthogonal() {
     let p = h.to_distribution().unwrap();
 
     // k-histogram tester accepts (majority).
-    let tb = L2TesterBudget::calibrated(n, 0.25, 0.05);
+    let tb = L2TesterBudget::calibrated(n, 0.25, 0.05).unwrap();
     let accepts = (0..7)
         .filter(|_| {
-            test_l2_dense(&p, 3, 0.25, tb, &mut rng)
+            let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+            test_l2(&mut oracle, 3, 0.25, tb)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -103,10 +107,11 @@ fn monotonicity_and_khistogram_testers_are_orthogonal() {
     );
 
     // monotonicity tester rejects (majority).
-    let m = monotonicity_budget(n, 0.3, 1.0);
+    let m = monotonicity_budget(n, 0.3, 1.0).unwrap();
     let rejects = (0..7)
         .filter(|_| {
-            !test_monotone_non_increasing_dense(&p, 0.3, m, &mut rng)
+            let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+            !test_monotone_non_increasing(&mut oracle, 0.3, m)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -125,8 +130,9 @@ fn cli_pipeline_matches_library_results() {
     let report = khist::app::run_learn(&samples, 2, 0.15, 64).unwrap();
     assert!(report.contains("2-piece"));
     // Direct library path:
-    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05);
-    let out = learn_dense(&p, &GreedyParams::fast(2, 0.15, budget), &mut rng).unwrap();
+    let budget = LearnerBudget::calibrated(64, 2, 0.15, 0.05).unwrap();
+    let mut oracle = DenseOracle::new(&p, rand::Rng::random(&mut rng));
+    let out = learn(&mut oracle, &GreedyParams::fast(2, 0.15, budget)).unwrap();
     let compressed = compress_to_k(&out.tiling, 2).unwrap();
     assert!(compressed.l2_sq_to(&p) < 0.01);
 }

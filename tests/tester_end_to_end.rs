@@ -8,11 +8,12 @@ use rand::SeedableRng;
 
 /// Majority verdict over `runs` tester invocations.
 fn vote_l2(p: &DenseDistribution, k: usize, eps: f64, scale: f64, seed: u64, runs: usize) -> bool {
-    let budget = L2TesterBudget::calibrated(p.n(), eps, scale);
+    let budget = L2TesterBudget::calibrated(p.n(), eps, scale).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let accepts = (0..runs)
         .filter(|_| {
-            test_l2_dense(p, k, eps, budget, &mut rng)
+            let mut oracle = DenseOracle::new(p, rand::Rng::random(&mut rng));
+            test_l2(&mut oracle, k, eps, budget)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -22,11 +23,12 @@ fn vote_l2(p: &DenseDistribution, k: usize, eps: f64, scale: f64, seed: u64, run
 }
 
 fn vote_l1(p: &DenseDistribution, k: usize, eps: f64, scale: f64, seed: u64, runs: usize) -> bool {
-    let budget = L1TesterBudget::calibrated(p.n(), k, eps, scale);
+    let budget = L1TesterBudget::calibrated(p.n(), k, eps, scale).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let accepts = (0..runs)
         .filter(|_| {
-            test_l1_dense(p, k, eps, budget, &mut rng)
+            let mut oracle = DenseOracle::new(p, rand::Rng::random(&mut rng));
+            test_l1(&mut oracle, k, eps, budget)
                 .unwrap()
                 .outcome
                 .is_accept()
@@ -163,9 +165,9 @@ fn testers_respect_uniformity_special_case() {
 #[test]
 fn sample_complexity_grows_sublinearly_in_n() {
     // The point of the paper: the ℓ₁ tester's budget grows like √n, not n.
-    let b1 = L1TesterBudget::calibrated(1 << 10, 4, 0.3, 0.01);
-    let b2 = L1TesterBudget::calibrated(1 << 14, 4, 0.3, 0.01);
-    let sample_ratio = b2.total_samples() as f64 / b1.total_samples() as f64;
+    let b1 = L1TesterBudget::calibrated(1 << 10, 4, 0.3, 0.01).unwrap();
+    let b2 = L1TesterBudget::calibrated(1 << 14, 4, 0.3, 0.01).unwrap();
+    let sample_ratio = b2.total_samples().unwrap() as f64 / b1.total_samples().unwrap() as f64;
     let domain_ratio = 16.0;
     assert!(
         sample_ratio < domain_ratio / 2.0,

@@ -1,17 +1,218 @@
-//! Offline shim for the sliver of `serde` this workspace touches: a
-//! `Serialize` marker trait plus its derive. Nothing in the workspace
-//! actually serializes values yet (the derive on `khist_bench::Table`
-//! anticipates CSV/JSON export layers); when real serialization is needed,
-//! replace this shim with the registry crate — call sites already use the
-//! canonical paths.
+//! Offline shim for the slice of `serde` this workspace uses: a
+//! self-describing [`value::Value`] data model, [`Serialize`] /
+//! [`Deserialize`] traits over it, and a [`json`] reader/writer.
+//!
+//! The real `serde` drives arbitrary data formats through a visitor-based
+//! trait pair; offline we only need one format (JSON) and one data model,
+//! so serialization here is simply `T -> Value -> text` and
+//! deserialization `text -> Value -> T`. The derive macro (sibling
+//! `serde_derive` shim) still emits a *marker-level* impl — it relies on
+//! the default method body below — while types that actually serialize
+//! (budgets, analysis reports) write explicit impls. When a registry
+//! becomes reachable, replace this shim with the real crates and swap the
+//! manual impls for `#[derive(Serialize, Deserialize)]`.
 
 #![forbid(unsafe_code)]
 
-/// Marker trait standing in for `serde::Serialize`.
+pub mod json;
+pub mod value;
+
+pub use value::Value;
+
+/// Error raised by deserialization or JSON parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
 ///
-/// The derive macro (from the sibling `serde_derive` shim) emits an empty
-/// `impl Serialize for T`; bounds like `T: Serialize` therefore work, but
-/// no data format can be driven from it.
-pub trait Serialize {}
+/// The default body returns [`Value::Null`] so that the `derive(Serialize)`
+/// shim (which emits an empty impl) keeps compiling for types that only
+/// need the *bound*, not actual output. Types that are serialized for real
+/// must override it.
+pub trait Serialize {
+    /// Converts `self` into the self-describing data model.
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value, or explains why it cannot.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
 
 pub use serde_derive::Serialize;
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::new(format!("expected unsigned integer, got {value:?}")))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for i64 {
+    fn serialize(&self) -> Value {
+        if *self >= 0 {
+            Value::U64(*self as u64)
+        } else {
+            Value::I64(*self)
+        }
+    }
+}
+
+impl Deserialize for i64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_i64()
+            .ok_or_else(|| Error::new(format!("expected integer, got {value:?}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {value:?}")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::new(format!("expected sequence, got {value:?}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::deserialize(&o.serialize()).unwrap(), None);
+    }
+
+    #[test]
+    fn integers_accepted_as_floats() {
+        assert_eq!(f64::deserialize(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+        assert!(usize::deserialize(&Value::Str("x".into())).is_err());
+    }
+}

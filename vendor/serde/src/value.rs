@@ -1,0 +1,127 @@
+//! The self-describing data model: a JSON-shaped [`Value`] tree.
+//!
+//! Maps are stored as insertion-ordered `(key, value)` pairs so that
+//! serialized output is deterministic and round-trips preserve field
+//! order (useful for textual diffing of reports).
+
+/// A dynamically typed value: the meeting point of [`crate::Serialize`],
+/// [`crate::Deserialize`] and the [`crate::json`] format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (non-negative integers parse as [`Value::U64`]).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a [`Value::Map`] from `(key, value)` pairs.
+    pub fn map(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Map(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in a [`Value::Map`]; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::U64(v) => i64::try_from(*v).ok(),
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly within 2⁵³).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_and_accessors() {
+        let v = Value::map([
+            ("a", Value::U64(1)),
+            ("b", Value::Str("x".into())),
+            ("c", Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_seq().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn numeric_coercions_are_exact_only() {
+        assert_eq!(Value::F64(2.0).as_u64(), Some(2));
+        assert_eq!(Value::F64(2.5).as_u64(), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::U64(5).as_i64(), Some(5));
+    }
+}
