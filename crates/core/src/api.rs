@@ -41,6 +41,13 @@
 //! single-analysis path, so their sampling behaviour is bit-identical to
 //! the engine's (property-tested in `tests/api_session.rs`).
 //!
+//! [`Session`] *pulls*: every run draws fresh samples on demand. Its
+//! streaming peer is the push-based [`Monitor`] (re-exported here from
+//! [`crate::monitor`]): records are `ingest`ed as they arrive, reservoir
+//! windows freeze at span boundaries, and each frozen window answers the
+//! same typed [`Analysis`] batch — plus window-to-window drift checks —
+//! without a single new draw.
+//!
 //! # Example
 //!
 //! ```
@@ -72,6 +79,8 @@ use khist_oracle::{
 };
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
+pub use crate::monitor::{Monitor, MonitorBuilder, WindowReport};
+
 use crate::compress::compress_to_k;
 use crate::greedy::{learn_from_samples, CandidatePolicy, GreedyParams};
 use crate::identity::{test_closeness_l2_from_sets, test_identity_l2_from_set};
@@ -99,6 +108,18 @@ pub enum AnalysisKind {
 }
 
 impl AnalysisKind {
+    /// Every kind, in report order — the source of truth for "what can I
+    /// ask for" error messages and exhaustive iteration.
+    pub const ALL: [AnalysisKind; 7] = [
+        AnalysisKind::Learn,
+        AnalysisKind::TestL1,
+        AnalysisKind::TestL2,
+        AnalysisKind::Uniformity,
+        AnalysisKind::IdentityL2,
+        AnalysisKind::ClosenessL2,
+        AnalysisKind::Monotone,
+    ];
+
     /// Stable lowercase name used in reports and JSON.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -112,18 +133,15 @@ impl AnalysisKind {
         }
     }
 
-    /// Parses the stable name back into a kind.
+    /// Parses the stable name back into a kind. Matching is
+    /// case-insensitive and ignores surrounding whitespace (`"Learn"`,
+    /// `" TEST_L2 "` and `"learn"` all parse); serialized output always
+    /// uses the canonical lowercase [`as_str`](AnalysisKind::as_str) form.
     pub fn parse(name: &str) -> Option<Self> {
-        Some(match name {
-            "learn" => AnalysisKind::Learn,
-            "test_l1" => AnalysisKind::TestL1,
-            "test_l2" => AnalysisKind::TestL2,
-            "uniformity" => AnalysisKind::Uniformity,
-            "identity_l2" => AnalysisKind::IdentityL2,
-            "closeness_l2" => AnalysisKind::ClosenessL2,
-            "monotone" => AnalysisKind::Monotone,
-            _ => return None,
-        })
+        let name = name.trim();
+        AnalysisKind::ALL
+            .into_iter()
+            .find(|kind| kind.as_str().eq_ignore_ascii_case(name))
     }
 }
 
@@ -608,11 +626,22 @@ impl Report {
     /// Renders the report as compact JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(&self.serialize())
+            .expect("reports serialize finite numbers only (non-finite statistics become null)")
     }
 
     /// Parses a report back from JSON text.
     pub fn from_json(text: &str) -> Result<Self, SerdeError> {
         Report::deserialize(&serde::json::from_str(text)?)
+    }
+}
+
+/// The JSON writer rejects non-finite floats outright; reports encode a
+/// non-finite statistic/threshold (a degenerate estimator, not a bug in
+/// the writer) as an explicit `null`, which deserializes back to `None`.
+fn finite_or_null(v: Option<f64>) -> Value {
+    match v {
+        Some(x) if x.is_finite() => Value::F64(x),
+        _ => Value::Null,
     }
 }
 
@@ -644,8 +673,8 @@ impl Serialize for Report {
                 },
             ),
             ("histogram", histogram),
-            ("statistic", self.statistic.serialize()),
-            ("threshold", self.threshold.serialize()),
+            ("statistic", finite_or_null(self.statistic)),
+            ("threshold", finite_or_null(self.threshold)),
             ("cuts", self.cuts.serialize()),
             ("probes", self.probes.serialize()),
             ("samples_spent", self.samples_spent.serialize()),
@@ -1075,6 +1104,21 @@ impl std::fmt::Debug for Session {
     }
 }
 
+/// Resolves a batch against domain size `n` and returns the shared
+/// [`SamplePlan`] it needs — what [`Session::run`] computes before
+/// drawing, exposed so callers (the [`Monitor`]'s
+/// lane sizing, cost estimators) can answer "how many samples would this
+/// batch take?" without running it.
+pub fn plan_for(analyses: &[Analysis], n: usize) -> Result<SamplePlan, DistError> {
+    let resolved = analyses
+        .iter()
+        .map(|a| resolve(a, n))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SamplePlan::for_requirements(
+        resolved.iter().map(|r| r.requirement),
+    ))
+}
+
 /// The engine behind [`Session::run`], usable with a *borrowed* oracle
 /// (the CLI streams through an oracle it also needs for budget clamping,
 /// so it cannot hand ownership to a session).
@@ -1093,6 +1137,62 @@ pub fn run_analyses<O: SampleOracle + ?Sized>(
         .map(|a| resolve(a, n))
         .collect::<Result<Vec<_>, _>>()?;
     let plan = SamplePlan::for_requirements(resolved.iter().map(|r| r.requirement));
+    run_resolved(oracle, seed, resolved, plan)
+}
+
+/// Runs a batch against an *explicitly chosen* plan instead of the
+/// batch-derived maximum — the [`Monitor`] path,
+/// where the reservoir lanes were shaped once at configuration time and
+/// every snapshot must issue exactly that draw (so a frozen window's
+/// [`ReplayOracle`](khist_oracle::ReplayOracle) serves it verbatim).
+///
+/// Every analysis must *fit* the plan (its own requirement no larger in
+/// any dimension); a batch that needs more than the plan provides is an
+/// error naming the offending analysis, not a silent under-sample.
+#[allow(clippy::type_complexity)]
+pub fn run_analyses_with_plan<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    seed: u64,
+    analyses: &[Analysis],
+    plan: SamplePlan,
+) -> Result<(Vec<Report>, Vec<LedgerEntry>), DistError> {
+    let n = oracle.domain_size();
+    let resolved = analyses
+        .iter()
+        .map(|a| resolve(a, n))
+        .collect::<Result<Vec<_>, _>>()?;
+    for item in &resolved {
+        let req = item.requirement;
+        if req.main > plan.main || req.r > plan.r || req.m > plan.m {
+            return Err(DistError::BadParameter {
+                reason: format!(
+                    "analysis '{}' needs a draw of main {} + {}×{} but the configured plan \
+                     provides main {} + {}×{}; include it in the standing batch or shrink \
+                     its budget",
+                    item.analysis.kind(),
+                    req.main,
+                    req.r,
+                    req.m,
+                    plan.main,
+                    plan.r,
+                    plan.m
+                ),
+            });
+        }
+    }
+    run_resolved(oracle, seed, resolved, plan)
+}
+
+/// Shared executor: one draw of `plan`, then every resolved analysis
+/// consumes its view.
+#[allow(clippy::type_complexity)]
+fn run_resolved<O: SampleOracle + ?Sized>(
+    oracle: &mut O,
+    seed: u64,
+    resolved: Vec<Resolved>,
+    plan: SamplePlan,
+) -> Result<(Vec<Report>, Vec<LedgerEntry>), DistError> {
+    let n = oracle.domain_size();
     plan.total_samples()?; // fail fast on absurd combined plans
     let draw_started = Instant::now();
     let (main, sets) = plan.draw(oracle)?;
@@ -1264,6 +1364,19 @@ mod tests {
             assert_eq!(AnalysisKind::parse(kind).unwrap().as_str(), kind);
         }
         assert!(AnalysisKind::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn analysis_kind_parse_is_case_insensitive() {
+        for kind in AnalysisKind::ALL {
+            let upper = kind.as_str().to_uppercase();
+            assert_eq!(AnalysisKind::parse(&upper), Some(kind), "{upper}");
+            let padded = format!("  {}  ", kind.as_str());
+            assert_eq!(AnalysisKind::parse(&padded), Some(kind), "{padded:?}");
+        }
+        assert_eq!(AnalysisKind::parse("Learn"), Some(AnalysisKind::Learn));
+        assert_eq!(AnalysisKind::parse("TEST_L2"), Some(AnalysisKind::TestL2));
+        assert!(AnalysisKind::parse("l2").is_none(), "CLI aliases stay CLI-side");
     }
 
     #[test]
@@ -1450,7 +1563,7 @@ mod tests {
             BudgetSpec::Fixed { m: 512 },
         ];
         for spec in specs {
-            let text = serde::json::to_string(&spec.serialize());
+            let text = serde::json::to_string(&spec.serialize()).unwrap();
             let back = BudgetSpec::deserialize(&serde::json::from_str(&text).unwrap()).unwrap();
             assert_eq!(back, spec, "text: {text}");
             assert!(spec.total_samples().unwrap() > 0);

@@ -57,6 +57,7 @@ pub mod flatness;
 pub mod greedy;
 pub mod identity;
 pub mod lower_bound;
+pub mod monitor;
 pub mod monotone;
 pub mod partition_search;
 pub mod tester;
@@ -64,8 +65,9 @@ pub mod tiling_state;
 pub mod uniformity;
 
 pub use api::{
-    run_analyses, Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn,
-    LedgerEntry, Monotone, Report, SamplePlan, Session, TestL1, TestL2, Uniformity,
+    plan_for, run_analyses, run_analyses_with_plan, Analysis, AnalysisKind, BudgetSpec,
+    ClosenessL2, IdentityL2, Learn, LedgerEntry, Monitor, MonitorBuilder, Monotone, Report,
+    SamplePlan, Session, TestL1, TestL2, Uniformity, WindowReport,
 };
 pub use compress::compress_to_k;
 pub use cost::{CostOracle, ExactCostOracle, SampleCostOracle};

@@ -1,0 +1,794 @@
+//! The push-based front door: a long-lived [`Monitor`] over a live record
+//! stream.
+//!
+//! [`Session`](crate::api::Session) is pull-based and one-shot: every
+//! answer draws fresh samples through a
+//! [`SampleOracle`](khist_oracle::SampleOracle). A process that *receives*
+//! events — a socket, a log tail, a metrics pipe — needs the dual: push
+//! records in as they arrive, get reports out at window boundaries.
+//!
+//! ```text
+//!   ingest(&[records]) ──▶ WindowedSink (plan-shaped reservoir lanes)
+//!                              │ window closes every `span` records
+//!                              ▼
+//!                        WindowSnapshot ──ReplayOracle──▶ standing batch
+//!                              │                          (zero new draws)
+//!                              ├──▶ Vec<Report>  (learn / test / …)
+//!                              └──▶ drift Report (ℓ₂ closeness vs the
+//!                                   newest disjoint earlier window)
+//! ```
+//!
+//! The monitor is configured once with a *standing batch* of
+//! [`Analysis`] requests; their shared [`SamplePlan`] shapes the sink's
+//! reservoir lanes, so every completed window already holds exactly the
+//! draw the batch needs. Freezing a window into a
+//! [`ReplayOracle`](khist_oracle::ReplayOracle) and running the engine
+//! over it therefore performs **zero oracle draws beyond the frozen
+//! window** — the replay would panic if the engine asked for more, and the
+//! ledger's single `"draw"` entry equals the window's kept samples.
+//!
+//! Determinism: a tumbling window `w` freezes lanes bit-identical to
+//! writing the same records to a file and running
+//! [`Session::open_records`](crate::api::Session::open_records) with seed
+//! [`window_seed`]`(seed, w)` (window 0: the seed itself) — push and pull
+//! are two transports for one sampling process. Property-tested in
+//! `tests/monitor_push_pull.rs`.
+//!
+//! Drift checks follow Diakonikolas–Kane–Nikishkin-style closeness
+//! testing between two sample windows: both sides are *samples*, so the
+//! cross-collision `ℓ₂` statistic
+//! ([`test_closeness_l2_from_sets`])
+//! applies directly, with no model of either window.
+//!
+//! # Example
+//!
+//! ```
+//! use khist_core::api::{Learn, Monitor, TestL2, Uniformity};
+//! use khist_dist::generators;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let p = generators::staircase(64, 4).unwrap();
+//! let mut source = StdRng::seed_from_u64(99);
+//! let mut monitor = Monitor::builder(64)
+//!     .seed(7)
+//!     .tumbling(2_000)
+//!     .analyses([
+//!         Learn::k(4).eps(0.25).scale(0.05).into(),
+//!         TestL2::k(4).eps(0.3).scale(0.05).into(),
+//!         Uniformity::eps(0.3).scale(0.2).into(),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//!
+//! // Feed two windows' worth of events, as they "arrive".
+//! let events = p.sample_many(4_000, &mut source);
+//! let windows = monitor.ingest(&events).unwrap();
+//! assert_eq!(windows.len(), 2);
+//! assert_eq!(windows[0].reports.len(), 3);
+//! assert!(windows[0].drift.is_none(), "first window has no predecessor");
+//! assert!(windows[1].drift.is_some(), "second window is compared to the first");
+//! ```
+
+use std::time::Instant;
+
+use khist_dist::DistError;
+use khist_oracle::{
+    SampleSet, SampleSink, Window, WindowSnapshot, WindowedSink,
+};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+use crate::api::{
+    plan_for, run_analyses_with_plan, Analysis, AnalysisKind, BudgetSpec, LedgerEntry, Report,
+    SamplePlan,
+};
+use crate::identity::test_closeness_l2_from_sets;
+
+pub use khist_oracle::window_seed;
+
+/// Everything one completed (or flushed) window produced: identification,
+/// coverage counters, the standing batch's reports, and the drift check
+/// against the previous window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window id (0-based).
+    pub window: u64,
+    /// Global index of the window's first record (inclusive).
+    pub start: u64,
+    /// Global index one past the window's last record.
+    pub end: u64,
+    /// Records the window observed.
+    pub seen: u64,
+    /// Samples retained in the window's reservoir lanes.
+    pub kept: u64,
+    /// `false` for end-of-stream flushes of a partial window.
+    pub complete: bool,
+    /// The standing batch's reports, in request order.
+    pub reports: Vec<Report>,
+    /// `ℓ₂` closeness of this window's sample against the newest
+    /// *disjoint* completed window's (`None` until one exists — for
+    /// tumbling windows that is simply the previous window; sliding
+    /// windows skip their overlapping predecessors, whose shared retained
+    /// records would bias the collision statistic toward accept).
+    pub drift: Option<Report>,
+}
+
+impl WindowReport {
+    /// `true` when every tester in the window accepted **and** the drift
+    /// check (when present) accepted — the "nothing to page about" check.
+    pub fn all_quiet(&self) -> bool {
+        self.reports
+            .iter()
+            .chain(self.drift.iter())
+            .all(|r| r.verdict.is_none() || r.accepted())
+    }
+
+    /// Renders the report as compact JSON (one line — `khist watch --json`
+    /// emits one such line per window).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(&self.serialize())
+            .expect("window reports serialize finite numbers only")
+    }
+
+    /// Parses a window report back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        WindowReport::deserialize(&serde::json::from_str(text)?)
+    }
+}
+
+impl Serialize for WindowReport {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("window", self.window.serialize()),
+            ("start", self.start.serialize()),
+            ("end", self.end.serialize()),
+            ("seen", self.seen.serialize()),
+            ("kept", self.kept.serialize()),
+            ("complete", self.complete.serialize()),
+            (
+                "reports",
+                Value::Seq(self.reports.iter().map(Serialize::serialize).collect()),
+            ),
+            ("drift", self.drift.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WindowReport {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let req = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| SerdeError::new(format!("window report missing field '{key}'")))
+        };
+        Ok(WindowReport {
+            window: u64::deserialize(req("window")?)?,
+            start: u64::deserialize(req("start")?)?,
+            end: u64::deserialize(req("end")?)?,
+            seen: u64::deserialize(req("seen")?)?,
+            kept: u64::deserialize(req("kept")?)?,
+            complete: bool::deserialize(req("complete")?)?,
+            reports: Vec::deserialize(req("reports")?)?,
+            drift: Option::deserialize(req("drift")?)?,
+        })
+    }
+}
+
+impl std::fmt::Display for WindowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window {} [{}, {}){}: {} seen, {} kept",
+            self.window,
+            self.start,
+            self.end,
+            if self.complete { "" } else { " partial" },
+            self.seen,
+            self.kept
+        )?;
+        for report in &self.reports {
+            write!(f, "\n  {report}")?;
+        }
+        if let Some(drift) = &self.drift {
+            write!(f, "\n  drift vs baseline window: {drift}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Configures a [`Monitor`]; obtained from [`Monitor::builder`].
+#[derive(Debug, Clone)]
+pub struct MonitorBuilder {
+    n: usize,
+    seed: u64,
+    window: Window,
+    analyses: Vec<Analysis>,
+    drift_eps: f64,
+}
+
+impl MonitorBuilder {
+    /// Seeds the monitor's sampling (default 0). Same seed + same stream
+    /// ⇒ bit-identical window and drift reports.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses tumbling (disjoint, back-to-back) windows of `span` records —
+    /// the default, with a span of 100 000.
+    pub fn tumbling(mut self, span: u64) -> Self {
+        self.window = Window::Tumbling { span };
+        self
+    }
+
+    /// Uses sliding windows covering `span` records, completing every
+    /// `step` records (`step` must divide `span`).
+    pub fn sliding(mut self, span: u64, step: u64) -> Self {
+        self.window = Window::Sliding { span, step };
+        self
+    }
+
+    /// Sets the window policy explicitly.
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the standing batch run on every completed window. The batch's
+    /// shared [`SamplePlan`] also shapes the reservoir lanes, so it must
+    /// be non-empty.
+    pub fn analyses(mut self, batch: impl IntoIterator<Item = Analysis>) -> Self {
+        self.analyses = batch.into_iter().collect();
+        self
+    }
+
+    /// Appends one request to the standing batch.
+    pub fn analysis(mut self, request: impl Into<Analysis>) -> Self {
+        self.analyses.push(request.into());
+        self
+    }
+
+    /// Accuracy parameter of the window-to-window `ℓ₂` drift check
+    /// (default 0.25).
+    pub fn drift_eps(mut self, eps: f64) -> Self {
+        self.drift_eps = eps;
+        self
+    }
+
+    /// Builds the monitor: resolves the standing batch into a plan and
+    /// shapes the window sink's lanes from it.
+    pub fn build(self) -> Result<Monitor, DistError> {
+        if self.analyses.is_empty() {
+            return Err(DistError::BadParameter {
+                reason: "monitor needs at least one standing analysis — the batch's sample \
+                         plan sizes the window's reservoir lanes"
+                    .into(),
+            });
+        }
+        if !(self.drift_eps > 0.0 && self.drift_eps < 1.0) {
+            return Err(DistError::BadParameter {
+                reason: format!("drift ε = {} must lie in (0, 1)", self.drift_eps),
+            });
+        }
+        let plan = plan_for(&self.analyses, self.n)?;
+        plan.total_samples()?;
+        let sink = WindowedSink::new(
+            self.n,
+            self.seed,
+            self.window,
+            plan.main(),
+            plan.r(),
+            plan.m(),
+        )?;
+        Ok(Monitor {
+            n: self.n,
+            seed: self.seed,
+            analyses: self.analyses,
+            plan,
+            drift_eps: self.drift_eps,
+            sink,
+            baselines: std::collections::VecDeque::new(),
+            ledger: Vec::new(),
+            emitted: 0,
+        })
+    }
+}
+
+/// A long-lived, push-based analysis pipeline over a record stream — the
+/// streaming peer of [`Session`](crate::api::Session). See the [module
+/// docs](self) for the data flow and determinism contract.
+pub struct Monitor {
+    n: usize,
+    seed: u64,
+    analyses: Vec<Analysis>,
+    plan: SamplePlan,
+    drift_eps: f64,
+    sink: WindowedSink,
+    /// Recently completed windows (`(id, end, merged sample)`, oldest
+    /// first) — drift baselines. The closeness statistic assumes the two
+    /// samples are independent, so a window is only ever compared against
+    /// the newest *disjoint* baseline (`baseline.end ≤ window.start`):
+    /// sliding windows overlap their immediate predecessors and literally
+    /// share retained records with them, which would inflate
+    /// cross-collisions and bias the check toward accept. For tumbling
+    /// windows the previous window is already disjoint, so this reduces
+    /// to comparing consecutive windows.
+    baselines: std::collections::VecDeque<(u64, u64, SampleSet)>,
+    ledger: Vec<LedgerEntry>,
+    emitted: u64,
+}
+
+impl Monitor {
+    /// Starts configuring a monitor over the domain `[0, n)`. The domain
+    /// must be declared up front — a push stream cannot be pre-scanned the
+    /// way [`Session::open_records`](crate::api::Session::open_records)
+    /// scans a file.
+    pub fn builder(n: usize) -> MonitorBuilder {
+        MonitorBuilder {
+            n,
+            seed: 0,
+            window: Window::Tumbling { span: 100_000 },
+            analyses: Vec::new(),
+            drift_eps: 0.25,
+        }
+    }
+
+    /// Domain size records must lie in.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// The monitor's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total records ingested so far.
+    pub fn seen(&self) -> u64 {
+        self.sink.seen()
+    }
+
+    /// Completed windows reported so far.
+    pub fn windows(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The standing batch.
+    pub fn analyses(&self) -> &[Analysis] {
+        &self.analyses
+    }
+
+    /// The shared plan shaping every window's lanes.
+    pub fn plan(&self) -> SamplePlan {
+        self.plan
+    }
+
+    /// The configured window policy.
+    pub fn window(&self) -> Window {
+        self.sink.window()
+    }
+
+    /// The cumulative ledger across all windows and on-demand snapshots:
+    /// one `"draw"` entry per frozen window (samples = the window's kept
+    /// samples — the engine touched nothing beyond the freeze) followed by
+    /// the per-analysis spends.
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
+    /// Ingests a batch of records in arrival order, reporting every window
+    /// that completed during the batch (often none — reports appear every
+    /// `span`/`step` records). Fails on a record outside `[0, n)` or when
+    /// an analysis in the standing batch fails; records before the failure
+    /// remain ingested.
+    pub fn ingest(&mut self, records: &[usize]) -> Result<Vec<WindowReport>, DistError> {
+        self.sink.push_all(records)?;
+        let snaps = self.sink.drain_completed();
+        let mut out = Vec::with_capacity(snaps.len());
+        for snap in snaps {
+            out.push(self.report_window(snap)?);
+        }
+        Ok(out)
+    }
+
+    /// Reports any still-unreported data: completed-but-uncollected
+    /// windows, then the current partial window (when it holds records).
+    /// Call at end of stream so the tail is not dropped silently.
+    ///
+    /// A tail can be arbitrarily short — streams do not end span-aligned —
+    /// so a partial window whose lanes are too thin for the standing batch
+    /// (an empty collision lane, a one-record sample) degrades to a
+    /// counts-only report (`reports` empty, `drift` absent) instead of
+    /// failing the whole flush. Configuration errors surface earlier, on
+    /// completed windows or at [`MonitorBuilder::build`].
+    pub fn flush(&mut self) -> Result<Vec<WindowReport>, DistError> {
+        let mut out = self.ingest(&[])?;
+        let snap = self.sink.snapshot();
+        if snap.seen > 0 {
+            let counts_only = WindowReport {
+                window: snap.window,
+                start: snap.start,
+                end: snap.end,
+                seen: snap.seen,
+                kept: snap.kept,
+                complete: false,
+                reports: Vec::new(),
+                drift: None,
+            };
+            out.push(self.report_window(snap).unwrap_or(counts_only));
+        }
+        Ok(out)
+    }
+
+    /// Answers an on-demand batch from the *current* (possibly partial)
+    /// window, without waiting for it to complete and without disturbing
+    /// ingestion or the drift baseline. The batch may be any sub-batch
+    /// whose requirements fit the standing plan (the frozen lanes cannot
+    /// serve a larger draw — that returns an error, never a fresh draw).
+    pub fn snapshot(&mut self, analyses: &[Analysis]) -> Result<Vec<Report>, DistError> {
+        let snap = self.sink.snapshot();
+        let mut replay = snap.replay();
+        let (reports, ledger) =
+            run_analyses_with_plan(&mut replay, snap.seed, analyses, self.plan)?;
+        debug_assert_eq!(
+            replay.remaining(),
+            0,
+            "a snapshot must consume exactly the frozen window"
+        );
+        self.ledger.extend(ledger);
+        Ok(reports)
+    }
+
+    /// The newest completed window that is *disjoint* from a window
+    /// starting at `start` — the only sound drift baseline (overlapping
+    /// sliding windows share retained records, which would bias the
+    /// collision statistic toward accept).
+    fn disjoint_baseline(&self, start: u64) -> Option<&SampleSet> {
+        self.baselines
+            .iter()
+            .rev()
+            .find(|(_, end, _)| *end <= start)
+            .map(|(_, _, sample)| sample)
+    }
+
+    /// How many completed-window baselines to retain: enough that once
+    /// windows have advanced a full span, a disjoint one is always
+    /// available (sliding: span/step windows back; tumbling: the previous
+    /// window).
+    fn baseline_capacity(&self) -> usize {
+        match self.sink.window() {
+            Window::Tumbling { .. } => 1,
+            Window::Sliding { span, step } => (span / step) as usize,
+        }
+    }
+
+    /// `ℓ₂` closeness of the current window's sample against the newest
+    /// disjoint completed window's — the on-demand "did the distribution
+    /// move?" check. Fails until a window disjoint from the current one
+    /// has completed, or when the current window holds fewer than two
+    /// samples.
+    pub fn drift(&self) -> Result<Report, DistError> {
+        let snap = self.sink.snapshot();
+        let baseline =
+            self.disjoint_baseline(snap.start)
+                .ok_or_else(|| DistError::BadParameter {
+                    reason: "drift needs a completed window disjoint from the current one as \
+                             baseline; keep ingesting"
+                        .into(),
+                })?;
+        self.drift_between(baseline, &snap.merged(), snap.seed)
+    }
+
+    /// Runs the standing batch + drift over one frozen window and advances
+    /// the drift baselines (completed windows only).
+    fn report_window(&mut self, snap: WindowSnapshot) -> Result<WindowReport, DistError> {
+        let mut replay = snap.replay();
+        let (reports, ledger) =
+            run_analyses_with_plan(&mut replay, snap.seed, &self.analyses, self.plan)?;
+        debug_assert_eq!(
+            replay.remaining(),
+            0,
+            "a window report must consume exactly the frozen window"
+        );
+        self.ledger.extend(ledger);
+        let current = snap.merged();
+        let drift = match self.disjoint_baseline(snap.start) {
+            Some(baseline) if baseline.total() >= 2 && current.total() >= 2 => {
+                Some(self.drift_between(baseline, &current, snap.seed)?)
+            }
+            _ => None,
+        };
+        if snap.complete {
+            self.baselines.push_back((snap.window, snap.end, current));
+            while self.baselines.len() > self.baseline_capacity() {
+                self.baselines.pop_front();
+            }
+            self.emitted += 1;
+        }
+        Ok(WindowReport {
+            window: snap.window,
+            start: snap.start,
+            end: snap.end,
+            seen: snap.seen,
+            kept: snap.kept,
+            complete: snap.complete,
+            reports,
+            drift,
+        })
+    }
+
+    /// Builds the closeness [`Report`] between two window samples.
+    fn drift_between(
+        &self,
+        baseline: &SampleSet,
+        current: &SampleSet,
+        seed: u64,
+    ) -> Result<Report, DistError> {
+        let started = Instant::now();
+        let closeness = test_closeness_l2_from_sets(baseline, current, self.n, self.drift_eps)?;
+        Ok(Report {
+            analysis: AnalysisKind::ClosenessL2,
+            n: self.n,
+            verdict: Some(closeness.outcome),
+            histogram: None,
+            statistic: Some(closeness.statistic),
+            threshold: Some(closeness.threshold),
+            cuts: Vec::new(),
+            probes: None,
+            samples_spent: closeness.samples_used,
+            budget: BudgetSpec::Fixed {
+                m: closeness.samples_used,
+            },
+            seed,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("domain_size", &self.n)
+            .field("seed", &self.seed)
+            .field("window", &self.sink.window())
+            .field("standing_analyses", &self.analyses.len())
+            .field("seen", &self.sink.seen())
+            .field("windows", &self.emitted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Learn, TestL1, TestL2, Uniformity};
+    use khist_dist::{generators, DenseDistribution};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn standing() -> Vec<Analysis> {
+        vec![
+            Learn::k(3).eps(0.25).scale(0.05).into(),
+            TestL2::k(3).eps(0.3).scale(0.05).into(),
+            Uniformity::eps(0.3).scale(0.2).into(),
+        ]
+    }
+
+    fn events_from(p: &DenseDistribution, count: usize, seed: u64) -> Vec<usize> {
+        p.sample_many(count, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn events(n: usize, count: usize, seed: u64) -> Vec<usize> {
+        events_from(&generators::staircase(n, 3).unwrap(), count, seed)
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(Monitor::builder(64).build().is_err(), "empty batch");
+        assert!(Monitor::builder(64)
+            .analyses(standing())
+            .drift_eps(0.0)
+            .build()
+            .is_err());
+        assert!(Monitor::builder(64)
+            .analyses(standing())
+            .sliding(100, 33)
+            .build()
+            .is_err());
+        assert!(Monitor::builder(0).analyses(standing()).build().is_err());
+    }
+
+    #[test]
+    fn windows_report_and_drift_baseline_advances() {
+        let mut monitor = Monitor::builder(64)
+            .seed(5)
+            .tumbling(3_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let stream = events(64, 7_500, 1);
+        let windows = monitor.ingest(&stream).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert!(windows[0].drift.is_none());
+        let drift = windows[1].drift.as_ref().expect("window 1 has baseline");
+        assert_eq!(drift.analysis, AnalysisKind::ClosenessL2);
+        // Same distribution in both windows: drift must accept.
+        assert!(drift.accepted(), "{drift}");
+        assert!(windows.iter().all(|w| w.complete && w.seen == 3_000));
+        assert_eq!(monitor.windows(), 2);
+        // Flush reports the 1 500-record tail as a partial window.
+        let tail = monitor.flush().unwrap();
+        assert_eq!(tail.len(), 1);
+        assert!(!tail[0].complete);
+        assert_eq!(tail[0].seen, 1_500);
+        assert_eq!(monitor.windows(), 2, "partial windows do not advance the baseline");
+    }
+
+    #[test]
+    fn window_reports_consume_only_the_frozen_window() {
+        let mut monitor = Monitor::builder(64)
+            .seed(9)
+            .tumbling(4_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let windows = monitor.ingest(&events(64, 4_000, 2)).unwrap();
+        assert_eq!(windows.len(), 1);
+        // Ledger: one freeze-draw plus one entry per standing analysis —
+        // and the draw served exactly the window's kept samples, proving
+        // zero draws beyond the frozen window (the replay oracle would
+        // have panicked on any extra draw).
+        let draws: Vec<_> = monitor
+            .ledger()
+            .iter()
+            .filter(|e| e.label == "draw")
+            .collect();
+        assert_eq!(draws.len(), 1);
+        assert_eq!(draws[0].samples as u64, windows[0].kept);
+        assert_eq!(monitor.ledger().len(), 1 + standing().len());
+    }
+
+    #[test]
+    fn on_demand_snapshot_serves_sub_batches_and_rejects_oversized() {
+        let mut monitor = Monitor::builder(64)
+            .seed(3)
+            .tumbling(10_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        monitor.ingest(&events(64, 2_500, 3)).unwrap();
+        // Mid-window, a sub-batch of the standing analyses is served from
+        // the partial lanes.
+        let reports = monitor
+            .snapshot(&[Uniformity::eps(0.3).scale(0.2).into()])
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].statistic.is_some());
+        // A batch needing more than the configured lanes is refused.
+        let err = monitor
+            .snapshot(&[TestL1::k(3).eps(0.3).scale(0.5).into()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("configured plan"), "{err}");
+    }
+
+    #[test]
+    fn drift_flags_a_distribution_change() {
+        let mut monitor = Monitor::builder(64)
+            .seed(11)
+            .tumbling(5_000)
+            .analyses(vec![Uniformity::eps(0.3).scale(1.0).into()])
+            .drift_eps(0.3)
+            .build()
+            .unwrap();
+        assert!(monitor.drift().is_err(), "no baseline yet");
+        let steady = generators::staircase(64, 3).unwrap();
+        let shifted = generators::spike_comb(64, 8).unwrap();
+        monitor.ingest(&events_from(&steady, 5_000, 1)).unwrap();
+        // Mid-window probe against the same source: no drift.
+        monitor.ingest(&events_from(&steady, 2_500, 2)).unwrap();
+        assert!(monitor.drift().unwrap().accepted());
+        monitor.ingest(&events_from(&steady, 2_500, 4)).unwrap();
+        // Source changes: the partial next window already flags it…
+        monitor.ingest(&events_from(&shifted, 2_500, 3)).unwrap();
+        assert!(!monitor.drift().unwrap().accepted());
+        // …and so does the completed window's report.
+        let windows = monitor.ingest(&events_from(&shifted, 2_500, 5)).unwrap();
+        let drift = windows[0].drift.as_ref().unwrap();
+        assert!(!drift.accepted(), "shift must be flagged: {drift}");
+    }
+
+    #[test]
+    fn monitor_reports_are_replay_deterministic() {
+        let stream = events(64, 9_000, 8);
+        let run = || {
+            let mut monitor = Monitor::builder(64)
+                .seed(21)
+                .tumbling(4_000)
+                .analyses(standing())
+                .build()
+                .unwrap();
+            let mut windows = monitor.ingest(&stream).unwrap();
+            windows.extend(monitor.flush().unwrap());
+            windows
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "fixed seed + same stream ⇒ bit-identical reports");
+        assert_eq!(a.len(), 3);
+        assert!(a[1].drift.is_some());
+    }
+
+    #[test]
+    fn flush_degrades_to_counts_only_on_a_tiny_tail() {
+        // Streams do not end span-aligned: a 1-record tail leaves the
+        // learner's collision lanes empty, which must degrade to a
+        // counts-only report, not fail the flush (regression test).
+        let mut monitor = Monitor::builder(64)
+            .seed(1)
+            .tumbling(1_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let mut stream = events(64, 2_000, 9);
+        stream.push(3);
+        let mut windows = monitor.ingest(&stream).unwrap();
+        windows.extend(monitor.flush().unwrap());
+        assert_eq!(windows.len(), 3);
+        assert!(windows[0].complete && windows[1].complete);
+        let tail = &windows[2];
+        assert!(!tail.complete);
+        assert_eq!((tail.seen, tail.start, tail.end), (1, 2_000, 2_001));
+        assert!(tail.reports.is_empty(), "tail too thin to analyze");
+        assert!(tail.drift.is_none());
+        // A tail that *can* carry the batch still gets full reports.
+        let mut monitor = Monitor::builder(64)
+            .seed(1)
+            .tumbling(1_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        monitor.ingest(&events(64, 1_500, 10)).unwrap();
+        let windows = monitor.flush().unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].reports.len(), standing().len());
+    }
+
+    #[test]
+    fn window_report_json_round_trips() {
+        let mut monitor = Monitor::builder(64)
+            .seed(13)
+            .tumbling(3_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let windows = monitor.ingest(&events(64, 6_000, 5)).unwrap();
+        for report in windows {
+            let json = report.to_json();
+            let back = WindowReport::from_json(&json)
+                .unwrap_or_else(|e| panic!("round trip failed for {json}: {e}"));
+            assert_eq!(back, report, "json: {json}");
+        }
+        assert!(WindowReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn sliding_monitor_emits_every_step() {
+        let mut monitor = Monitor::builder(64)
+            .seed(2)
+            .sliding(4_000, 1_000)
+            .analyses(vec![Uniformity::eps(0.3).scale(0.5).into()])
+            .build()
+            .unwrap();
+        let windows = monitor.ingest(&events(64, 9_000, 6)).unwrap();
+        // First completion at 4 000, then every 1 000: 6 windows.
+        assert_eq!(windows.len(), 6);
+        assert_eq!((windows[0].start, windows[0].end), (0, 4_000));
+        assert_eq!((windows[5].start, windows[5].end), (5_000, 9_000));
+        // Drift baselines must be *disjoint*: overlapping sliding windows
+        // share retained records, which would bias the closeness statistic
+        // toward accept. Windows 1–3 overlap every completed predecessor;
+        // window 4 [4000, 8000) is the first with a disjoint baseline
+        // (window 0, ending at 4000).
+        assert!(windows[..4].iter().all(|w| w.drift.is_none()));
+        assert!(windows[4].drift.is_some());
+        assert!(windows[5].drift.is_some());
+    }
+}

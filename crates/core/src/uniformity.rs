@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn budget_serde_round_trips() {
         let b = UniformityBudget::calibrated(1024, 0.3, 0.1).unwrap();
-        let text = serde::json::to_string(&b.serialize());
+        let text = serde::json::to_string(&b.serialize()).unwrap();
         let back =
             UniformityBudget::deserialize(&serde::json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, b);

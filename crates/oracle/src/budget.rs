@@ -541,14 +541,14 @@ mod tests {
     #[test]
     fn budgets_serde_round_trip() {
         let learner = LearnerBudget::calibrated(500, 3, 0.2, 0.1).unwrap();
-        let text = serde::json::to_string(&learner.serialize());
+        let text = serde::json::to_string(&learner.serialize()).unwrap();
         let parsed = serde::json::from_str(&text).unwrap();
         assert_eq!(LearnerBudget::deserialize(&parsed).unwrap(), learner);
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("learner"));
 
         let l2 = L2TesterBudget::calibrated(256, 0.3, 0.05).unwrap();
         let round = L2TesterBudget::deserialize(
-            &serde::json::from_str(&serde::json::to_string(&l2.serialize())).unwrap(),
+            &serde::json::from_str(&serde::json::to_string(&l2.serialize()).unwrap()).unwrap(),
         )
         .unwrap();
         assert_eq!(round, l2);

@@ -78,8 +78,10 @@ pub trait SampleOracle {
 
 /// Deterministic per-stream seed derivation (SplitMix64 finalizer over the
 /// base seed and the stream index). Stream `i` of a given oracle always
-/// maps to the same RNG state, independent of thread scheduling.
-fn stream_seed(base: u64, stream: u64) -> u64 {
+/// maps to the same RNG state, independent of thread scheduling. Shared
+/// with the push-based [`crate::sink`] layer, whose lanes must consume the
+/// same seed streams as the pull backends for push≡pull bit-identity.
+pub(crate) fn stream_seed(base: u64, stream: u64) -> u64 {
     let mut z = base ^ stream.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -90,6 +92,64 @@ fn stream_seed(base: u64, stream: u64) -> u64 {
 /// setup than it saves; `draw_sets` falls back to the sequential path
 /// (which is bit-identical anyway).
 const PARALLEL_DRAW_THRESHOLD: usize = 1 << 13;
+
+/// Deterministic record→lane assignment, shared by [`RecordFileOracle`]'s
+/// streaming draws and the push-based [`crate::sink::WindowedSink`].
+///
+/// A draw that splits one record stream into reservoir lanes must route
+/// record `t` to the same lane no matter whether the records are *pulled*
+/// (re-streamed from a file) or *pushed* (ingested as they arrive) — this
+/// enum is the single implementation both paths use, so push≡pull
+/// bit-identity holds by construction rather than by parallel maintenance
+/// of two copies of the logic.
+#[derive(Debug, Clone)]
+pub(crate) enum LaneRouter {
+    /// Every record to lane 0 (the shape of a lone `draw_set`).
+    Single,
+    /// Record `t` to lane `t mod lanes` (the shape of `draw_sets`:
+    /// disjoint equal lanes).
+    RoundRobin {
+        /// Number of lanes dealt to.
+        lanes: u64,
+    },
+    /// Record to lane `i` with probability `sizes[i] / Σ sizes` (the shape
+    /// of `draw_batch`: disjoint heterogeneous lanes).
+    Weighted {
+        /// Cumulative size thresholds: lane `i` owns `[cum[i-1], cum[i])`.
+        cum: Vec<u64>,
+        /// Sum of all lane sizes.
+        total: u64,
+        /// The dedicated assignment stream.
+        assign: StdRng,
+    },
+}
+
+impl LaneRouter {
+    /// Builds the weighted router over `sizes` with its assignment stream.
+    pub(crate) fn weighted(sizes: &[usize], assign: StdRng) -> Self {
+        let cum: Vec<u64> = sizes
+            .iter()
+            .scan(0u64, |acc, &m| {
+                *acc += m as u64;
+                Some(*acc)
+            })
+            .collect();
+        let total = cum.last().copied().unwrap_or(0);
+        LaneRouter::Weighted { cum, total, assign }
+    }
+
+    /// The lane record `t` (0-based within the stream) is routed to.
+    pub(crate) fn lane_of(&mut self, t: u64) -> usize {
+        match self {
+            LaneRouter::Single => 0,
+            LaneRouter::RoundRobin { lanes } => (t % *lanes) as usize,
+            LaneRouter::Weighted { cum, total, assign } => {
+                let x = assign.random_range(0..*total);
+                cum.partition_point(|&c| c <= x)
+            }
+        }
+    }
+}
 
 /// Sample oracle over an explicit [`DenseDistribution`]: the simulation
 /// backend every experiment uses.
@@ -253,6 +313,14 @@ impl ReplayOracle {
     pub fn remaining(&self) -> usize {
         self.sets.len()
     }
+
+    /// Number of recorded sets served so far — together with
+    /// [`remaining`](ReplayOracle::remaining), the passes-style counter
+    /// that lets callers assert a workload consumed *exactly* the recorded
+    /// capture and drew nothing beyond it (any extra draw panics).
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
 }
 
 impl SampleOracle for ReplayOracle {
@@ -399,17 +467,13 @@ impl RecordFileOracle {
     }
 
     /// One streaming pass over the *scanned prefix*: every record is routed
-    /// to `lane_of(t)` (with `t` the running record index) and offered to
-    /// that lane's reservoir. Records appended after `open`'s scan are
-    /// ignored — the oracle's population is frozen at open time, so a live
-    /// log being appended to mid-draw stays well-defined (appended records
-    /// were never part of the counted/validated population).
-    fn pour(
-        &self,
-        reservoirs: &mut [Reservoir],
-        rngs: &mut [StdRng],
-        mut lane_of: impl FnMut(u64) -> usize,
-    ) {
+    /// to `router.lane_of(t)` (with `t` the running record index) and
+    /// offered to that lane's reservoir. Records appended after `open`'s
+    /// scan are ignored — the oracle's population is frozen at open time,
+    /// so a live log being appended to mid-draw stays well-defined
+    /// (appended records were never part of the counted/validated
+    /// population).
+    fn pour(&self, reservoirs: &mut [Reservoir], rngs: &mut [StdRng], router: &mut LaneRouter) {
         let file = std::fs::File::open(&self.path).unwrap_or_else(|e| {
             panic!("{}: vanished after scan: {e}", self.path.display());
         });
@@ -435,7 +499,7 @@ impl RecordFileOracle {
                         idx + 1,
                         self.n
                     );
-                    let lane = lane_of(t);
+                    let lane = router.lane_of(t);
                     reservoirs[lane].offer(value, &mut rngs[lane]);
                     t += 1;
                 }
@@ -465,7 +529,7 @@ impl SampleOracle for RecordFileOracle {
         }
         let mut reservoirs = vec![Reservoir::new(m)];
         let mut rngs = self.lane_rngs(first, 1);
-        self.pour(&mut reservoirs, &mut rngs, |_| 0);
+        self.pour(&mut reservoirs, &mut rngs, &mut LaneRouter::Single);
         reservoirs[0].to_sample_set()
     }
 
@@ -480,7 +544,8 @@ impl SampleOracle for RecordFileOracle {
         }
         let mut reservoirs: Vec<Reservoir> = (0..r).map(|_| Reservoir::new(m)).collect();
         let mut rngs = self.lane_rngs(first, r);
-        self.pour(&mut reservoirs, &mut rngs, |t| (t % r as u64) as usize);
+        let mut router = LaneRouter::RoundRobin { lanes: r as u64 };
+        self.pour(&mut reservoirs, &mut rngs, &mut router);
         reservoirs.iter().map(Reservoir::to_sample_set).collect()
     }
 
@@ -499,19 +564,9 @@ impl SampleOracle for RecordFileOracle {
         let mut reservoirs: Vec<Reservoir> =
             sizes.iter().map(|&m| Reservoir::new(m.max(1))).collect();
         let mut rngs = self.lane_rngs(first, lanes);
-        let mut assign = StdRng::seed_from_u64(stream_seed(self.seed, first + lanes as u64));
-        // Cumulative size thresholds: lane i owns [cum[i], cum[i+1]).
-        let cum: Vec<u64> = sizes
-            .iter()
-            .scan(0u64, |acc, &m| {
-                *acc += m as u64;
-                Some(*acc)
-            })
-            .collect();
-        self.pour(&mut reservoirs, &mut rngs, move |_| {
-            let x = assign.random_range(0..total);
-            cum.partition_point(|&c| c <= x)
-        });
+        let assign = StdRng::seed_from_u64(stream_seed(self.seed, first + lanes as u64));
+        let mut router = LaneRouter::weighted(sizes, assign);
+        self.pour(&mut reservoirs, &mut rngs, &mut router);
         sizes
             .iter()
             .zip(&reservoirs)
@@ -530,28 +585,12 @@ impl SampleOracle for RecordFileOracle {
 mod tests {
     use super::*;
     use crate::empirical::empirical_distribution;
+    use crate::test_util::temp_records;
     use khist_dist::generators;
     use std::io::Write;
-    use std::sync::atomic::AtomicU64;
 
     fn zipf64() -> DenseDistribution {
         generators::zipf(64, 1.1).unwrap()
-    }
-
-    /// Writes records to a unique temp file; returns its path.
-    fn temp_records(records: &[usize], tag: &str) -> PathBuf {
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "khist-oracle-{tag}-{}-{unique}.txt",
-            std::process::id()
-        ));
-        let mut f = std::fs::File::create(&path).expect("temp file writable");
-        writeln!(f, "# generated by oracle tests").unwrap();
-        for &r in records {
-            writeln!(f, "{r}").unwrap();
-        }
-        path
     }
 
     #[test]

@@ -95,6 +95,51 @@ impl Reservoir {
         self.items.clear();
         self.seen = 0;
     }
+
+    /// Merges two reservoirs into one whose contents approximate a uniform
+    /// sample of the *union* of the two observed streams, weighted by how
+    /// many records each side has seen.
+    ///
+    /// The merge repeatedly picks a side with probability proportional to
+    /// the records it still represents (its `seen` count, minus one per
+    /// item already taken — a pick consumes one record of the underlying
+    /// stream) and moves a uniformly random item across. The result has
+    /// capacity `max` of the two capacities and `seen` equal to the sum,
+    /// so merges chain associatively enough for windowed sinks to fold a
+    /// sliding window's panes lane by lane
+    /// ([`WindowedSink`](crate::sink::WindowedSink)).
+    ///
+    /// Deterministic for a fixed `rng` state.
+    pub fn merge<R: Rng + ?Sized>(&self, other: &Reservoir, rng: &mut R) -> Reservoir {
+        let capacity = self.capacity.max(other.capacity);
+        let mut a = self.items.clone();
+        let mut b = other.items.clone();
+        let mut weight_a = self.seen as f64;
+        let mut weight_b = other.seen as f64;
+        let mut items = Vec::with_capacity(capacity.min(a.len() + b.len()));
+        while items.len() < capacity && (!a.is_empty() || !b.is_empty()) {
+            let from_a = if b.is_empty() {
+                true
+            } else if a.is_empty() {
+                false
+            } else {
+                rng.random::<f64>() * (weight_a + weight_b) < weight_a
+            };
+            let src = if from_a { &mut a } else { &mut b };
+            let j = rng.random_range(0..src.len());
+            items.push(src.swap_remove(j));
+            if from_a {
+                weight_a -= 1.0;
+            } else {
+                weight_b -= 1.0;
+            }
+        }
+        Reservoir {
+            items,
+            capacity,
+            seen: self.seen + other.seen,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +211,66 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         Reservoir::new(0);
+    }
+
+    #[test]
+    fn merge_combines_contents_and_counters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = Reservoir::new(4);
+        let mut b = Reservoir::new(4);
+        a.offer_all(&[1, 1, 1], &mut rng);
+        b.offer_all(&[2, 2], &mut rng);
+        let merged = a.merge(&b, &mut rng);
+        assert_eq!(merged.seen(), 5);
+        assert_eq!(merged.capacity(), 4);
+        assert_eq!(merged.len(), 4);
+        assert!(merged.items().iter().all(|&v| v == 1 || v == 2));
+        // Everything fits when the union is below capacity.
+        let small = Reservoir::new(8).merge(&a, &mut rng);
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.seen(), 3);
+    }
+
+    #[test]
+    fn merge_is_deterministic_per_rng_state() {
+        let mut fill = StdRng::seed_from_u64(6);
+        let mut a = Reservoir::new(16);
+        let mut b = Reservoir::new(16);
+        for v in 0..200 {
+            a.offer(v % 10, &mut fill);
+            b.offer(10 + v % 10, &mut fill);
+        }
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        assert_eq!(a.merge(&b, &mut r1).items(), a.merge(&b, &mut r2).items());
+    }
+
+    #[test]
+    fn merge_weights_sides_by_records_seen() {
+        // Side A saw 9× the records of side B; its items should dominate
+        // the merged sample roughly 9:1.
+        let trials = 2_000;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut from_a = 0u32;
+        let mut total = 0u32;
+        for _ in 0..trials {
+            let mut a = Reservoir::new(10);
+            let mut b = Reservoir::new(10);
+            for t in 0..900 {
+                a.offer(0, &mut rng);
+                if t < 100 {
+                    b.offer(1, &mut rng);
+                }
+            }
+            let merged = a.merge(&b, &mut rng);
+            for &v in merged.items() {
+                total += 1;
+                if v == 0 {
+                    from_a += 1;
+                }
+            }
+        }
+        let share = from_a as f64 / total as f64;
+        assert!((share - 0.9).abs() < 0.05, "A share {share}");
     }
 }

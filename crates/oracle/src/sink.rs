@@ -1,0 +1,646 @@
+//! Push-based sample ingestion: [`SampleSink`] and [`WindowedSink`].
+//!
+//! The pull-side seam ([`SampleOracle`](crate::SampleOracle)) assumes the
+//! caller can *draw* whenever an algorithm needs samples. A process that
+//! receives events — a socket, a log tail, a metrics pipe — cannot: records
+//! arrive when they arrive, and the analysis must run over whatever the
+//! current window holds. This module is the pull seam's push-side mirror:
+//!
+//! ```text
+//!   events ──push──▶ WindowedSink ──window closes──▶ WindowSnapshot
+//!                    │  reservoir lanes                │ frozen lanes
+//!                    │  (plan-shaped)                  ▼
+//!                    │                           ReplayOracle ──▶ the same
+//!                    └── O(sample budget) memory        algorithms as pull
+//! ```
+//!
+//! A [`WindowedSink`] is configured with the *lane shape* of a
+//! [`SamplePlan`](https://docs.rs)-style draw (`main`, `r`, `m` — see
+//! [`WindowedSink::new`]) and routes every pushed record to a fixed-size
+//! [`Reservoir`] lane using the **same** `LaneRouter` and SplitMix64 seed
+//! streams as [`RecordFileOracle`](crate::RecordFileOracle). Consequence:
+//! pushing a record stream into window 0 of a sink seeded with `s` leaves
+//! the lanes **bit-identical** to writing the same records to a file and
+//! drawing the same plan through `RecordFileOracle::open(path, n, s)` —
+//! push and pull are two transports for one sampling process (property-
+//! tested in `tests/monitor_push_pull.rs` at the workspace root).
+//!
+//! Two window policies:
+//!
+//! * [`Window::Tumbling`] — consecutive disjoint spans; each completed
+//!   window freezes its lanes exactly (no resampling), so the bit-identity
+//!   above holds per window (window `w > 0` uses the derived seed
+//!   [`window_seed`]`(s, w)`).
+//! * [`Window::Sliding`] — a span split into `span / step` *panes*; a
+//!   window completes every `step` records and covers the last `span`.
+//!   Frozen lanes are the [`Reservoir::merge`] of the panes' lanes —
+//!   statistically a weighted union, *not* bit-identical to a pull over
+//!   the same records (the merge resamples).
+//!
+//! Memory is `O(lane sizes × panes)` — the sample budget — regardless of
+//! how many records stream through.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use khist_dist::DistError;
+
+use crate::oracle::{stream_seed, LaneRouter, ReplayOracle};
+use crate::reservoir::Reservoir;
+use crate::sample_set::SampleSet;
+
+/// Salt mixed into the seed stream that drives sliding-window pane merges,
+/// so merge randomness never collides with lane randomness.
+const MERGE_SALT: u64 = 0x6d65_7267_655f_7631; // "merge_v1"
+
+/// The lane-seed base of window (pane) `w` of a sink seeded with `base`.
+///
+/// Window 0 uses `base` itself — that is what makes a pushed first window
+/// bit-identical to a pull through a `RecordFileOracle` opened with the
+/// same seed, whose first draw also starts at stream 0 of `base`. Later
+/// windows use SplitMix64-derived streams so their randomness is fresh but
+/// still reproducible from `(base, w)` alone.
+pub fn window_seed(base: u64, w: u64) -> u64 {
+    if w == 0 {
+        base
+    } else {
+        stream_seed(base, w)
+    }
+}
+
+/// Windowing policy of a [`WindowedSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Consecutive disjoint windows of `span` records each.
+    Tumbling {
+        /// Records per window.
+        span: u64,
+    },
+    /// Overlapping windows of `span` records, advancing every `step`
+    /// records (`step` must divide `span`).
+    Sliding {
+        /// Records covered by each emitted window.
+        span: u64,
+        /// Records between consecutive window completions.
+        step: u64,
+    },
+}
+
+impl Window {
+    /// Records per pane: the whole span (tumbling) or one step (sliding).
+    fn pane_span(&self) -> u64 {
+        match *self {
+            Window::Tumbling { span } => span,
+            Window::Sliding { step, .. } => step,
+        }
+    }
+
+    /// Panes per emitted window.
+    fn panes_per_window(&self) -> usize {
+        match *self {
+            Window::Tumbling { .. } => 1,
+            Window::Sliding { span, step } => (span / step) as usize,
+        }
+    }
+}
+
+/// A frozen view of one window: the lane sample sets, in draw order, plus
+/// the bookkeeping a report needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Window id (0-based; tumbling windows count panes, sliding windows
+    /// count completions).
+    pub window: u64,
+    /// Domain size the sink was declared over.
+    pub n: usize,
+    /// Global index of the first record in the window (inclusive).
+    pub start: u64,
+    /// Global index one past the last record in the window.
+    pub end: u64,
+    /// Records the window observed (`end - start`).
+    pub seen: u64,
+    /// Samples retained across all lanes.
+    pub kept: u64,
+    /// The lane-seed base of this window — passing it alongside the frozen
+    /// lanes reproduces the reports exactly.
+    pub seed: u64,
+    /// Whether the window closed naturally (`false` for mid-window
+    /// snapshots and end-of-stream flushes).
+    pub complete: bool,
+    /// Frozen lanes, in the draw order of the plan the sink was shaped by.
+    pub lanes: Vec<SampleSet>,
+}
+
+impl WindowSnapshot {
+    /// Wraps the frozen lanes in a [`ReplayOracle`] so the ordinary
+    /// analysis engine can consume them — every draw is served from the
+    /// window, and a draw beyond it panics instead of silently sampling
+    /// fresh data.
+    pub fn replay(&self) -> ReplayOracle {
+        ReplayOracle::from_sets(self.n, self.lanes.clone())
+    }
+
+    /// The union of all lanes as one multiset — the window's full retained
+    /// sample, which drift checks compare across windows.
+    pub fn merged(&self) -> SampleSet {
+        match self.lanes.split_first() {
+            None => SampleSet::from_samples(Vec::new()),
+            Some((first, rest)) => rest.iter().fold(first.clone(), |acc, s| acc.merge(s)),
+        }
+    }
+}
+
+/// Push-side sample ingestion: the receiving end of a record stream.
+///
+/// Object-safe, like the pull seam — `&mut dyn SampleSink` works wherever
+/// a sink is expected.
+pub trait SampleSink {
+    /// The domain size `n` records must lie in.
+    fn domain_size(&self) -> usize;
+
+    /// Ingests one record. Fails (without consuming the record) when the
+    /// record lies outside `[0, n)`.
+    fn push(&mut self, value: usize) -> Result<(), DistError>;
+
+    /// Ingests a batch of records in order; stops at the first bad record.
+    fn push_all(&mut self, values: &[usize]) -> Result<(), DistError> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Total records ingested so far.
+    fn seen(&self) -> u64;
+
+    /// Freezes the *current* (possibly partial) window without disturbing
+    /// ingestion.
+    fn snapshot(&self) -> WindowSnapshot;
+}
+
+/// One pane of reservoir lanes: the unit of window rotation.
+#[derive(Debug, Clone)]
+struct Pane {
+    /// Global pane index (drives the seed streams).
+    id: u64,
+    /// Lane-seed base: `window_seed(sink seed, id)`.
+    seed: u64,
+    /// Global record index of the pane's first record.
+    start: u64,
+    /// Records routed into this pane so far.
+    t: u64,
+    lanes: Vec<Reservoir>,
+    rngs: Vec<StdRng>,
+    router: LaneRouter,
+}
+
+/// Which router shape the sink's plan calls for — mirrors the dispatch in
+/// `SamplePlan::draw` (khist-core): a lone main set is one `draw_set`
+/// lane, pure sets are round-robin `draw_sets` lanes, and main + sets are
+/// weighted `draw_batch` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneKind {
+    Single,
+    RoundRobin,
+    Weighted,
+}
+
+/// The [`SampleSink`] implementation: plan-shaped reservoir lanes behind
+/// tumbling or sliding windows. See the [module docs](self) for the
+/// push≡pull bit-identity contract.
+#[derive(Debug, Clone)]
+pub struct WindowedSink {
+    n: usize,
+    seed: u64,
+    window: Window,
+    sizes: Vec<usize>,
+    kind: LaneKind,
+    panes: VecDeque<Pane>,
+    seen: u64,
+    next_pane_id: u64,
+    next_window_id: u64,
+    completed: VecDeque<WindowSnapshot>,
+}
+
+impl WindowedSink {
+    /// Builds a sink over domain `[0, n)` whose lanes match the draw a
+    /// `SamplePlan { main, r, m }` would issue: one lane of `main` (when
+    /// `r == 0`), `r` round-robin lanes of `m` (when `main == 0`), or a
+    /// weighted `main` lane plus `r` lanes of `m` (both positive) —
+    /// exactly the three entry points of the pull seam
+    /// ([`draw_set`](crate::SampleOracle::draw_set) /
+    /// [`draw_sets`](crate::SampleOracle::draw_sets) /
+    /// [`draw_batch`](crate::SampleOracle::draw_batch)).
+    ///
+    /// Fails on a zero domain, degenerate windows (zero span; a sliding
+    /// step that is zero or does not divide the span), or a plan that
+    /// retains no samples.
+    pub fn new(
+        n: usize,
+        seed: u64,
+        window: Window,
+        main: usize,
+        r: usize,
+        m: usize,
+    ) -> Result<Self, DistError> {
+        let bad = |reason: String| DistError::BadParameter { reason };
+        if n == 0 {
+            return Err(bad("sink domain must be non-empty".into()));
+        }
+        match window {
+            Window::Tumbling { span: 0 } => {
+                return Err(bad("tumbling window span must be positive".into()));
+            }
+            Window::Sliding { span, step } if step == 0 || span == 0 || span % step != 0 => {
+                return Err(bad(format!(
+                    "sliding window needs step > 0 dividing span, got span {span} step {step}"
+                )));
+            }
+            _ => {}
+        }
+        let (kind, sizes) = if r == 0 {
+            if main == 0 {
+                return Err(bad("window plan retains no samples (main = 0, r = 0)".into()));
+            }
+            (LaneKind::Single, vec![main])
+        } else if m == 0 {
+            return Err(bad(format!("window plan has {r} sets of zero samples")));
+        } else if main == 0 {
+            (LaneKind::RoundRobin, vec![m; r])
+        } else {
+            let mut sizes = Vec::with_capacity(r + 1);
+            sizes.push(main);
+            sizes.resize(r + 1, m);
+            (LaneKind::Weighted, sizes)
+        };
+        Ok(WindowedSink {
+            n,
+            seed,
+            window,
+            sizes,
+            kind,
+            panes: VecDeque::new(),
+            seen: 0,
+            next_pane_id: 0,
+            next_window_id: 0,
+            completed: VecDeque::new(),
+        })
+    }
+
+    /// The configured window policy.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Lane capacities in draw order (`[main?, m, m, …]`).
+    pub fn lane_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Samples currently retained across all live panes — bounded by
+    /// `Σ lane_sizes × panes_per_window` no matter how long the stream is.
+    pub fn kept(&self) -> u64 {
+        self.panes
+            .iter()
+            .flat_map(|p| p.lanes.iter())
+            .map(|r| r.len() as u64)
+            .sum()
+    }
+
+    /// Completed windows not yet collected.
+    pub fn pending(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Removes and returns the windows that completed since the last call,
+    /// oldest first.
+    pub fn drain_completed(&mut self) -> Vec<WindowSnapshot> {
+        self.completed.drain(..).collect()
+    }
+
+    fn new_pane(&mut self) -> Pane {
+        let id = self.next_pane_id;
+        self.next_pane_id += 1;
+        let seed = window_seed(self.seed, id);
+        let lane_count = self.sizes.len();
+        let lanes: Vec<Reservoir> = self.sizes.iter().map(|&m| Reservoir::new(m)).collect();
+        let rngs: Vec<StdRng> = (0..lane_count)
+            .map(|i| StdRng::seed_from_u64(stream_seed(seed, i as u64)))
+            .collect();
+        let router = match self.kind {
+            LaneKind::Single => LaneRouter::Single,
+            LaneKind::RoundRobin => LaneRouter::RoundRobin {
+                lanes: lane_count as u64,
+            },
+            LaneKind::Weighted => LaneRouter::weighted(
+                &self.sizes,
+                StdRng::seed_from_u64(stream_seed(seed, lane_count as u64)),
+            ),
+        };
+        Pane {
+            id,
+            seed,
+            start: self.seen,
+            t: 0,
+            lanes,
+            rngs,
+            router,
+        }
+    }
+
+    /// Freezes `panes` (oldest first) into one snapshot. A single pane is
+    /// frozen verbatim; multiple panes (sliding windows) are folded
+    /// lane-wise through [`Reservoir::merge`] with a merge stream derived
+    /// from `(seed, id)`.
+    fn freeze<'a>(
+        &self,
+        panes: impl Iterator<Item = &'a Pane>,
+        id: u64,
+        complete: bool,
+    ) -> WindowSnapshot {
+        let panes: Vec<&Pane> = panes.collect();
+        let seed = panes
+            .first()
+            .map_or_else(|| window_seed(self.seed, id), |p| p.seed);
+        let start = panes.first().map_or(self.seen, |p| p.start);
+        let seen: u64 = panes.iter().map(|p| p.t).sum();
+        let mut merge_rng = StdRng::seed_from_u64(stream_seed(self.seed ^ MERGE_SALT, id));
+        let mut lanes = Vec::with_capacity(self.sizes.len());
+        let mut kept = 0;
+        for lane in 0..self.sizes.len() {
+            let merged = panes
+                .iter()
+                .map(|p| &p.lanes[lane])
+                .fold(None::<Reservoir>, |acc, r| match acc {
+                    None => Some(r.clone()),
+                    Some(a) => Some(a.merge(r, &mut merge_rng)),
+                });
+            let set = merged.map_or_else(
+                || SampleSet::from_samples(Vec::new()),
+                |r| r.to_sample_set(),
+            );
+            kept += set.total();
+            lanes.push(set);
+        }
+        WindowSnapshot {
+            window: id,
+            n: self.n,
+            start,
+            end: start + seen,
+            seen,
+            kept,
+            seed,
+            complete,
+            lanes,
+        }
+    }
+
+    /// Handles a pane reaching its span: tumbling windows freeze and drop
+    /// the pane; sliding windows freeze the whole deque once it covers a
+    /// full span, then retire the oldest pane.
+    fn complete_pane(&mut self) {
+        match self.window {
+            Window::Tumbling { .. } => {
+                let pane = self.panes.pop_back().expect("a pane just completed");
+                let snap = self.freeze(std::iter::once(&pane), pane.id, true);
+                self.next_window_id = pane.id + 1;
+                self.completed.push_back(snap);
+            }
+            Window::Sliding { .. } => {
+                if self.panes.len() == self.window.panes_per_window() {
+                    let id = self.next_window_id;
+                    self.next_window_id += 1;
+                    let snap = self.freeze(self.panes.iter(), id, true);
+                    self.completed.push_back(snap);
+                    self.panes.pop_front();
+                }
+            }
+        }
+    }
+}
+
+impl SampleSink for WindowedSink {
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn push(&mut self, value: usize) -> Result<(), DistError> {
+        if value >= self.n {
+            return Err(DistError::BadParameter {
+                reason: format!(
+                    "record {value} outside declared domain [0, {}); widen the domain or drop the record",
+                    self.n
+                ),
+            });
+        }
+        let pane_span = self.window.pane_span();
+        let needs_new_pane = self.panes.back().is_none_or(|p| p.t >= pane_span);
+        if needs_new_pane {
+            let pane = self.new_pane();
+            self.panes.push_back(pane);
+        }
+        let pane = self.panes.back_mut().expect("pane just ensured");
+        let lane = pane.router.lane_of(pane.t);
+        pane.lanes[lane].offer(value, &mut pane.rngs[lane]);
+        pane.t += 1;
+        self.seen += 1;
+        if self.panes.back().expect("pane live").t == self.window.pane_span() {
+            self.complete_pane();
+        }
+        Ok(())
+    }
+
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn snapshot(&self) -> WindowSnapshot {
+        let id = match self.window {
+            Window::Tumbling { .. } => self.panes.back().map_or(self.next_pane_id, |p| p.id),
+            Window::Sliding { .. } => self.next_window_id,
+        };
+        self.freeze(self.panes.iter(), id, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{RecordFileOracle, SampleOracle};
+    use crate::test_util::temp_records;
+
+    fn stream(len: usize, n: usize) -> Vec<usize> {
+        (0..len).map(|i| (i * 7 + i * i) % n).collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        assert!(WindowedSink::new(0, 1, Window::Tumbling { span: 10 }, 5, 0, 0).is_err());
+        assert!(WindowedSink::new(8, 1, Window::Tumbling { span: 0 }, 5, 0, 0).is_err());
+        assert!(WindowedSink::new(8, 1, Window::Sliding { span: 10, step: 3 }, 5, 0, 0).is_err());
+        assert!(WindowedSink::new(8, 1, Window::Sliding { span: 10, step: 0 }, 5, 0, 0).is_err());
+        assert!(WindowedSink::new(8, 1, Window::Tumbling { span: 10 }, 0, 0, 0).is_err());
+        assert!(WindowedSink::new(8, 1, Window::Tumbling { span: 10 }, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_records() {
+        let mut sink = WindowedSink::new(8, 1, Window::Tumbling { span: 10 }, 5, 0, 0).unwrap();
+        assert!(sink.push(7).is_ok());
+        let err = sink.push(8).unwrap_err().to_string();
+        assert!(err.contains("record 8") && err.contains("[0, 8)"), "{err}");
+        assert_eq!(sink.seen(), 1, "bad record must not count");
+    }
+
+    #[test]
+    fn tumbling_windows_rotate_at_span() {
+        let mut sink = WindowedSink::new(16, 3, Window::Tumbling { span: 100 }, 20, 0, 0).unwrap();
+        sink.push_all(&stream(250, 16)).unwrap();
+        let done = sink.drain_completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!((done[0].start, done[0].end), (0, 100));
+        assert_eq!((done[1].start, done[1].end), (100, 200));
+        assert!(done.iter().all(|w| w.complete && w.seen == 100));
+        assert_eq!(done[0].window, 0);
+        assert_eq!(done[0].seed, 3, "window 0 must use the base seed");
+        assert_eq!(done[1].seed, window_seed(3, 1));
+        // The live partial window holds the remaining 50 records.
+        let partial = sink.snapshot();
+        assert_eq!((partial.start, partial.end), (200, 250));
+        assert!(!partial.complete);
+        assert_eq!(sink.pending(), 0);
+    }
+
+    #[test]
+    fn single_lane_window_matches_record_file_draw_set() {
+        // Push≡pull, draw_set shape: one lane of `main`.
+        let records = stream(500, 32);
+        let mut sink =
+            WindowedSink::new(32, 11, Window::Tumbling { span: 500 }, 60, 0, 0).unwrap();
+        sink.push_all(&records).unwrap();
+        let window = sink.drain_completed().pop().unwrap();
+        let path = temp_records(&records, "single");
+        let mut oracle = RecordFileOracle::open(&path, 32, 11).unwrap();
+        assert_eq!(window.lanes, vec![oracle.draw_set(60)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_robin_window_matches_record_file_draw_sets() {
+        // Push≡pull, draw_sets shape: r round-robin lanes of m.
+        let records = stream(700, 32);
+        let mut sink = WindowedSink::new(32, 13, Window::Tumbling { span: 700 }, 0, 5, 40).unwrap();
+        sink.push_all(&records).unwrap();
+        let window = sink.drain_completed().pop().unwrap();
+        let path = temp_records(&records, "rr");
+        let mut oracle = RecordFileOracle::open(&path, 32, 13).unwrap();
+        assert_eq!(window.lanes, oracle.draw_sets(5, 40));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weighted_window_matches_record_file_draw_batch() {
+        // Push≡pull, draw_batch shape: main + r weighted lanes.
+        let records = stream(2000, 32);
+        let mut sink =
+            WindowedSink::new(32, 17, Window::Tumbling { span: 2000 }, 120, 3, 50).unwrap();
+        sink.push_all(&records).unwrap();
+        let window = sink.drain_completed().pop().unwrap();
+        let path = temp_records(&records, "batch");
+        let mut oracle = RecordFileOracle::open(&path, 32, 17).unwrap();
+        assert_eq!(window.lanes, oracle.draw_batch(&[120, 50, 50, 50]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_lane_sizes() {
+        let mut sink =
+            WindowedSink::new(64, 1, Window::Tumbling { span: 1 << 20 }, 100, 4, 25).unwrap();
+        for i in 0..200_000usize {
+            sink.push(i % 64).unwrap();
+        }
+        assert!(sink.kept() <= 100 + 4 * 25, "kept {}", sink.kept());
+        assert_eq!(sink.seen(), 200_000);
+    }
+
+    #[test]
+    fn sliding_windows_overlap_and_advance_by_step() {
+        let mut sink = WindowedSink::new(
+            16,
+            5,
+            Window::Sliding {
+                span: 200,
+                step: 50,
+            },
+            30,
+            0,
+            0,
+        )
+        .unwrap();
+        sink.push_all(&stream(320, 16)).unwrap();
+        let done = sink.drain_completed();
+        // First window completes at record 200, then every 50: 200, 250, 300.
+        assert_eq!(done.len(), 3);
+        assert_eq!((done[0].start, done[0].end), (0, 200));
+        assert_eq!((done[1].start, done[1].end), (50, 250));
+        assert_eq!((done[2].start, done[2].end), (100, 300));
+        assert_eq!(done[2].window, 2);
+        assert!(done.iter().all(|w| w.seen == 200 && w.kept <= 30));
+        // Snapshot covers the live tail: panes at 150..320.
+        let snap = sink.snapshot();
+        assert_eq!((snap.start, snap.end), (150, 320));
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let run = || {
+            let mut sink = WindowedSink::new(
+                16,
+                9,
+                Window::Sliding {
+                    span: 100,
+                    step: 25,
+                },
+                20,
+                2,
+                10,
+            )
+            .unwrap();
+            sink.push_all(&stream(260, 16)).unwrap();
+            (sink.drain_completed(), sink.snapshot())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_replay_and_merge_round_trip() {
+        let mut sink = WindowedSink::new(16, 2, Window::Tumbling { span: 300 }, 40, 2, 20).unwrap();
+        sink.push_all(&stream(300, 16)).unwrap();
+        let window = sink.drain_completed().pop().unwrap();
+        assert_eq!(window.kept, 40 + 2 * 20);
+        let merged = window.merged();
+        assert_eq!(merged.total(), window.kept);
+        let mut replay = window.replay();
+        assert_eq!(replay.domain_size(), 16);
+        let served = replay.draw_set(0);
+        assert_eq!(served, window.lanes[0]);
+        assert_eq!(replay.remaining(), 2);
+        assert_eq!(replay.replayed(), 1);
+    }
+
+    #[test]
+    fn sink_is_object_safe() {
+        let mut sink = WindowedSink::new(8, 1, Window::Tumbling { span: 4 }, 4, 0, 0).unwrap();
+        let dyn_sink: &mut dyn SampleSink = &mut sink;
+        dyn_sink.push_all(&[1, 2, 3]).unwrap();
+        assert_eq!(dyn_sink.seen(), 3);
+        assert_eq!(dyn_sink.snapshot().seen, 3);
+    }
+}

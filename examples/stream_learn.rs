@@ -1,21 +1,21 @@
-//! Learning a histogram from a raw event stream with reservoirs.
+//! Learning a histogram from a raw event stream, push-style.
 //!
 //! Run with: `cargo run --release --example stream_learn`
 //!
 //! The paper's model assumes i.i.d. sample access. Real pipelines see an
-//! unbounded stream instead; this example shows the standard bridge: fan the
-//! stream round-robin into `r + 1` reservoirs (one for the learner's main
-//! sample, `r` for its collision sets — round-robin keeps them independent),
-//! then hand reservoir snapshots to `learn_from_samples`. The stream is
-//! never stored: memory is `O(r·capacity)` regardless of stream length.
+//! unbounded stream instead; the [`Monitor`] is the bridge: push events
+//! in as they arrive and the window sink routes them into plan-shaped
+//! reservoir lanes (one for the learner's main sample, `r` for its
+//! collision sets — the same disjoint-lane split the pull path uses).
+//! The stream is never stored: memory is `O(sample budget)` regardless
+//! of stream length, and the learned histogram is computed entirely from
+//! the frozen window — zero draws beyond it.
 
-use khist::oracle::Reservoir;
 use khist::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(4711);
     let n = 512;
     let k = 6;
     let eps = 0.15;
@@ -33,38 +33,46 @@ fn main() {
     ])
     .unwrap();
 
-    // Budget decides the reservoir capacities.
+    // One tumbling window spanning the whole stream: "learn from the last
+    // 5 million events". The Learn request's budget decides the lane
+    // capacities; the window span decides how much traffic flows through.
+    let stream_len = 5_000_000u64;
     let budget = LearnerBudget::calibrated(n, k, eps, 0.01).unwrap();
-    let mut main_res = Reservoir::new(budget.ell);
-    let mut coll_res: Vec<Reservoir> = (0..budget.r).map(|_| Reservoir::new(budget.m)).collect();
-
-    // Consume a 10-million-event stream, never storing it.
-    let stream_len = 10_000_000usize;
-    let fan_out = budget.r + 1;
-    for t in 0..stream_len {
-        let event = p.sample(&mut rng);
-        let lane = t % fan_out;
-        if lane == 0 {
-            main_res.offer(event, &mut rng);
-        } else {
-            coll_res[lane - 1].offer(event, &mut rng);
-        }
-    }
+    let mut monitor = Monitor::builder(n)
+        .seed(4711)
+        .tumbling(stream_len)
+        .analyses([Learn::k(k).eps(eps).budget(budget).into()])
+        .build()
+        .unwrap();
+    let plan = monitor.plan();
     println!(
-        "stream: {stream_len} events fanned into 1+{} reservoirs (capacities {} / {})",
-        budget.r, budget.ell, budget.m
+        "stream: {stream_len} events through 1+{} reservoir lanes (capacities {} / {})",
+        plan.r(),
+        plan.main(),
+        plan.m()
     );
 
-    // Snapshot and learn.
-    let main_set = main_res.to_sample_set();
-    let coll_sets: Vec<SampleSet> = coll_res.iter().map(|r| r.to_sample_set()).collect();
-    let params = GreedyParams::fast(k, eps, budget);
-    let out = khist::greedy::learn_from_samples(n, &main_set, &coll_sets, &params).unwrap();
-    let summary = compress_to_k(&out.tiling, k).unwrap();
+    // Consume the stream in arrival-sized chunks, never storing it.
+    let mut rng = StdRng::seed_from_u64(4711);
+    let mut remaining = stream_len;
+    let mut windows = Vec::new();
+    while remaining > 0 {
+        let chunk = remaining.min(10_000) as usize;
+        windows.extend(monitor.ingest(&p.sample_many(chunk, &mut rng)).unwrap());
+        remaining -= chunk as u64;
+    }
+    let window = windows.pop().expect("the span-sized window completed");
+    let summary = window.reports[0]
+        .histogram
+        .as_ref()
+        .expect("learn reports a histogram");
 
     println!(
-        "\nlearned {}-piece summary from reservoir snapshots:",
-        summary.piece_count()
+        "\nlearned {}-piece summary from window {} ({} of {} records kept):",
+        summary.piece_count(),
+        window.window,
+        window.kept,
+        window.seen
     );
     for (iv, v) in summary.pieces() {
         println!("  {iv}  density {v:.6}");
@@ -77,8 +85,10 @@ fn main() {
         8.0 * eps
     );
     println!(
-        "memory held: {} sample slots vs {} stream events",
-        budget.ell + budget.r * budget.m,
-        stream_len
+        "memory held: {} sample slots vs {} stream events; every verdict \
+         recomputable from (window, seed {})",
+        plan.total_samples().unwrap(),
+        stream_len,
+        monitor.seed()
     );
 }

@@ -22,8 +22,8 @@
 //! human rendering for the serde [`Report`] JSON.
 
 use khist_core::api::{
-    run_analyses, Analysis, AnalysisKind, Learn, LedgerEntry, Monotone, Report, TestL1, TestL2,
-    Uniformity,
+    run_analyses, Analysis, AnalysisKind, Learn, LedgerEntry, Monitor, Monotone, Report, TestL1,
+    TestL2, Uniformity, WindowReport,
 };
 use khist_core::monotone::monotonicity_budget;
 use khist_core::uniformity::UniformityBudget;
@@ -32,6 +32,9 @@ use khist_oracle::{
     ReplayOracle, SampleOracle, SampleSet,
 };
 use serde::{Serialize, Value};
+
+/// The analysis names `--run` accepts, listed verbatim in error messages.
+const VALID_RUNS: &str = "learn, l1, l2, uniformity, monotone";
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +88,29 @@ pub enum Command {
         /// Which analyses to run (`--run learn,l2,uniformity`).
         runs: Vec<String>,
     },
+    /// Monitor a record stream push-style: windowed reports + drift.
+    Watch {
+        /// Input path, or `-` for stdin.
+        path: String,
+        /// Number of pieces (for `learn`/`l1`/`l2`).
+        k: usize,
+        /// Accuracy parameter.
+        eps: f64,
+        /// Domain size (required for stdin; `0` = infer by pre-scanning a
+        /// file).
+        n: usize,
+        /// RNG seed for the window reservoirs.
+        seed: u64,
+        /// Report cadence in records (window span; sliding windows step by
+        /// this and cover four steps).
+        every: u64,
+        /// `"tumbling"` or `"sliding"`.
+        window: String,
+        /// Which analyses to run per window (`--run learn,l2,uniformity`).
+        runs: Vec<String>,
+        /// Emit one JSON object per window (JSONL) instead of human text.
+        json: bool,
+    },
     /// Print summary statistics of the file's empirical distribution.
     Summarize {
         /// Input path.
@@ -110,6 +136,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut norm = "l2".to_string();
     let mut seed = 0u64;
     let mut json = false;
+    let mut every = 100_000u64;
+    let mut window = "tumbling".to_string();
     let mut runs: Vec<String> = vec!["learn".into(), "l2".into(), "uniformity".into()];
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -117,6 +145,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--eps" => eps = next_parsed(&mut it, "--eps")?,
             "--n" => n = next_parsed(&mut it, "--n")?,
             "--seed" => seed = next_parsed(&mut it, "--seed")?,
+            "--every" => {
+                every = next_parsed(&mut it, "--every")?;
+                if every == 0 {
+                    return Err("--every must be positive".into());
+                }
+            }
             "--json" => json = true,
             "--norm" => {
                 norm = it.next().ok_or("--norm requires a value")?.clone();
@@ -124,13 +158,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err(format!("--norm must be l1 or l2, got {norm}"));
                 }
             }
+            "--window" => {
+                window = it.next().ok_or("--window requires a value")?.to_lowercase();
+                if window != "tumbling" && window != "sliding" {
+                    return Err(format!("--window must be tumbling or sliding, got {window}"));
+                }
+            }
             "--run" => {
                 let list = it.next().ok_or("--run requires a value")?;
-                runs = list.split(',').map(|s| s.trim().to_string()).collect();
+                runs = list
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .collect();
                 for run in &runs {
                     if !matches!(run.as_str(), "learn" | "l1" | "l2" | "uniformity" | "monotone") {
                         return Err(format!(
-                            "--run accepts learn, l1, l2, uniformity, monotone; got {run}"
+                            "--run got unknown analysis '{run}'; valid analyses: {VALID_RUNS}"
                         ));
                     }
                 }
@@ -170,6 +213,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             seed,
             json,
             runs,
+        }),
+        "watch" => Ok(Command::Watch {
+            path: need_path(path)?,
+            k,
+            eps,
+            n,
+            seed,
+            every,
+            window,
+            runs,
+            json,
         }),
         "summarize" => Ok(Command::Summarize {
             path: need_path(path)?,
@@ -404,7 +458,9 @@ fn analyze_batch(
                 let m = monotonicity_budget(n, eps, 1.0).map_err(fmt_err)?.min(available).max(1);
                 Ok(Monotone::eps(eps).samples(m).into())
             }
-            other => Err(format!("unknown analysis {other}")),
+            other => Err(format!(
+                "unknown analysis '{other}'; valid analyses: {VALID_RUNS}"
+            )),
         })
         .collect()
 }
@@ -458,6 +514,135 @@ pub fn render_analyze(reports: &[Report], ledger: &[LedgerEntry]) -> String {
 pub fn reports_to_json(reports: &[Report]) -> String {
     let values: Vec<Value> = reports.iter().map(Serialize::serialize).collect();
     serde::json::to_string(&Value::Seq(values))
+        .expect("reports serialize finite numbers only (non-finite statistics become null)")
+}
+
+/// Configuration of one `khist watch` run (already validated by
+/// [`parse_args`] / [`dispatch`]).
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Number of pieces for `learn`/`l1`/`l2`.
+    pub k: usize,
+    /// Accuracy parameter.
+    pub eps: f64,
+    /// Domain size (must be resolved — watch cannot infer from a stream).
+    pub n: usize,
+    /// Seed for the window reservoirs.
+    pub seed: u64,
+    /// Report cadence in records.
+    pub every: u64,
+    /// Sliding windows (span = 4 × `every`) instead of tumbling.
+    pub sliding: bool,
+    /// Which analyses each window runs.
+    pub runs: Vec<String>,
+    /// Emit JSONL instead of human text.
+    pub json: bool,
+}
+
+/// How many steps a sliding `khist watch` window covers.
+const SLIDING_STEPS: u64 = 4;
+
+/// Renders one [`WindowReport`] in the format the options select: one
+/// JSON line, or an indented human block.
+pub fn render_window(report: &WindowReport, json: bool) -> String {
+    if json {
+        format!("{}\n", report.to_json())
+    } else {
+        format!("{report}\n")
+    }
+}
+
+/// Streams records from `input` through a push-based [`Monitor`], writing
+/// one report per completed window to `out` *as it completes* (live
+/// monitoring: output must not wait for EOF). The final partial window is
+/// flushed at end of stream. Returns a human summary line (empty in JSON
+/// mode, which emits pure JSONL).
+///
+/// Memory is bounded by the standing batch's sample plan — the stream is
+/// never stored, so `watch` handles unbounded input.
+pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
+    input: R,
+    out: &mut W,
+    opts: &WatchOptions,
+) -> Result<String, String> {
+    if opts.n == 0 {
+        return Err("watch needs a declared domain (--n)".into());
+    }
+    let span = if opts.sliding {
+        opts.every
+            .checked_mul(SLIDING_STEPS)
+            .ok_or_else(|| format!("--every {} overflows the sliding span", opts.every))?
+    } else {
+        opts.every
+    };
+    let batch = analyze_batch(opts.n, opts.k, opts.eps, span as usize, &opts.runs)?;
+    let mut builder = Monitor::builder(opts.n).seed(opts.seed).analyses(batch);
+    builder = if opts.sliding {
+        builder.sliding(span, opts.every)
+    } else {
+        builder.tumbling(span)
+    };
+    let mut monitor = builder.build().map_err(fmt_err)?;
+
+    // `Ok(None)` means the consumer hung up (broken pipe) — for a
+    // streaming tool that is a normal way to stop (`watch … | head`),
+    // not an error.
+    let emit = |out: &mut W, reports: Vec<WindowReport>| -> Result<Option<u64>, String> {
+        let mut windows = 0;
+        for report in reports {
+            let write = out
+                .write_all(render_window(&report, opts.json).as_bytes())
+                .and_then(|()| out.flush());
+            match write {
+                Ok(()) => windows += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(None),
+                Err(e) => return Err(fmt_err(e)),
+            }
+        }
+        Ok(Some(windows))
+    };
+
+    let mut windows = 0u64;
+    let mut buffer: Vec<usize> = Vec::with_capacity(1024);
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value: usize = trimmed
+            .parse()
+            .map_err(|_| format!("line {}: not an integer record: {trimmed}", lineno + 1))?;
+        buffer.push(value);
+        if buffer.len() >= 1024 {
+            let reports = monitor.ingest(&buffer).map_err(fmt_err)?;
+            buffer.clear();
+            match emit(out, reports)? {
+                Some(emitted) => windows += emitted,
+                None => return Ok(String::new()),
+            }
+        }
+    }
+    // Emit the final buffer's completed windows before flushing the tail,
+    // so a tail-flush failure can never lose an already-computed report.
+    let reports = monitor.ingest(&buffer).map_err(fmt_err)?;
+    match emit(out, reports)? {
+        Some(emitted) => windows += emitted,
+        None => return Ok(String::new()),
+    }
+    let tail = monitor.flush().map_err(fmt_err)?;
+    match emit(out, tail)? {
+        Some(emitted) => windows += emitted,
+        None => return Ok(String::new()),
+    }
+    if opts.json {
+        return Ok(String::new());
+    }
+    Ok(format!(
+        "watched {} records over {windows} windows ({} samples/window kept at most)\n",
+        monitor.seen(),
+        monitor.plan().total_samples().map_err(fmt_err)?,
+    ))
 }
 
 /// Runs `summarize` and renders basic statistics.
@@ -485,6 +670,8 @@ pub fn usage() -> &'static str {
      \x20 khist test      <records.txt> [--k K] [--eps E] [--n N] [--norm l1|l2] [--seed S] [--json]\n\
      \x20 khist analyze   <records.txt> [--k K] [--eps E] [--n N] [--seed S] [--json]\n\
      \x20                 [--run learn,l1,l2,uniformity,monotone]\n\
+     \x20 khist watch     <records.txt|-> [--every N] [--window tumbling|sliding]\n\
+     \x20                 [--k K] [--eps E] [--n N] [--seed S] [--json] [--run ...]\n\
      \x20 khist summarize <records.txt> [--n N]\n\
      \n\
      input: one integer record per line; '#' comments and blank lines ignored.\n\
@@ -493,7 +680,14 @@ pub fn usage() -> &'static str {
      (constant memory in the file length); --seed (default 0) fixes the\n\
      subsample. analyze runs its whole batch (default learn,l2,uniformity)\n\
      from ONE shared sample draw — a single pass over the file. --json\n\
-     emits the structured report(s) instead of human text.\n"
+     emits the structured report(s) instead of human text.\n\
+     \n\
+     watch ingests the stream push-style ('-' = stdin; stdin requires --n)\n\
+     and reports every N records (--every, default 100000): the analysis\n\
+     batch plus an l2 drift check against the previous window. Sliding\n\
+     windows cover 4 steps of N. Memory stays bounded by the sample\n\
+     budget however long the stream runs; --json emits one JSON object\n\
+     per window (JSONL).\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
@@ -594,6 +788,49 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
                 render_analyze(&reports, &ledger)
             })
         }
+        Command::Watch {
+            path,
+            k,
+            eps,
+            n,
+            seed,
+            every,
+            window,
+            runs,
+            json,
+        } => {
+            let n = if n > 0 {
+                n
+            } else if path == "-" {
+                return Err(
+                    "watch - (stdin) needs an explicit --n: a live stream cannot be \
+                     pre-scanned to infer its domain"
+                        .into(),
+                );
+            } else {
+                // A file input can be pre-scanned the way `learn`/`test`
+                // do it; reuse the oracle's validating scan.
+                open(&path, 0, seed)?.domain_size()
+            };
+            let opts = WatchOptions {
+                k,
+                eps,
+                n,
+                seed,
+                every,
+                sliding: window == "sliding",
+                runs,
+                json,
+            };
+            let stdout = std::io::stdout();
+            if path == "-" {
+                let stdin = std::io::stdin();
+                run_watch(stdin.lock(), &mut stdout.lock(), &opts)
+            } else {
+                let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+                run_watch(std::io::BufReader::new(file), &mut stdout.lock(), &opts)
+            }
+        }
         Command::Summarize { path, n } => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             run_summarize(&parse_samples_text(&text)?, n)
@@ -684,6 +921,166 @@ mod tests {
         }
         assert!(parse_args(&strings(&["analyze", "d.txt", "--run", "bogus"])).is_err());
         assert!(parse_args(&strings(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_watch() {
+        let cmd = parse_args(&strings(&[
+            "watch", "-", "--every", "5000", "--window", "sliding", "--n", "64", "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch {
+                path,
+                every,
+                window,
+                n,
+                json,
+                ..
+            } => {
+                assert_eq!(path, "-");
+                assert_eq!(every, 5000);
+                assert_eq!(window, "sliding");
+                assert_eq!(n, 64);
+                assert!(json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strings(&["watch", "-", "--every", "0"])).is_err());
+        assert!(parse_args(&strings(&["watch", "-", "--window", "hopping"])).is_err());
+        assert!(parse_args(&strings(&["watch"])).is_err());
+    }
+
+    #[test]
+    fn run_errors_list_valid_analyses() {
+        let err = parse_args(&strings(&["analyze", "d.txt", "--run", "bogus"])).unwrap_err();
+        assert!(
+            err.contains("bogus") && err.contains("learn, l1, l2, uniformity, monotone"),
+            "unhelpful error: {err}"
+        );
+        // --run matching is case-insensitive.
+        let cmd = parse_args(&strings(&["analyze", "d.txt", "--run", "Learn,L2"])).unwrap();
+        match cmd {
+            Command::Analyze { runs, .. } => assert_eq!(runs, vec!["learn", "l2"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_streams_windows_and_flushes_tail() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let p = khist_dist::generators::staircase(64, 4).unwrap();
+        let samples = p.sample_many(10_500, &mut rng);
+        let text: String = samples
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let opts = WatchOptions {
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            seed: 7,
+            every: 4_000,
+            sliding: false,
+            runs: strings(&["learn", "l2", "uniformity"]),
+            json: false,
+        };
+        let mut out = Vec::new();
+        let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        // Two complete windows plus the flushed 2 500-record tail.
+        assert_eq!(rendered.matches("window ").count(), 3, "{rendered}");
+        assert!(rendered.contains("partial"), "{rendered}");
+        assert!(rendered.contains("drift vs baseline window"), "{rendered}");
+        assert!(summary.contains("10500 records"), "{summary}");
+        assert!(summary.contains("3 windows"), "{summary}");
+    }
+
+    #[test]
+    fn watch_json_emits_one_parsable_line_per_window() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let p = khist_dist::generators::staircase(64, 4).unwrap();
+        let samples = p.sample_many(9_000, &mut rng);
+        let text: String = samples
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let opts = WatchOptions {
+            k: 4,
+            eps: 0.25,
+            n: 64,
+            seed: 3,
+            every: 3_000,
+            sliding: false,
+            runs: strings(&["l2", "uniformity"]),
+            json: true,
+        };
+        let mut out = Vec::new();
+        let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
+        assert!(summary.is_empty(), "JSON mode must emit pure JSONL");
+        let rendered = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let report = WindowReport::from_json(line)
+                .unwrap_or_else(|e| panic!("line {i} not a WindowReport: {e}\n{line}"));
+            assert_eq!(report.window as usize, i);
+            assert_eq!(report.reports.len(), 2);
+            assert_eq!(report.drift.is_some(), i > 0);
+        }
+    }
+
+    #[test]
+    fn watch_rejects_streams_it_cannot_size() {
+        let opts = WatchOptions {
+            k: 2,
+            eps: 0.3,
+            n: 0,
+            seed: 0,
+            every: 100,
+            sliding: false,
+            runs: strings(&["uniformity"]),
+            json: false,
+        };
+        let mut out = Vec::new();
+        let err = run_watch("1\n2\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("--n"), "{err}");
+
+        let err = dispatch(Command::Watch {
+            path: "-".into(),
+            k: 2,
+            eps: 0.3,
+            n: 0,
+            seed: 0,
+            every: 100,
+            window: "tumbling".into(),
+            runs: strings(&["uniformity"]),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("--n") && err.contains("stdin"), "{err}");
+    }
+
+    #[test]
+    fn watch_reports_bad_records_with_line_numbers() {
+        let opts = WatchOptions {
+            k: 2,
+            eps: 0.3,
+            n: 16,
+            seed: 0,
+            every: 100,
+            sliding: false,
+            runs: strings(&["uniformity"]),
+            json: false,
+        };
+        let mut out = Vec::new();
+        let err = run_watch("1\nfoo\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("foo"), "{err}");
+        let mut out = Vec::new();
+        let err = run_watch("1\n99\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("record 99"), "{err}");
     }
 
     #[test]

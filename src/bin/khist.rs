@@ -4,6 +4,7 @@
 //! khist learn     records.txt --k 8 --eps 0.1 --seed 7 [--json]
 //! khist test      records.txt --k 8 --eps 0.2 --norm l1 [--json]
 //! khist analyze   records.txt --k 8 --run learn,l2,uniformity [--json]
+//! khist watch     -           --every 100000 --n 1024 [--window sliding] [--json]
 //! khist summarize records.txt
 //! ```
 //!
@@ -11,8 +12,12 @@
 //! (constant memory in the file length); `--seed` fixes the reservoir
 //! subsample so runs are reproducible. `analyze` serves its whole batch
 //! from ONE shared sample draw — a single pass over the file — and
-//! `--json` emits the structured serde `Report`(s). All logic lives (and
-//! is tested) in [`khist::app`].
+//! `--json` emits the structured serde `Report`(s). `watch` is the
+//! push-based dual: it ingests an unbounded stream (`-` = stdin) into a
+//! windowed `Monitor` and emits a report — the analysis batch plus an
+//! `ℓ₂` drift check against the previous window — every `--every`
+//! records, in bounded memory. All logic lives (and is tested) in
+//! [`khist::app`].
 
 use std::process::ExitCode;
 

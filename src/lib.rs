@@ -27,18 +27,20 @@
 //!
 //! | module (re-export) | source crate | contents |
 //! |---|---|---|
-//! | [`api`] | `khist-core` | **the front door**: typed requests, `Session`, shared `SamplePlan`, serde `Report` |
+//! | [`api`] | `khist-core` | **the front door**: typed requests, pull `Session` / push `Monitor`, shared `SamplePlan`, serde `Report` |
 //! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
-//! | [`oracle`] | `khist-oracle` | the `SampleOracle` seam + backends, sample multisets, collision estimators, budgets |
+//! | [`oracle`] | `khist-oracle` | the pull `SampleOracle` seam + backends, the push `SampleSink`/`WindowedSink` ingest layer, sample multisets, collision estimators, budgets |
 //! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
 //! | [`baseline`] | `khist-baseline` | exact v-optimal DP, `ℓ₁` DP, equi-width/depth, MaxDiff, greedy-merge |
 //! | [`greedy`], [`tester`], [`flatness`], [`mod@partition_search`], [`lower_bound`], [`cost`], [`tiling_state`] | `khist-core` | the paper's algorithms |
 //!
-//! ## Architecture: requests → Session → SampleOracle
+//! ## Architecture: pull (Session) and push (Monitor) over one engine
 //!
-//! Every workload enters through a typed [`api::Analysis`] request, runs in
-//! an [`api::Session`] that owns a [`oracle::SampleOracle`] backend, and
-//! returns a structured [`api::Report`]:
+//! Every workload enters through a typed [`api::Analysis`] request and
+//! returns a structured [`api::Report`]. There are two front doors over
+//! the same engine — the pull-based [`api::Session`] (you ask, it draws)
+//! and the push-based [`api::Monitor`] (the stream arrives, windows
+//! answer):
 //!
 //! ```text
 //!  Learn::k(6).eps(0.1)  TestL2::k(6)  TestL1::k(6)  Uniformity::eps(0.3)
@@ -46,24 +48,26 @@
 //!            │                    │                        │
 //!            └────────────────────┼────────────────────────┘
 //!                                 ▼           typed Analysis requests
-//!                       Session::run(&[…])
-//!                                 │           one engine, one batch
-//!                                 ▼
-//!                      SamplePlan::for_batch   max(ℓ), max(r), max(m)
-//!                                 │           ONE draw shared by all
-//!                                 ▼
-//!                        trait SampleOracle
-//!               ┌─────────────────┼────────────────────┐
-//!               ▼                 ▼                    ▼
-//!         DenseOracle      RecordFileOracle       ReplayOracle
-//!         alias table,     one-pass reservoir     pre-drawn buffers,
-//!         parallel draws   splitting (1 file      deterministic
-//!                          pass per batch!)       replay
-//!                                 │
-//!                                 ▼
-//!               Vec<Report>  (verdict/histogram, statistic,
-//!                            samples spent, budget, seed, wall time;
-//!                            serde → `khist … --json`)
+//!          ┌──────────────────────┴──────────────────────┐
+//!   PULL   │ Session::run(&[…])                          │   PUSH
+//!          │                        Monitor::ingest(&[…])│
+//!          ▼                                             ▼
+//!   SamplePlan::for_batch                     WindowedSink (SampleSink)
+//!          │ max(ℓ), max(r), max(m)             │ plan-shaped reservoir
+//!          │ ONE draw shared by all             │ lanes; tumbling/sliding
+//!          ▼                                    │ windows, O(budget) memory
+//!   trait SampleOracle                          ▼ window closes
+//!    ┌─────┼──────────────┐            WindowSnapshot ──▶ ReplayOracle
+//!    ▼     ▼              ▼                     │ frozen lanes, zero new
+//!  Dense  RecordFile   Replay ◀─────────────────┘ draws (same engine!)
+//!  Oracle Oracle       Oracle
+//!    │ alias │ one-pass   │ pre-drawn           ▼
+//!    │ table │ reservoir  │ buffers      WindowReport {reports, drift}
+//!    ▼       ▼ splitting  ▼                     │ ℓ₂ closeness vs the
+//!   Vec<Report>  (verdict/histogram,            │ previous window
+//!                statistic, samples spent,      ▼
+//!                budget, seed, wall time;  `khist watch --json` (JSONL)
+//!                serde → `khist … --json`)
 //! ```
 //!
 //! Batching matters on streaming backends: a `Session::run` over
@@ -72,6 +76,13 @@
 //! cost one pass each. The per-algorithm free functions (`greedy::learn`,
 //! `tester::test_l2`, …) remain as thin shims over the same
 //! [`api::SamplePlan`] layer; the `*_dense` wrappers are **deprecated**.
+//!
+//! Push and pull are two transports for one sampling process: a tumbling
+//! window pushed into a [`oracle::WindowedSink`] freezes lanes
+//! bit-identical to replaying the same records through a
+//! `RecordFileOracle` with the same seed, so `Monitor` reports match
+//! `Session::open_records` reports exactly (property-tested in
+//! `tests/monitor_push_pull.rs`).
 //!
 //! ## Budgets
 //!
@@ -126,6 +137,12 @@
 
 pub mod app;
 
+/// The README's code samples compile and run as doctests (via
+/// `include_str!`), so the front-page quickstart can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 pub use khist_baseline as baseline;
 pub use khist_dist as dist;
 pub use khist_oracle as oracle;
@@ -143,8 +160,9 @@ pub mod prelude {
         v_optimal,
     };
     pub use khist_core::api::{
-        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn, Monotone, Report,
-        SamplePlan, Session, TestL1, TestL2, Uniformity,
+        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn, Monitor,
+        MonitorBuilder, Monotone, Report, SamplePlan, Session, TestL1, TestL2, Uniformity,
+        WindowReport,
     };
     pub use khist_core::compress::compress_to_k;
     pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};
@@ -154,7 +172,8 @@ pub mod prelude {
     pub use khist_dist::{DenseDistribution, Interval, PriorityHistogram, TilingHistogram};
     pub use khist_oracle::{
         Budget, DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
-        ReplayOracle, Reservoir, SampleOracle, SampleSet,
+        ReplayOracle, Reservoir, SampleOracle, SampleSet, SampleSink, Window, WindowSnapshot,
+        WindowedSink,
     };
 
     // Deprecated pre-API wrappers, re-exported so downstream code keeps

@@ -2,28 +2,39 @@
 //! this workspace needs).
 //!
 //! Writing: floats are rendered with a decimal point (`1.0`, not `1`) so
-//! the float/integer distinction survives a round trip; non-finite floats
-//! have no JSON representation and render as `null`. Parsing: a number
-//! lexes as [`Value::F64`] when it contains a `.` or exponent, otherwise
-//! as [`Value::U64`]/[`Value::I64`].
+//! the float/integer distinction survives a round trip. Non-finite floats
+//! (`NaN`, `±inf`) have **no JSON representation**: writing one is an
+//! [`Error`], never invalid output and never a silent `null` — callers
+//! that want `null` semantics must encode [`Value::Null`] themselves.
+//! Control characters in strings are escaped (`\n`, `\r`, `\t`, and
+//! `\u00XX` for the rest), so any Rust string round-trips. Parsing: a
+//! number lexes as [`Value::F64`] when it contains a `.` or exponent,
+//! otherwise as [`Value::U64`]/[`Value::I64`].
 
 use crate::{Error, Value};
 
-/// Renders a value as compact JSON.
-pub fn to_string(value: &Value) -> String {
+/// Renders a value as compact JSON. Fails on non-finite floats, which
+/// JSON cannot represent.
+pub fn to_string(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(value, None, 0, &mut out);
-    out
+    write_value(value, None, 0, &mut out)?;
+    Ok(out)
 }
 
-/// Renders a value as indented (2-space) JSON.
-pub fn to_string_pretty(value: &Value) -> String {
+/// Renders a value as indented (2-space) JSON. Fails on non-finite
+/// floats, which JSON cannot represent.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(value, Some(2), 0, &mut out);
-    out
+    write_value(value, Some(2), 0, &mut out)?;
+    Ok(out)
 }
 
-fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+fn write_value(
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -31,7 +42,10 @@ fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut Str
         Value::I64(v) => out.push_str(&v.to_string()),
         Value::F64(v) => {
             if !v.is_finite() {
-                out.push_str("null");
+                return Err(Error::new(format!(
+                    "{v} has no JSON representation; encode non-finite floats as null \
+                     explicitly if that is the intended meaning"
+                )));
             } else if v.fract() == 0.0 && v.abs() < 1e15 {
                 out.push_str(&format!("{v:.1}"));
             } else {
@@ -39,18 +53,23 @@ fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut Str
             }
         }
         Value::Str(s) => write_string(s, out),
-        Value::Seq(items) => write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
-            write_value(&items[i], indent, depth + 1, out);
-        }),
-        Value::Map(pairs) => write_compound(out, indent, depth, '{', '}', pairs.len(), |out, i| {
-            write_string(&pairs[i].0, out);
-            out.push(':');
-            if indent.is_some() {
-                out.push(' ');
-            }
-            write_value(&pairs[i].1, indent, depth + 1, out);
-        }),
+        Value::Seq(items) => {
+            write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_value(&items[i], indent, depth + 1, out)
+            })?;
+        }
+        Value::Map(pairs) => {
+            write_compound(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_string(&pairs[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&pairs[i].1, indent, depth + 1, out)
+            })?;
+        }
     }
+    Ok(())
 }
 
 fn write_compound(
@@ -60,8 +79,8 @@ fn write_compound(
     open: char,
     close: char,
     len: usize,
-    mut write_item: impl FnMut(&mut String, usize),
-) {
+    mut write_item: impl FnMut(&mut String, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
     out.push(open);
     for i in 0..len {
         if i > 0 {
@@ -71,7 +90,7 @@ fn write_compound(
             out.push('\n');
             out.push_str(&" ".repeat(width * (depth + 1)));
         }
-        write_item(out, i);
+        write_item(out, i)?;
     }
     if len > 0 {
         if let Some(width) = indent {
@@ -80,6 +99,7 @@ fn write_compound(
         }
     }
     out.push(close);
+    Ok(())
 }
 
 fn write_string(s: &str, out: &mut String) {
@@ -323,7 +343,7 @@ mod tests {
             Value::F64(2.0),
             Value::Str("hé\"llo\n".into()),
         ] {
-            let text = to_string(&v);
+            let text = to_string(&v).unwrap();
             assert_eq!(from_str(&text).unwrap(), v, "text: {text}");
         }
     }
@@ -342,16 +362,56 @@ mod tests {
             ("empty_seq", Value::Seq(vec![])),
             ("empty_map", Value::Map(vec![])),
         ]);
-        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
-        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
     }
 
     #[test]
     fn floats_stay_floats() {
-        assert_eq!(to_string(&Value::F64(3.0)), "3.0");
+        assert_eq!(to_string(&Value::F64(3.0)).unwrap(), "3.0");
         assert_eq!(from_str("3.0").unwrap(), Value::F64(3.0));
         assert_eq!(from_str("3").unwrap(), Value::U64(3));
-        assert_eq!(to_string(&Value::F64(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn non_finite_floats_are_an_error_not_invalid_json() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = to_string(&Value::F64(bad)).unwrap_err().to_string();
+            assert!(err.contains("JSON representation"), "{err}");
+            assert!(to_string_pretty(&Value::F64(bad)).is_err());
+            // Nested occurrences are caught too, not flushed as partial
+            // output.
+            let nested = Value::map([("x", Value::Seq(vec![Value::F64(bad)]))]);
+            assert!(to_string(&nested).is_err());
+        }
+        // A deliberate null stays representable.
+        assert_eq!(to_string(&Value::Null).unwrap(), "null");
+    }
+
+    #[test]
+    fn hostile_strings_round_trip() {
+        let hostile = [
+            "plain",
+            "quote\" backslash\\ slash/",
+            "newline\n return\r tab\t",
+            "null byte \u{0} and escape \u{1b} and unit sep \u{1f}",
+            "high unicode 🦀 … ﷽",
+            "\\u0041 literal, not an escape",
+            "{\"looks\":\"like json\"}",
+            "",
+        ];
+        for s in hostile {
+            let v = Value::Str(s.into());
+            let text = to_string(&v).unwrap();
+            assert!(
+                text.chars().all(|c| c as u32 >= 0x20),
+                "raw control char leaked into JSON: {text:?}"
+            );
+            assert_eq!(from_str(&text).unwrap(), v, "text: {text}");
+            // Hostile map keys get the same escaping as values.
+            let keyed = Value::Map(vec![(s.to_owned(), Value::U64(1))]);
+            assert_eq!(from_str(&to_string(&keyed).unwrap()).unwrap(), keyed);
+        }
     }
 
     #[test]
