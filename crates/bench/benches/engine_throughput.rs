@@ -1,0 +1,76 @@
+//! Criterion bench: keyed multi-stream `Engine` ingest throughput.
+//!
+//! The fleet-monitoring hot path: one `ingest_batch` round of interleaved
+//! keyed records across 1 000 tenant streams, sized so that every stream
+//! completes exactly one window per iteration — so each iteration pays
+//! the full per-window workload (standing batch + drift bookkeeping) a
+//! thousand times, which is the CPU-bound work sharding fans out.
+//!
+//! Per iteration, `STREAMS × SPAN` records are ingested; divide that by
+//! the reported per-iteration time for records/sec. Sharded output is
+//! bit-identical to 1-shard output per stream (property-tested in
+//! `tests/engine_sharding.rs`), so this bench pins the *speed* side of
+//! that trade: on a ≥ 4-core machine the multi-shard rows should beat the
+//! 1-shard row wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khist_core::api::{Analysis, Engine, TestL2, Uniformity};
+use khist_core::uniformity::UniformityBudget;
+use khist_dist::generators;
+use khist_oracle::L2TesterBudget;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Tenant streams per iteration.
+const STREAMS: usize = 1_000;
+/// Records per stream per iteration (= the tumbling span, so every stream
+/// closes exactly one window per iteration and flushes nothing).
+const SPAN: usize = 500;
+
+fn standing() -> Vec<Analysis> {
+    vec![
+        TestL2::k(4)
+            .eps(0.3)
+            .budget(L2TesterBudget { r: 8, m: 40 })
+            .into(),
+        Uniformity::eps(0.3)
+            .budget(UniformityBudget { m: 120 })
+            .into(),
+    ]
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let n = 256;
+    let p = generators::staircase(n, 4).expect("valid staircase");
+    let mut rng = StdRng::seed_from_u64(7);
+    // One round of keyed records, interleaved round-robin over the fleet:
+    // every stream receives exactly SPAN records per iteration.
+    let values = p.sample_many(STREAMS * SPAN, &mut rng);
+    let records: Vec<(String, usize)> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (format!("tenant-{:04}", i % STREAMS), v))
+        .collect();
+
+    let mut group = c.benchmark_group("engine_ingest_1k_streams");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut engine = Engine::builder(n)
+                    .seed(7)
+                    .shards(shards)
+                    .tumbling(SPAN as u64)
+                    .analyses(standing())
+                    .build()
+                    .expect("valid engine config");
+                let reports = engine.ingest_batch(&records).expect("clean ingest");
+                assert_eq!(reports.len(), STREAMS, "one window per stream");
+                reports.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

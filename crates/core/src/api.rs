@@ -46,7 +46,11 @@
 //! [`crate::monitor`]): records are `ingest`ed as they arrive, reservoir
 //! windows freeze at span boundaries, and each frozen window answers the
 //! same typed [`Analysis`] batch — plus window-to-window drift checks —
-//! without a single new draw.
+//! without a single new draw. For *many* keyed streams at once, the
+//! [`Engine`] (re-exported from [`crate::engine`]) hashes stream keys
+//! onto a pool of shared-nothing worker shards, each owning the
+//! per-stream [`MonitorState`]s for its keys — bit-identical per stream
+//! to a dedicated `Monitor`, for any shard count.
 //!
 //! # Example
 //!
@@ -79,7 +83,8 @@ use khist_oracle::{
 };
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
-pub use crate::monitor::{Monitor, MonitorBuilder, WindowReport};
+pub use crate::engine::{Engine, EngineBuilder};
+pub use crate::monitor::{Monitor, MonitorBuilder, MonitorState, WindowReport};
 
 use crate::compress::compress_to_k;
 use crate::greedy::{learn_from_samples, CandidatePolicy, GreedyParams};

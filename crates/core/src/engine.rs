@@ -1,0 +1,812 @@
+//! The keyed multi-stream ingest path: an [`Engine`] over a shared-nothing
+//! pool of [`MonitorState`] shards.
+//!
+//! A single [`Monitor`](crate::monitor::Monitor) watches one stream on one
+//! core. Real deployments watch *many* keyed streams at once — per-tenant,
+//! per-shard, per-endpoint latency histograms — and the per-window workload
+//! (the standing batch plus the Diakonikolas–Kane–Nikishkin-style `ℓ₂`
+//! closeness drift check) is exactly the CPU-bound work worth scaling out:
+//!
+//! ```text
+//!   ingest_batch(&[(key, value), …])
+//!        │  key ──FNV-1a──▶ shard = hash(key) mod shards
+//!        ▼
+//!   ┌─────────┐  ┌─────────┐       ┌─────────┐   one scoped worker thread
+//!   │ shard 0 │  │ shard 1 │  ...  │ shard S │   per busy shard; results
+//!   │ ┌─────┐ │  │ ┌─────┐ │       │ ┌─────┐ │   handed back over an mpsc
+//!   │ │state│ │  │ │state│ │       │ │state│ │   channel
+//!   │ │state│ │  │ └─────┘ │       │ │state│ │
+//!   │ └─────┘ │  └─────────┘       │ └─────┘ │   state = MonitorState of
+//!   └─────────┘                    └─────────┘   one stream key
+//!        │              │               │
+//!        └──────────────┴───────────────┘
+//!                       ▼
+//!     Vec<WindowReport> tagged by stream, sorted by (stream, window)
+//! ```
+//!
+//! # Sharding is semantics-free
+//!
+//! Each stream key `k` gets its own [`MonitorState`] seeded with
+//! [`Engine::stream_seed`]`(base_seed, k)` — a SplitMix64 stream derived
+//! from the engine's base seed and a deterministic (FNV-1a) hash of the
+//! key. A state depends on nothing but its own records and seed, and
+//! shards share nothing, so for every stream the engine's reports are
+//! **bit-identical** to a dedicated single-threaded
+//! [`Monitor`](crate::monitor::Monitor) built with
+//! `Monitor::builder(n).seed(Engine::stream_seed(base, key)).stream(key)`
+//! and fed that stream's records — for *any* shard count, any batch
+//! boundaries, and any interleaving with other streams. The push≡pull
+//! property of the monitor layer lifts one level up: sharding is a
+//! transport, not a semantic. Property-tested in
+//! `tests/engine_sharding.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use khist_core::api::{Engine, TestL2, Uniformity};
+//! use khist_dist::generators;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let p = generators::staircase(64, 4).unwrap();
+//! let mut source = StdRng::seed_from_u64(3);
+//! let mut engine = Engine::builder(64)
+//!     .seed(7)
+//!     .shards(2)
+//!     .tumbling(1_000)
+//!     .analyses([
+//!         TestL2::k(4).eps(0.3).scale(0.05).into(),
+//!         Uniformity::eps(0.3).scale(0.2).into(),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//!
+//! // Interleaved keyed records: two tenants, one window each.
+//! let values = p.sample_many(2_000, &mut source);
+//! let keyed: Vec<(String, usize)> = values
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, v)| (format!("tenant-{}", i % 2), v))
+//!     .collect();
+//! let reports = engine.ingest_batch(&keyed).unwrap();
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[0].stream.as_deref(), Some("tenant-0"));
+//! assert_eq!(reports[1].stream.as_deref(), Some("tenant-1"));
+//! assert_eq!(engine.streams(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+
+use khist_dist::DistError;
+use khist_oracle::{stream_seed, SinkShape, Window};
+
+use crate::api::{Analysis, SamplePlan};
+use crate::monitor::{resolve_config, MonitorState, WindowReport};
+
+/// One shard's answer to a batch: everything that succeeded, plus every
+/// per-stream failure. Streams are independent state machines, so one
+/// stream's bad record must not discard another stream's already-computed
+/// window reports — the shard keeps going and reports both.
+type ShardOutcome = (Vec<WindowReport>, Vec<(String, DistError)>);
+
+/// FNV-1a 64-bit hash of a stream key.
+///
+/// Shard routing and per-stream seed derivation must be deterministic
+/// across processes and platforms — `std`'s default hasher is randomized
+/// per process, which would make "which shard owns tenant X" and "what
+/// seed does tenant X sample with" unreproducible. FNV-1a is stable,
+/// tiny, and good enough for short keys.
+fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the shards share, read-only: one validated configuration
+/// stamped out per stream key.
+struct EngineConfig {
+    seed: u64,
+    shape: SinkShape,
+    analyses: Arc<Vec<Analysis>>,
+    plan: SamplePlan,
+    drift_eps: f64,
+}
+
+impl EngineConfig {
+    /// Stamps out the state machine for a new stream key — cheap: the
+    /// shape and batch were validated once at [`EngineBuilder::build`].
+    fn new_state(&self, key: &str) -> MonitorState {
+        MonitorState::from_parts(
+            &self.shape,
+            Engine::stream_seed(self.seed, key),
+            Arc::clone(&self.analyses),
+            self.plan,
+            self.drift_eps,
+            Some(key.to_string()),
+        )
+    }
+}
+
+/// One stream owned by a shard.
+struct StreamSlot {
+    key: String,
+    state: MonitorState,
+}
+
+/// One worker's worth of streams. Shards share nothing: every stream key
+/// hashes to exactly one shard, and only that shard's worker ever touches
+/// its states.
+#[derive(Default)]
+struct Shard {
+    /// Slots in first-seen order (the engine's per-shard iteration order).
+    slots: Vec<StreamSlot>,
+    /// Key → slot index.
+    index: HashMap<String, usize>,
+}
+
+impl Shard {
+    /// The slot owning `key`, created on first contact.
+    fn slot_of(&mut self, key: &str, cfg: &EngineConfig) -> usize {
+        if let Some(&slot) = self.index.get(key) {
+            return slot;
+        }
+        let slot = self.slots.len();
+        self.slots.push(StreamSlot {
+            key: key.to_string(),
+            state: cfg.new_state(key),
+        });
+        self.index.insert(key.to_string(), slot);
+        slot
+    }
+
+    /// Ingests one shard's slice of a keyed batch: records are grouped per
+    /// stream (preserving per-stream arrival order — the only order a
+    /// stream's state can observe) and each touched stream ingests its
+    /// group independently; a failing stream does not stop its
+    /// shard-mates. Ledgers are drained and dropped; per-stream ledgers
+    /// surfacing through the engine are a roadmap item.
+    fn ingest(&mut self, cfg: &EngineConfig, records: &[(&str, usize)]) -> ShardOutcome {
+        let mut touched: Vec<usize> = Vec::new();
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(key, value) in records {
+            let slot = self.slot_of(key, cfg);
+            groups
+                .entry(slot)
+                .or_insert_with(|| {
+                    touched.push(slot);
+                    Vec::new()
+                })
+                .push(value);
+        }
+        let mut out = Vec::new();
+        let mut errors = Vec::new();
+        for idx in touched {
+            let slot = &mut self.slots[idx];
+            let result = slot.state.ingest(&groups[&idx]);
+            slot.state.drain_ledger();
+            match result {
+                Ok(reports) => out.extend(reports),
+                Err(e) => errors.push((slot.key.clone(), e)),
+            }
+        }
+        (out, errors)
+    }
+
+    /// Flushes every stream the shard owns, in first-seen order; a failing
+    /// stream does not stop its shard-mates.
+    fn flush(&mut self) -> ShardOutcome {
+        let mut out = Vec::new();
+        let mut errors = Vec::new();
+        for slot in &mut self.slots {
+            let result = slot.state.flush();
+            slot.state.drain_ledger();
+            match result {
+                Ok(reports) => out.extend(reports),
+                Err(e) => errors.push((slot.key.clone(), e)),
+            }
+        }
+        (out, errors)
+    }
+}
+
+/// Configures an [`Engine`]; obtained from [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    n: usize,
+    seed: u64,
+    shards: usize,
+    window: Window,
+    analyses: Vec<Analysis>,
+    drift_eps: f64,
+}
+
+impl EngineBuilder {
+    /// Seeds the engine (default 0). Every stream samples with the derived
+    /// seed [`Engine::stream_seed`]`(seed, key)`, so the base seed plus
+    /// the key fully determine a stream's randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of worker shards stream keys are hashed onto (default 1).
+    /// More shards parallelize the per-window analysis work across cores;
+    /// the per-stream output is bit-identical for every shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Uses tumbling windows of `span` records per stream — the default,
+    /// with a span of 100 000.
+    pub fn tumbling(mut self, span: u64) -> Self {
+        self.window = Window::Tumbling { span };
+        self
+    }
+
+    /// Uses sliding windows covering `span` records, completing every
+    /// `step` records (`step` must divide `span`), per stream.
+    pub fn sliding(mut self, span: u64, step: u64) -> Self {
+        self.window = Window::Sliding { span, step };
+        self
+    }
+
+    /// Sets the window policy explicitly.
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the standing batch every stream runs on every completed
+    /// window. The batch's shared [`SamplePlan`] shapes every stream's
+    /// reservoir lanes, so it must be non-empty.
+    pub fn analyses(mut self, batch: impl IntoIterator<Item = Analysis>) -> Self {
+        self.analyses = batch.into_iter().collect();
+        self
+    }
+
+    /// Appends one request to the standing batch.
+    pub fn analysis(mut self, request: impl Into<Analysis>) -> Self {
+        self.analyses.push(request.into());
+        self
+    }
+
+    /// Accuracy parameter of the per-stream window-to-window `ℓ₂` drift
+    /// check (default 0.25).
+    pub fn drift_eps(mut self, eps: f64) -> Self {
+        self.drift_eps = eps;
+        self
+    }
+
+    /// Builds the engine: validates the configuration once (shard count,
+    /// standing batch, window policy, lane shape) so that per-stream state
+    /// creation on first contact with a new key is cheap and infallible.
+    pub fn build(self) -> Result<Engine, DistError> {
+        if self.shards == 0 {
+            return Err(DistError::BadParameter {
+                reason: "engine needs at least one shard (1 = unsharded)".into(),
+            });
+        }
+        // The monitor's validator, shared verbatim: an engine stream is a
+        // monitor, so what is invalid there must be invalid here.
+        let (plan, shape) = resolve_config(self.n, self.window, &self.analyses, self.drift_eps)?;
+        let mut shards = Vec::with_capacity(self.shards);
+        shards.resize_with(self.shards, Shard::default);
+        Ok(Engine {
+            cfg: EngineConfig {
+                seed: self.seed,
+                shape,
+                analyses: Arc::new(self.analyses),
+                plan,
+                drift_eps: self.drift_eps,
+            },
+            shards,
+            stashed: Vec::new(),
+        })
+    }
+}
+
+/// A keyed multi-stream ingest engine: [`Monitor`](crate::monitor::Monitor)
+/// semantics per stream key, scaled across a shared-nothing pool of worker
+/// shards. See the [module docs](self) for the architecture and the
+/// sharding-is-semantics-free contract.
+pub struct Engine {
+    cfg: EngineConfig,
+    shards: Vec<Shard>,
+    /// Reports computed by healthy streams during a call that returned an
+    /// error for some *other* stream. Streams are independent, so those
+    /// reports are valid and must not be lost — they are delivered (in
+    /// sorted position) by the next successful
+    /// [`ingest_batch`](Engine::ingest_batch) or [`flush`](Engine::flush).
+    stashed: Vec<WindowReport>,
+}
+
+impl Engine {
+    /// Starts configuring an engine over the domain `[0, n)` (shared by
+    /// every stream — keyed streams of differing domains belong in
+    /// separate engines).
+    pub fn builder(n: usize) -> EngineBuilder {
+        EngineBuilder {
+            n,
+            seed: 0,
+            shards: 1,
+            window: Window::Tumbling { span: 100_000 },
+            analyses: Vec::new(),
+            drift_eps: 0.25,
+        }
+    }
+
+    /// The seed stream `key` samples with under base seed `base`: the
+    /// SplitMix64 stream of the key's deterministic FNV-1a hash. A
+    /// dedicated [`Monitor`](crate::monitor::Monitor) seeded with this
+    /// value (and tagged via
+    /// [`MonitorBuilder::stream`](crate::monitor::MonitorBuilder::stream))
+    /// reproduces the engine's reports for that stream bit for bit.
+    pub fn stream_seed(base: u64, key: &str) -> u64 {
+        stream_seed(base, key_hash(key))
+    }
+
+    /// Domain size records must lie in.
+    pub fn domain_size(&self) -> usize {
+        self.cfg.shape.domain_size()
+    }
+
+    /// The engine's base seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of distinct stream keys seen so far.
+    pub fn streams(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// All stream keys seen so far, sorted.
+    pub fn stream_keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter().map(|slot| slot.key.as_str()))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total records ingested across all streams.
+    pub fn seen(&self) -> u64 {
+        self.states().map(|s| s.seen()).sum()
+    }
+
+    /// Total completed windows reported across all streams.
+    pub fn windows(&self) -> u64 {
+        self.states().map(|s| s.windows()).sum()
+    }
+
+    /// The shared plan shaping every stream's lanes.
+    pub fn plan(&self) -> SamplePlan {
+        self.cfg.plan
+    }
+
+    /// The per-stream window policy.
+    pub fn window(&self) -> Window {
+        self.cfg.shape.window()
+    }
+
+    /// The standing batch every stream runs.
+    pub fn analyses(&self) -> &[Analysis] {
+        &self.cfg.analyses
+    }
+
+    /// Read access to one stream's state machine (e.g. to check `seen` or
+    /// probe [`drift`](MonitorState::drift) for a single tenant).
+    pub fn stream_state(&self, key: &str) -> Option<&MonitorState> {
+        let shard = &self.shards[self.shard_of(key)];
+        shard.index.get(key).map(|&slot| &shard.slots[slot].state)
+    }
+
+    /// The shard index `key` hashes to.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingests records for a single stream in arrival order, reporting the
+    /// stream's windows that completed during the batch. Runs inline on
+    /// the calling thread (one stream cannot be parallelized without
+    /// changing its output), and never returns other streams' stashed
+    /// reports — those wait for the next
+    /// [`ingest_batch`](Engine::ingest_batch) / [`flush`](Engine::flush).
+    pub fn ingest(&mut self, key: &str, records: &[usize]) -> Result<Vec<WindowReport>, DistError> {
+        let shard = self.shard_of(key);
+        let shard = &mut self.shards[shard];
+        let slot = shard.slot_of(key, &self.cfg);
+        let state = &mut shard.slots[slot].state;
+        let result = state.ingest(records);
+        state.drain_ledger();
+        result
+    }
+
+    /// Ingests a batch of keyed records in arrival order — the engine's
+    /// main entry point. Records are partitioned onto shards by key hash;
+    /// busy shards run on scoped worker threads (shared-nothing: a shard's
+    /// states are touched only by its worker), and completed windows come
+    /// back sorted by `(stream, window id)` — a deterministic interleaving
+    /// with every stream's reports in window order.
+    ///
+    /// Streams fail *independently*: a record outside `[0, n)` (or a
+    /// failing standing analysis) stops only its own stream — exactly
+    /// what would happen to a dedicated [`Monitor`](crate::monitor::Monitor)
+    /// on that stream — while every other stream ingests its full slice.
+    /// When any stream failed, the call returns the error of the
+    /// lexicographically smallest failing key (a deterministic choice for
+    /// every shard count), and the reports the healthy streams computed
+    /// during the call are *not* lost: they are delivered, in sorted
+    /// position, by the next successful `ingest_batch` or
+    /// [`flush`](Engine::flush).
+    pub fn ingest_batch<K: AsRef<str>>(
+        &mut self,
+        records: &[(K, usize)],
+    ) -> Result<Vec<WindowReport>, DistError> {
+        let shard_count = self.shards.len() as u64;
+        let mut parts: Vec<Vec<(&str, usize)>> = Vec::with_capacity(self.shards.len());
+        parts.resize_with(self.shards.len(), Vec::new);
+        for (key, value) in records {
+            let key = key.as_ref();
+            parts[(key_hash(key) % shard_count) as usize].push((key, *value));
+        }
+        let cfg = &self.cfg;
+        let busy = parts.iter().filter(|p| !p.is_empty()).count();
+        let outcome = if busy > 1 {
+            // Batched channel handoff: one scoped worker per busy shard,
+            // results returned over an mpsc channel. Workers own disjoint
+            // shards, so output depends only on each shard's input.
+            let (tx, rx) = mpsc::channel();
+            crossbeam::scope(|scope| {
+                for ((_, shard), batch) in
+                    self.shards.iter_mut().enumerate().zip(parts)
+                {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        tx.send(shard.ingest(cfg, &batch))
+                            .expect("engine result channel outlives the scope");
+                    });
+                }
+            })
+            .expect("engine ingest worker panicked");
+            drop(tx);
+            rx.iter().collect()
+        } else {
+            let mut outcome = Vec::new();
+            for (shard, batch) in self.shards.iter_mut().zip(parts) {
+                if !batch.is_empty() {
+                    outcome.push(shard.ingest(cfg, &batch));
+                }
+            }
+            outcome
+        };
+        self.settle(outcome)
+    }
+
+    /// Flushes every stream: completed-but-uncollected windows, then each
+    /// stream's partial tail (when it holds records) — fanned across the
+    /// shards like [`ingest_batch`](Engine::ingest_batch), sorted by
+    /// `(stream, window id)`, with the same independent-failure contract.
+    pub fn flush(&mut self) -> Result<Vec<WindowReport>, DistError> {
+        let busy = self.shards.iter().filter(|s| !s.slots.is_empty()).count();
+        let outcome = if busy > 1 {
+            let (tx, rx) = mpsc::channel();
+            crossbeam::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    if shard.slots.is_empty() {
+                        continue;
+                    }
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        tx.send(shard.flush())
+                            .expect("engine result channel outlives the scope");
+                    });
+                }
+            })
+            .expect("engine flush worker panicked");
+            drop(tx);
+            rx.iter().collect()
+        } else {
+            self.shards
+                .iter_mut()
+                .filter(|s| !s.slots.is_empty())
+                .map(Shard::flush)
+                .collect()
+        };
+        self.settle(outcome)
+    }
+
+    /// Merges per-shard outcomes into the call's result. On full success,
+    /// the computed reports — plus any reports stashed by an earlier
+    /// failing call — come back sorted. When any stream failed, the
+    /// healthy streams' reports are stashed for the next successful call
+    /// and the error of the lexicographically smallest failing key is
+    /// returned (deterministic for every shard count; channel arrival
+    /// order is not).
+    fn settle(&mut self, outcome: Vec<ShardOutcome>) -> Result<Vec<WindowReport>, DistError> {
+        let mut reports = Vec::new();
+        let mut errors: Vec<(String, DistError)> = Vec::new();
+        for (shard_reports, shard_errors) in outcome {
+            reports.extend(shard_reports);
+            errors.extend(shard_errors);
+        }
+        if let Some(first) = errors
+            .into_iter()
+            .min_by(|(a, _), (b, _)| a.cmp(b))
+            .map(|(_, e)| e)
+        {
+            self.stashed.append(&mut reports);
+            return Err(first);
+        }
+        reports.append(&mut self.stashed);
+        Engine::sort_reports(&mut reports);
+        Ok(reports)
+    }
+
+    /// The engine's deterministic output order: by stream key, then window
+    /// id (every stream's reports stay in window order; the global
+    /// interleaving is reproducible regardless of shard count or
+    /// scheduling).
+    fn sort_reports(reports: &mut [WindowReport]) {
+        reports.sort_by(|a, b| {
+            (a.stream.as_deref(), a.window).cmp(&(b.stream.as_deref(), b.window))
+        });
+    }
+
+    fn states(&self) -> impl Iterator<Item = &MonitorState> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.iter().map(|slot| &slot.state))
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("domain_size", &self.domain_size())
+            .field("seed", &self.cfg.seed)
+            .field("shards", &self.shards.len())
+            .field("streams", &self.streams())
+            .field("window", &self.window())
+            .field("standing_analyses", &self.cfg.analyses.len())
+            .field("seen", &self.seen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Learn, Monitor, TestL2, Uniformity};
+    use khist_dist::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn standing() -> Vec<Analysis> {
+        vec![
+            Learn::k(3).eps(0.25).scale(0.05).into(),
+            TestL2::k(3).eps(0.3).scale(0.05).into(),
+            Uniformity::eps(0.3).scale(0.2).into(),
+        ]
+    }
+
+    /// Interleaved keyed records over `keys`, round-robin with a keyed
+    /// offset so streams differ.
+    fn keyed_events(n: usize, count: usize, keys: &[&str], seed: u64) -> Vec<(String, usize)> {
+        let p = generators::staircase(n, 3).unwrap();
+        let values = p.sample_many(count, &mut StdRng::seed_from_u64(seed));
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (keys[i % keys.len()].to_string(), v))
+            .collect()
+    }
+
+    fn engine(shards: usize, span: u64) -> Engine {
+        Engine::builder(64)
+            .seed(11)
+            .shards(shards)
+            .tumbling(span)
+            .analyses(standing())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(
+            Engine::builder(64).shards(0).analyses(standing()).build().is_err(),
+            "zero shards"
+        );
+        assert!(Engine::builder(64).build().is_err(), "empty batch");
+        assert!(Engine::builder(64)
+            .analyses(standing())
+            .drift_eps(1.5)
+            .build()
+            .is_err());
+        assert!(Engine::builder(0).analyses(standing()).build().is_err());
+    }
+
+    #[test]
+    fn keyed_ingest_routes_and_tags_streams() {
+        let mut engine = engine(3, 1_000);
+        let records = keyed_events(64, 4_000, &["api", "web"], 1);
+        let reports = engine.ingest_batch(&records).unwrap();
+        // 2 000 records per stream, span 1 000: two windows each, sorted
+        // by (stream, window).
+        assert_eq!(reports.len(), 4);
+        let tags: Vec<(&str, u64)> = reports
+            .iter()
+            .map(|r| (r.stream.as_deref().unwrap(), r.window))
+            .collect();
+        assert_eq!(tags, [("api", 0), ("api", 1), ("web", 0), ("web", 1)]);
+        assert_eq!(engine.streams(), 2);
+        assert_eq!(engine.stream_keys(), ["api", "web"]);
+        assert_eq!(engine.seen(), 4_000);
+        assert_eq!(engine.windows(), 4);
+        assert!(reports.iter().all(|r| r.reports.len() == standing().len()));
+        // Per-stream state is inspectable.
+        assert_eq!(engine.stream_state("api").unwrap().seen(), 2_000);
+        assert!(engine.stream_state("nope").is_none());
+    }
+
+    #[test]
+    fn shard_count_never_changes_per_stream_output() {
+        let keys = ["api", "web", "batch", "mobile", "edge"];
+        let records = keyed_events(64, 10_000, &keys, 2);
+        let run = |shards: usize| {
+            let mut engine = engine(shards, 500);
+            // Split across two calls to exercise batch boundaries.
+            let mut reports = engine.ingest_batch(&records[..3_333]).unwrap();
+            reports.extend(engine.ingest_batch(&records[3_333..]).unwrap());
+            reports.extend(engine.flush().unwrap());
+            reports
+        };
+        let single = run(1);
+        for shards in [2, 3, 8] {
+            let sharded = run(shards);
+            // Same multiset of reports; per-stream subsequences identical.
+            for key in keys {
+                let of = |rs: &[WindowReport]| -> Vec<WindowReport> {
+                    rs.iter()
+                        .filter(|r| r.stream.as_deref() == Some(key))
+                        .cloned()
+                        .collect()
+                };
+                assert_eq!(of(&single), of(&sharded), "stream {key} @ {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_stream_matches_dedicated_monitor() {
+        // The tentpole contract, unit-sized (the property test in
+        // tests/engine_sharding.rs drives it harder): engine reports for a
+        // key == dedicated Monitor with the derived seed and stream tag.
+        let keys = ["tenant-a", "tenant-b", "tenant-c"];
+        let records = keyed_events(64, 6_000, &keys, 3);
+        let mut engine = engine(2, 700);
+        let mut got = engine.ingest_batch(&records).unwrap();
+        got.extend(engine.flush().unwrap());
+        for key in keys {
+            let mine: Vec<usize> = records
+                .iter()
+                .filter(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .collect();
+            let mut monitor = Monitor::builder(64)
+                .seed(Engine::stream_seed(11, key))
+                .stream(key)
+                .tumbling(700)
+                .analyses(standing())
+                .build()
+                .unwrap();
+            let mut want = monitor.ingest(&mine).unwrap();
+            want.extend(monitor.flush().unwrap());
+            let stream_reports: Vec<WindowReport> = got
+                .iter()
+                .filter(|r| r.stream.as_deref() == Some(key))
+                .cloned()
+                .collect();
+            assert_eq!(stream_reports, want, "stream {key}");
+        }
+    }
+
+    #[test]
+    fn single_stream_ingest_is_the_same_stream() {
+        let records = keyed_events(64, 2_000, &["solo"], 4);
+        let values: Vec<usize> = records.iter().map(|&(_, v)| v).collect();
+        let mut a = engine(4, 900);
+        let mut b = engine(4, 900);
+        let mut via_single = a.ingest("solo", &values).unwrap();
+        via_single.extend(a.flush().unwrap());
+        let mut via_batch = b.ingest_batch(&records).unwrap();
+        via_batch.extend(b.flush().unwrap());
+        assert_eq!(via_single, via_batch);
+    }
+
+    #[test]
+    fn errors_name_the_problem_and_keep_prior_records() {
+        let mut engine = engine(2, 1_000);
+        engine.ingest("ok", &[1, 2, 3]).unwrap();
+        let err = engine.ingest("ok", &[99]).unwrap_err().to_string();
+        assert!(err.contains("record 99"), "{err}");
+        assert_eq!(engine.seen(), 3, "bad record must not count");
+        // Batched path: a bad record stops only its own stream; every
+        // other stream's records stay ingested.
+        let batch = vec![("a".to_string(), 1usize), ("b".to_string(), 999)];
+        let err = engine.ingest_batch(&batch).unwrap_err().to_string();
+        assert!(err.contains("record 999"), "{err}");
+        assert_eq!(engine.stream_state("a").unwrap().seen(), 1);
+        assert_eq!(engine.stream_state("b").unwrap().seen(), 0);
+    }
+
+    #[test]
+    fn healthy_streams_never_lose_reports_to_a_failing_neighbor() {
+        // Stream "good" completes a window in the same call in which
+        // stream "bad" hits an out-of-domain record. The call errors, but
+        // good's already-computed report must surface on the next
+        // successful call — and stay bit-identical to a dedicated monitor.
+        let span = 500u64;
+        let good_records: Vec<usize> = (0..span as usize).map(|i| (i * 7) % 64).collect();
+        let mut batch: Vec<(String, usize)> = good_records
+            .iter()
+            .map(|&v| ("good".to_string(), v))
+            .collect();
+        batch.push(("bad".to_string(), 9_999));
+        let mut engine = engine(2, span);
+        let err = engine.ingest_batch(&batch).unwrap_err().to_string();
+        assert!(err.contains("record 9999"), "{err}");
+        // The stashed window arrives with the next successful call.
+        let delivered = engine.flush().unwrap();
+        let good: Vec<WindowReport> = delivered
+            .iter()
+            .filter(|r| r.stream.as_deref() == Some("good"))
+            .cloned()
+            .collect();
+        assert_eq!(good.len(), 1, "window 0 delivered, not lost: {delivered:?}");
+        let mut monitor = Monitor::builder(64)
+            .seed(Engine::stream_seed(11, "good"))
+            .stream("good")
+            .tumbling(span)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let want = monitor.ingest(&good_records).unwrap();
+        assert_eq!(good, want, "stashed report still bit-identical");
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_key_and_are_stable() {
+        let a = Engine::stream_seed(7, "tenant-a");
+        let b = Engine::stream_seed(7, "tenant-b");
+        assert_ne!(a, b);
+        assert_eq!(a, Engine::stream_seed(7, "tenant-a"), "derivation is pure");
+        assert_ne!(a, Engine::stream_seed(8, "tenant-a"), "base seed matters");
+    }
+
+    #[test]
+    fn flush_reports_partial_tails_for_every_stream() {
+        let mut engine = engine(2, 1_000);
+        let records = keyed_events(64, 900, &["x", "y", "z"], 5);
+        assert!(engine.ingest_batch(&records).unwrap().is_empty());
+        let tails = engine.flush().unwrap();
+        assert_eq!(tails.len(), 3);
+        assert!(tails.iter().all(|t| !t.complete && t.seen == 300));
+        let keys: Vec<&str> = tails.iter().map(|t| t.stream.as_deref().unwrap()).collect();
+        assert_eq!(keys, ["x", "y", "z"], "sorted by stream");
+    }
+}

@@ -53,6 +53,7 @@
 pub mod api;
 pub mod compress;
 pub mod cost;
+pub mod engine;
 pub mod flatness;
 pub mod greedy;
 pub mod identity;
@@ -66,8 +67,8 @@ pub mod uniformity;
 
 pub use api::{
     plan_for, run_analyses, run_analyses_with_plan, Analysis, AnalysisKind, BudgetSpec,
-    ClosenessL2, IdentityL2, Learn, LedgerEntry, Monitor, MonitorBuilder, Monotone, Report,
-    SamplePlan, Session, TestL1, TestL2, Uniformity, WindowReport,
+    ClosenessL2, Engine, EngineBuilder, IdentityL2, Learn, LedgerEntry, Monitor, MonitorBuilder,
+    MonitorState, Monotone, Report, SamplePlan, Session, TestL1, TestL2, Uniformity, WindowReport,
 };
 pub use compress::compress_to_k;
 pub use cost::{CostOracle, ExactCostOracle, SampleCostOracle};

@@ -1,5 +1,6 @@
 //! The push-based front door: a long-lived [`Monitor`] over a live record
-//! stream.
+//! stream, split into a pure per-stream state machine ([`MonitorState`])
+//! and a thin reporting shell ([`Monitor`]).
 //!
 //! [`Session`](crate::api::Session) is pull-based and one-shot: every
 //! answer draws fresh samples through a
@@ -17,6 +18,19 @@
 //!                              └──▶ drift Report (ℓ₂ closeness vs the
 //!                                   newest disjoint earlier window)
 //! ```
+//!
+//! # Two layers
+//!
+//! * [`MonitorState`] is the I/O-free state machine: windowing, frozen-lane
+//!   bookkeeping, drift baselines, and the deterministic window→report
+//!   computation. It owns no channels, no files, no clocks beyond the
+//!   per-report wall timers (which [`Report`] equality ignores) — a
+//!   `MonitorState` is a pure function of the records pushed into it and
+//!   its seed, which is what makes it safe to farm out to worker threads.
+//!   The keyed multi-stream [`Engine`](crate::engine::Engine) owns one
+//!   `MonitorState` per stream across a pool of shards.
+//! * [`Monitor`] is the single-stream shell callers use directly: it wraps
+//!   one state and accumulates the cumulative sample [`ledger`](Monitor::ledger).
 //!
 //! The monitor is configured once with a *standing batch* of
 //! [`Analysis`] requests; their shared [`SamplePlan`] shapes the sink's
@@ -69,11 +83,12 @@
 //! assert!(windows[1].drift.is_some(), "second window is compared to the first");
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use khist_dist::DistError;
 use khist_oracle::{
-    SampleSet, SampleSink, Window, WindowSnapshot, WindowedSink,
+    SampleSet, SampleSink, SinkShape, Window, WindowSnapshot, WindowedSink,
 };
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -90,7 +105,12 @@ pub use khist_oracle::window_seed;
 /// against the previous window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
-    /// Window id (0-based).
+    /// The stream this window belongs to: `None` for a plain single-stream
+    /// [`Monitor`], the stream key for reports emitted by the keyed
+    /// multi-stream [`Engine`](crate::engine::Engine) (or a monitor tagged
+    /// via [`MonitorBuilder::stream`]).
+    pub stream: Option<String>,
+    /// Window id (0-based, per stream).
     pub window: u64,
     /// Global index of the window's first record (inclusive).
     pub start: u64,
@@ -138,6 +158,13 @@ impl WindowReport {
 impl Serialize for WindowReport {
     fn serialize(&self) -> Value {
         Value::map([
+            (
+                "stream",
+                match &self.stream {
+                    None => Value::Null,
+                    Some(s) => Value::Str(s.clone()),
+                },
+            ),
             ("window", self.window.serialize()),
             ("start", self.start.serialize()),
             ("end", self.end.serialize()),
@@ -160,7 +187,17 @@ impl Deserialize for WindowReport {
                 .get(key)
                 .ok_or_else(|| SerdeError::new(format!("window report missing field '{key}'")))
         };
+        // `stream` is optional for backward compatibility with pre-engine
+        // JSONL captures, which had no stream tag.
+        let stream = match value.get("stream") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(SerdeError::new(format!("bad stream tag {other:?}")));
+            }
+        };
         Ok(WindowReport {
+            stream,
             window: u64::deserialize(req("window")?)?,
             start: u64::deserialize(req("start")?)?,
             end: u64::deserialize(req("end")?)?,
@@ -175,6 +212,9 @@ impl Deserialize for WindowReport {
 
 impl std::fmt::Display for WindowReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(stream) = &self.stream {
+            write!(f, "[{stream}] ")?;
+        }
         write!(
             f,
             "window {} [{}, {}){}: {} seen, {} kept",
@@ -195,7 +235,8 @@ impl std::fmt::Display for WindowReport {
     }
 }
 
-/// Configures a [`Monitor`]; obtained from [`Monitor::builder`].
+/// Configures a [`Monitor`] (or a bare [`MonitorState`]); obtained from
+/// [`Monitor::builder`].
 #[derive(Debug, Clone)]
 pub struct MonitorBuilder {
     n: usize,
@@ -203,6 +244,7 @@ pub struct MonitorBuilder {
     window: Window,
     analyses: Vec<Analysis>,
     drift_eps: f64,
+    stream: Option<String>,
 }
 
 impl MonitorBuilder {
@@ -254,54 +296,90 @@ impl MonitorBuilder {
         self
     }
 
-    /// Builds the monitor: resolves the standing batch into a plan and
-    /// shapes the window sink's lanes from it.
-    pub fn build(self) -> Result<Monitor, DistError> {
-        if self.analyses.is_empty() {
-            return Err(DistError::BadParameter {
-                reason: "monitor needs at least one standing analysis — the batch's sample \
-                         plan sizes the window's reservoir lanes"
-                    .into(),
-            });
-        }
-        if !(self.drift_eps > 0.0 && self.drift_eps < 1.0) {
-            return Err(DistError::BadParameter {
-                reason: format!("drift ε = {} must lie in (0, 1)", self.drift_eps),
-            });
-        }
-        let plan = plan_for(&self.analyses, self.n)?;
-        plan.total_samples()?;
-        let sink = WindowedSink::new(
-            self.n,
+    /// Tags every emitted [`WindowReport`] with a stream label. The keyed
+    /// [`Engine`](crate::engine::Engine) tags its per-stream reports with
+    /// the stream key; setting the same label here makes a dedicated
+    /// single-stream monitor's reports bit-identical to the engine's —
+    /// which is exactly how the sharding-is-semantics-free property is
+    /// tested.
+    pub fn stream(mut self, label: impl Into<String>) -> Self {
+        self.stream = Some(label.into());
+        self
+    }
+
+    /// Builds the bare state machine: resolves the standing batch into a
+    /// plan and shapes the window sink's lanes from it. Prefer
+    /// [`build`](MonitorBuilder::build) unless you are managing many
+    /// states yourself (as the [`Engine`](crate::engine::Engine) does).
+    pub fn build_state(self) -> Result<MonitorState, DistError> {
+        let (plan, shape) = resolve_config(self.n, self.window, &self.analyses, self.drift_eps)?;
+        Ok(MonitorState::from_parts(
+            &shape,
             self.seed,
-            self.window,
-            plan.main(),
-            plan.r(),
-            plan.m(),
-        )?;
-        Ok(Monitor {
-            n: self.n,
-            seed: self.seed,
-            analyses: self.analyses,
+            Arc::new(self.analyses),
             plan,
-            drift_eps: self.drift_eps,
-            sink,
-            baselines: std::collections::VecDeque::new(),
+            self.drift_eps,
+            self.stream,
+        ))
+    }
+
+    /// Builds the monitor (the reporting shell around
+    /// [`build_state`](MonitorBuilder::build_state)).
+    pub fn build(self) -> Result<Monitor, DistError> {
+        Ok(Monitor {
+            state: self.build_state()?,
             ledger: Vec::new(),
-            emitted: 0,
         })
     }
 }
 
-/// A long-lived, push-based analysis pipeline over a record stream — the
-/// streaming peer of [`Session`](crate::api::Session). See the [module
-/// docs](self) for the data flow and determinism contract.
-pub struct Monitor {
+/// Validates a monitor/engine configuration and resolves its shared
+/// parts: the standing batch's [`SamplePlan`] and the window sink's
+/// [`SinkShape`]. One implementation serves [`MonitorBuilder`] and the
+/// [`EngineBuilder`](crate::engine::EngineBuilder), so the two front
+/// doors can never drift apart on what counts as a valid configuration.
+pub(crate) fn resolve_config(
+    n: usize,
+    window: Window,
+    analyses: &[Analysis],
+    drift_eps: f64,
+) -> Result<(SamplePlan, SinkShape), DistError> {
+    if analyses.is_empty() {
+        return Err(DistError::BadParameter {
+            reason: "a standing batch needs at least one analysis — its sample plan sizes \
+                     the window's reservoir lanes"
+                .into(),
+        });
+    }
+    if !(drift_eps > 0.0 && drift_eps < 1.0) {
+        return Err(DistError::BadParameter {
+            reason: format!("drift ε = {drift_eps} must lie in (0, 1)"),
+        });
+    }
+    let plan = plan_for(analyses, n)?;
+    plan.total_samples()?;
+    let shape = SinkShape::new(n, window, plan.main(), plan.r(), plan.m())?;
+    Ok((plan, shape))
+}
+
+/// The pure, I/O-free per-stream state machine behind [`Monitor`]:
+/// windowing, frozen-lane bookkeeping, drift baselines, and the
+/// deterministic window→report computation.
+///
+/// A `MonitorState` talks to nothing but its own memory — no files,
+/// sockets or channels — so a pool of them can be processed on worker
+/// threads with no coordination beyond ownership (the
+/// [`Engine`](crate::engine::Engine) does exactly that, one state per
+/// stream key). Ledger entries produced while reporting accumulate
+/// internally until [`drain_ledger`](MonitorState::drain_ledger) collects
+/// them; the single-stream [`Monitor`] shell drains after every call.
+pub struct MonitorState {
     n: usize,
     seed: u64,
-    analyses: Vec<Analysis>,
+    analyses: Arc<Vec<Analysis>>,
     plan: SamplePlan,
     drift_eps: f64,
+    stream: Option<String>,
     sink: WindowedSink,
     /// Recently completed windows (`(id, end, merged sample)`, oldest
     /// first) — drift baselines. The closeness statistic assumes the two
@@ -313,22 +391,35 @@ pub struct Monitor {
     /// windows the previous window is already disjoint, so this reduces
     /// to comparing consecutive windows.
     baselines: std::collections::VecDeque<(u64, u64, SampleSet)>,
-    ledger: Vec<LedgerEntry>,
+    /// Ledger entries not yet drained by the owning shell.
+    pending_ledger: Vec<LedgerEntry>,
     emitted: u64,
 }
 
-impl Monitor {
-    /// Starts configuring a monitor over the domain `[0, n)`. The domain
-    /// must be declared up front — a push stream cannot be pre-scanned the
-    /// way [`Session::open_records`](crate::api::Session::open_records)
-    /// scans a file.
-    pub fn builder(n: usize) -> MonitorBuilder {
-        MonitorBuilder {
-            n,
-            seed: 0,
-            window: Window::Tumbling { span: 100_000 },
-            analyses: Vec::new(),
-            drift_eps: 0.25,
+impl MonitorState {
+    /// Assembles a state from already-validated shared parts. The
+    /// [`Engine`](crate::engine::Engine) validates once and stamps out one
+    /// state per stream key from a shared [`SinkShape`] / analysis batch;
+    /// [`MonitorBuilder::build_state`] is the validating public entry.
+    pub(crate) fn from_parts(
+        shape: &SinkShape,
+        seed: u64,
+        analyses: Arc<Vec<Analysis>>,
+        plan: SamplePlan,
+        drift_eps: f64,
+        stream: Option<String>,
+    ) -> Self {
+        MonitorState {
+            n: shape.domain_size(),
+            seed,
+            analyses,
+            plan,
+            drift_eps,
+            stream,
+            sink: shape.sink(seed),
+            baselines: std::collections::VecDeque::new(),
+            pending_ledger: Vec::new(),
+            emitted: 0,
         }
     }
 
@@ -337,9 +428,14 @@ impl Monitor {
         self.n
     }
 
-    /// The monitor's base seed.
+    /// The state's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The stream label stamped on every emitted report.
+    pub fn stream(&self) -> Option<&str> {
+        self.stream.as_deref()
     }
 
     /// Total records ingested so far.
@@ -367,12 +463,11 @@ impl Monitor {
         self.sink.window()
     }
 
-    /// The cumulative ledger across all windows and on-demand snapshots:
-    /// one `"draw"` entry per frozen window (samples = the window's kept
-    /// samples — the engine touched nothing beyond the freeze) followed by
-    /// the per-analysis spends.
-    pub fn ledger(&self) -> &[LedgerEntry] {
-        &self.ledger
+    /// Removes and returns the ledger entries accumulated since the last
+    /// drain (one `"draw"` per frozen window followed by the per-analysis
+    /// spends).
+    pub fn drain_ledger(&mut self) -> Vec<LedgerEntry> {
+        std::mem::take(&mut self.pending_ledger)
     }
 
     /// Ingests a batch of records in arrival order, reporting every window
@@ -405,6 +500,7 @@ impl Monitor {
         let snap = self.sink.snapshot();
         if snap.seen > 0 {
             let counts_only = WindowReport {
+                stream: self.stream.clone(),
                 window: snap.window,
                 start: snap.start,
                 end: snap.end,
@@ -434,7 +530,7 @@ impl Monitor {
             0,
             "a snapshot must consume exactly the frozen window"
         );
-        self.ledger.extend(ledger);
+        self.pending_ledger.extend(ledger);
         Ok(reports)
     }
 
@@ -489,7 +585,7 @@ impl Monitor {
             0,
             "a window report must consume exactly the frozen window"
         );
-        self.ledger.extend(ledger);
+        self.pending_ledger.extend(ledger);
         let current = snap.merged();
         let drift = match self.disjoint_baseline(snap.start) {
             Some(baseline) if baseline.total() >= 2 && current.total() >= 2 => {
@@ -505,6 +601,7 @@ impl Monitor {
             self.emitted += 1;
         }
         Ok(WindowReport {
+            stream: self.stream.clone(),
             window: snap.window,
             start: snap.start,
             end: snap.end,
@@ -544,15 +641,137 @@ impl Monitor {
     }
 }
 
-impl std::fmt::Debug for Monitor {
+impl std::fmt::Debug for MonitorState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Monitor")
+        f.debug_struct("MonitorState")
             .field("domain_size", &self.n)
             .field("seed", &self.seed)
+            .field("stream", &self.stream)
             .field("window", &self.sink.window())
             .field("standing_analyses", &self.analyses.len())
             .field("seen", &self.sink.seen())
             .field("windows", &self.emitted)
+            .finish()
+    }
+}
+
+/// A long-lived, push-based analysis pipeline over a record stream — the
+/// streaming peer of [`Session`](crate::api::Session). See the [module
+/// docs](self) for the data flow and determinism contract.
+///
+/// `Monitor` is a thin reporting shell over [`MonitorState`]: the state
+/// machine does the windowing and per-window analysis, the shell
+/// accumulates the cumulative sample [`ledger`](Monitor::ledger) across
+/// calls.
+pub struct Monitor {
+    state: MonitorState,
+    ledger: Vec<LedgerEntry>,
+}
+
+impl Monitor {
+    /// Starts configuring a monitor over the domain `[0, n)`. The domain
+    /// must be declared up front — a push stream cannot be pre-scanned the
+    /// way [`Session::open_records`](crate::api::Session::open_records)
+    /// scans a file.
+    pub fn builder(n: usize) -> MonitorBuilder {
+        MonitorBuilder {
+            n,
+            seed: 0,
+            window: Window::Tumbling { span: 100_000 },
+            analyses: Vec::new(),
+            drift_eps: 0.25,
+            stream: None,
+        }
+    }
+
+    /// Domain size records must lie in.
+    pub fn domain_size(&self) -> usize {
+        self.state.domain_size()
+    }
+
+    /// The monitor's base seed.
+    pub fn seed(&self) -> u64 {
+        self.state.seed()
+    }
+
+    /// Total records ingested so far.
+    pub fn seen(&self) -> u64 {
+        self.state.seen()
+    }
+
+    /// Completed windows reported so far.
+    pub fn windows(&self) -> u64 {
+        self.state.windows()
+    }
+
+    /// The standing batch.
+    pub fn analyses(&self) -> &[Analysis] {
+        self.state.analyses()
+    }
+
+    /// The shared plan shaping every window's lanes.
+    pub fn plan(&self) -> SamplePlan {
+        self.state.plan()
+    }
+
+    /// The configured window policy.
+    pub fn window(&self) -> Window {
+        self.state.window()
+    }
+
+    /// The cumulative ledger across all windows and on-demand snapshots:
+    /// one `"draw"` entry per frozen window (samples = the window's kept
+    /// samples — the engine touched nothing beyond the freeze) followed by
+    /// the per-analysis spends.
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
+    /// Collects the state's pending ledger into the cumulative one, even
+    /// when the call that produced it failed part-way.
+    fn settle<T>(&mut self, result: Result<T, DistError>) -> Result<T, DistError> {
+        self.ledger.extend(self.state.drain_ledger());
+        result
+    }
+
+    /// Ingests a batch of records in arrival order, reporting every window
+    /// that completed during the batch. See [`MonitorState::ingest`].
+    pub fn ingest(&mut self, records: &[usize]) -> Result<Vec<WindowReport>, DistError> {
+        let result = self.state.ingest(records);
+        self.settle(result)
+    }
+
+    /// Reports any still-unreported data: completed-but-uncollected
+    /// windows, then the current partial window (when it holds records).
+    /// See [`MonitorState::flush`].
+    pub fn flush(&mut self) -> Result<Vec<WindowReport>, DistError> {
+        let result = self.state.flush();
+        self.settle(result)
+    }
+
+    /// Answers an on-demand batch from the *current* (possibly partial)
+    /// window. See [`MonitorState::snapshot`].
+    pub fn snapshot(&mut self, analyses: &[Analysis]) -> Result<Vec<Report>, DistError> {
+        let result = self.state.snapshot(analyses);
+        self.settle(result)
+    }
+
+    /// `ℓ₂` closeness of the current window's sample against the newest
+    /// disjoint completed window's. See [`MonitorState::drift`].
+    pub fn drift(&self) -> Result<Report, DistError> {
+        self.state.drift()
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("domain_size", &self.state.domain_size())
+            .field("seed", &self.state.seed())
+            .field("window", &self.state.window())
+            .field("standing_analyses", &self.state.analyses().len())
+            .field("seen", &self.state.seen())
+            .field("windows", &self.state.windows())
             .finish()
     }
 }
@@ -770,6 +989,40 @@ mod tests {
     }
 
     #[test]
+    fn stream_tag_flows_into_reports_and_json() {
+        let mut monitor = Monitor::builder(64)
+            .seed(13)
+            .stream("tenant-7")
+            .tumbling(2_000)
+            .analyses(vec![Uniformity::eps(0.3).scale(0.5).into()])
+            .build()
+            .unwrap();
+        let mut windows = monitor.ingest(&events(64, 2_500, 5)).unwrap();
+        windows.extend(monitor.flush().unwrap());
+        assert_eq!(windows.len(), 2);
+        for window in &windows {
+            assert_eq!(window.stream.as_deref(), Some("tenant-7"));
+            let json = window.to_json();
+            assert!(json.contains("\"stream\":\"tenant-7\""), "{json}");
+            assert_eq!(&WindowReport::from_json(&json).unwrap(), window);
+            assert!(window.to_string().starts_with("[tenant-7] "));
+        }
+        // Untagged monitors serialize a null stream and omit the prefix,
+        // and pre-engine JSON without the field still parses.
+        let mut untagged = Monitor::builder(64)
+            .seed(13)
+            .tumbling(2_000)
+            .analyses(vec![Uniformity::eps(0.3).scale(0.5).into()])
+            .build()
+            .unwrap();
+        let window = untagged.ingest(&events(64, 2_000, 5)).unwrap().pop().unwrap();
+        let json = window.to_json();
+        assert!(json.contains("\"stream\":null"), "{json}");
+        let legacy = json.replacen("\"stream\":null,", "", 1);
+        assert_eq!(WindowReport::from_json(&legacy).unwrap(), window);
+    }
+
+    #[test]
     fn sliding_monitor_emits_every_step() {
         let mut monitor = Monitor::builder(64)
             .seed(2)
@@ -790,5 +1043,35 @@ mod tests {
         assert!(windows[..4].iter().all(|w| w.drift.is_none()));
         assert!(windows[4].drift.is_some());
         assert!(windows[5].drift.is_some());
+    }
+
+    #[test]
+    fn state_machine_is_usable_bare() {
+        // The engine's view: a bare MonitorState with a manually drained
+        // ledger behaves exactly like the shell.
+        let mut state = Monitor::builder(64)
+            .seed(5)
+            .tumbling(2_000)
+            .analyses(standing())
+            .build_state()
+            .unwrap();
+        let windows = state.ingest(&events(64, 4_500, 1)).unwrap();
+        assert_eq!(windows.len(), 2);
+        let ledger = state.drain_ledger();
+        assert_eq!(ledger.len(), 2 * (1 + standing().len()));
+        assert!(state.drain_ledger().is_empty(), "drain empties the buffer");
+        let mut shell = Monitor::builder(64)
+            .seed(5)
+            .tumbling(2_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let shell_windows = shell.ingest(&events(64, 4_500, 1)).unwrap();
+        assert_eq!(windows, shell_windows);
+        // Ledger entries match up to wall time (which varies run to run).
+        let spend = |l: &[LedgerEntry]| -> Vec<(String, usize)> {
+            l.iter().map(|e| (e.label.clone(), e.samples)).collect()
+        };
+        assert_eq!(spend(&ledger), spend(shell.ledger()));
     }
 }

@@ -19,22 +19,17 @@
 
 use khist_dist::Interval;
 
-use crate::sample_set::SampleSet;
-
-#[inline]
-fn choose2(c: u64) -> f64 {
-    (c as f64) * (c.saturating_sub(1) as f64) / 2.0
-}
+use crate::sample_set::{choose2, SampleSet};
 
 /// Absolute estimator `coll(S_I) / C(m, 2)` of `Σ_{i∈I} p_i²` (Lemma 1).
 ///
 /// Returns `0.0` when the set has fewer than two samples (no pairs exist).
 pub fn absolute_collision_estimate(set: &SampleSet, iv: Interval) -> f64 {
     let pairs = choose2(set.total());
-    if pairs == 0.0 {
+    if pairs == 0 {
         return 0.0;
     }
-    set.collisions_in(iv) as f64 / pairs
+    set.collisions_in(iv) as f64 / pairs as f64
 }
 
 /// Conditional estimator `coll(S_I) / C(|S_I|, 2)` of `‖p_I‖₂²`
@@ -44,7 +39,7 @@ pub fn conditional_collision_estimate(set: &SampleSet, iv: Interval) -> Option<f
     if hits < 2 {
         return None;
     }
-    Some(set.collisions_in(iv) as f64 / choose2(hits))
+    Some(set.collisions_in(iv) as f64 / choose2(hits) as f64)
 }
 
 /// Median over the defined values of an iterator; `None` when all are `None`.

@@ -80,8 +80,11 @@ pub trait SampleOracle {
 /// base seed and the stream index). Stream `i` of a given oracle always
 /// maps to the same RNG state, independent of thread scheduling. Shared
 /// with the push-based [`crate::sink`] layer, whose lanes must consume the
-/// same seed streams as the pull backends for push≡pull bit-identity.
-pub(crate) fn stream_seed(base: u64, stream: u64) -> u64 {
+/// same seed streams as the pull backends for push≡pull bit-identity, and
+/// with the keyed multi-stream engine in `khist-core`, which derives each
+/// stream's seed as `stream_seed(base_seed, hash(key))` so a sharded run
+/// stays bit-identical per stream to a dedicated single-stream monitor.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
     let mut z = base ^ stream.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -101,9 +104,11 @@ const PARALLEL_DRAW_THRESHOLD: usize = 1 << 13;
 /// (re-streamed from a file) or *pushed* (ingested as they arrive) — this
 /// enum is the single implementation both paths use, so push≡pull
 /// bit-identity holds by construction rather than by parallel maintenance
-/// of two copies of the logic.
+/// of two copies of the logic. It is public so higher layers that own
+/// many streams at once (one router per stream, reused across windows)
+/// can route with exactly the same rules as the built-in backends.
 #[derive(Debug, Clone)]
-pub(crate) enum LaneRouter {
+pub enum LaneRouter {
     /// Every record to lane 0 (the shape of a lone `draw_set`).
     Single,
     /// Record `t` to lane `t mod lanes` (the shape of `draw_sets`:
@@ -126,7 +131,7 @@ pub(crate) enum LaneRouter {
 
 impl LaneRouter {
     /// Builds the weighted router over `sizes` with its assignment stream.
-    pub(crate) fn weighted(sizes: &[usize], assign: StdRng) -> Self {
+    pub fn weighted(sizes: &[usize], assign: StdRng) -> Self {
         let cum: Vec<u64> = sizes
             .iter()
             .scan(0u64, |acc, &m| {
@@ -139,7 +144,7 @@ impl LaneRouter {
     }
 
     /// The lane record `t` (0-based within the stream) is routed to.
-    pub(crate) fn lane_of(&mut self, t: u64) -> usize {
+    pub fn lane_of(&mut self, t: u64) -> usize {
         match self {
             LaneRouter::Single => 0,
             LaneRouter::RoundRobin { lanes } => (t % *lanes) as usize,

@@ -28,8 +28,15 @@ pub struct SampleSet {
     pair_prefix: Vec<u64>,
 }
 
+/// `C(c, 2) = c·(c−1)/2` — the number of unordered pairs among `c`
+/// identical samples, i.e. the collisions one value with multiplicity `c`
+/// contributes. Total (`0` for `c < 2`).
+///
+/// This is the single collision-count kernel shared by [`SampleSet`]'s
+/// pair prefix sums and the estimators in [`crate::collision`], so the
+/// two layers can never disagree on what "a collision" is.
 #[inline]
-fn choose2(c: u64) -> u64 {
+pub fn choose2(c: u64) -> u64 {
     c * (c.saturating_sub(1)) / 2
 }
 
@@ -227,6 +234,23 @@ mod tests {
             }
         }
         coll
+    }
+
+    #[test]
+    fn choose2_matches_pair_enumeration() {
+        assert_eq!(choose2(0), 0);
+        assert_eq!(choose2(1), 0);
+        assert_eq!(choose2(2), 1);
+        assert_eq!(choose2(3), 3);
+        assert_eq!(choose2(4), 6);
+        // Naive check: count pairs (i, j) with i < j < c.
+        for c in 0u64..50 {
+            let mut pairs = 0;
+            for i in 0..c {
+                pairs += c - 1 - i;
+            }
+            assert_eq!(choose2(c), pairs, "c = {c}");
+        }
     }
 
     #[test]

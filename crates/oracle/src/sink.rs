@@ -207,29 +207,29 @@ enum LaneKind {
     Weighted,
 }
 
-/// The [`SampleSink`] implementation: plan-shaped reservoir lanes behind
-/// tumbling or sliding windows. See the [module docs](self) for the
-/// push≡pull bit-identity contract.
-#[derive(Debug, Clone)]
-pub struct WindowedSink {
+/// The validated lane shape of a [`WindowedSink`] — everything about a
+/// sink *except* its seed and live state.
+///
+/// Validation (domain, window policy, lane sizes) happens once in
+/// [`SinkShape::new`]; [`SinkShape::sink`] then stamps out a sink for any
+/// seed without re-checking or re-deriving anything. A process that owns
+/// thousands of keyed streams with identical configuration — the
+/// multi-stream engine in `khist-core` — shares one shape across all of
+/// them and pays only a `Vec` clone per stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkShape {
     n: usize,
-    seed: u64,
     window: Window,
     sizes: Vec<usize>,
     kind: LaneKind,
-    panes: VecDeque<Pane>,
-    seen: u64,
-    next_pane_id: u64,
-    next_window_id: u64,
-    completed: VecDeque<WindowSnapshot>,
 }
 
-impl WindowedSink {
-    /// Builds a sink over domain `[0, n)` whose lanes match the draw a
-    /// `SamplePlan { main, r, m }` would issue: one lane of `main` (when
-    /// `r == 0`), `r` round-robin lanes of `m` (when `main == 0`), or a
-    /// weighted `main` lane plus `r` lanes of `m` (both positive) —
-    /// exactly the three entry points of the pull seam
+impl SinkShape {
+    /// Validates a sink configuration over domain `[0, n)` whose lanes
+    /// match the draw a `SamplePlan { main, r, m }` would issue: one lane
+    /// of `main` (when `r == 0`), `r` round-robin lanes of `m` (when
+    /// `main == 0`), or a weighted `main` lane plus `r` lanes of `m`
+    /// (both positive) — exactly the three entry points of the pull seam
     /// ([`draw_set`](crate::SampleOracle::draw_set) /
     /// [`draw_sets`](crate::SampleOracle::draw_sets) /
     /// [`draw_batch`](crate::SampleOracle::draw_batch)).
@@ -239,7 +239,6 @@ impl WindowedSink {
     /// retains no samples.
     pub fn new(
         n: usize,
-        seed: u64,
         window: Window,
         main: usize,
         r: usize,
@@ -275,18 +274,77 @@ impl WindowedSink {
             sizes.resize(r + 1, m);
             (LaneKind::Weighted, sizes)
         };
-        Ok(WindowedSink {
+        Ok(SinkShape {
             n,
-            seed,
             window,
             sizes,
             kind,
+        })
+    }
+
+    /// Domain size records must lie in.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// The window policy.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Lane capacities in draw order (`[main?, m, m, …]`).
+    pub fn lane_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Stamps out an empty sink of this shape seeded with `seed` — the
+    /// cheap per-stream constructor (no re-validation).
+    pub fn sink(&self, seed: u64) -> WindowedSink {
+        WindowedSink {
+            n: self.n,
+            seed,
+            window: self.window,
+            sizes: self.sizes.clone(),
+            kind: self.kind,
             panes: VecDeque::new(),
             seen: 0,
             next_pane_id: 0,
             next_window_id: 0,
             completed: VecDeque::new(),
-        })
+        }
+    }
+}
+
+/// The [`SampleSink`] implementation: plan-shaped reservoir lanes behind
+/// tumbling or sliding windows. See the [module docs](self) for the
+/// push≡pull bit-identity contract.
+#[derive(Debug, Clone)]
+pub struct WindowedSink {
+    n: usize,
+    seed: u64,
+    window: Window,
+    sizes: Vec<usize>,
+    kind: LaneKind,
+    panes: VecDeque<Pane>,
+    seen: u64,
+    next_pane_id: u64,
+    next_window_id: u64,
+    completed: VecDeque<WindowSnapshot>,
+}
+
+impl WindowedSink {
+    /// Builds a sink over domain `[0, n)`: sugar for
+    /// [`SinkShape::new`]`(…)?.`[`sink`](SinkShape::sink)`(seed)`. See
+    /// [`SinkShape::new`] for the lane-shape contract and failure modes.
+    pub fn new(
+        n: usize,
+        seed: u64,
+        window: Window,
+        main: usize,
+        r: usize,
+        m: usize,
+    ) -> Result<Self, DistError> {
+        Ok(SinkShape::new(n, window, main, r, m)?.sink(seed))
     }
 
     /// The configured window policy.
@@ -633,6 +691,28 @@ mod tests {
         assert_eq!(served, window.lanes[0]);
         assert_eq!(replay.remaining(), 2);
         assert_eq!(replay.replayed(), 1);
+    }
+
+    #[test]
+    fn shape_stamps_out_identical_sinks_cheaply() {
+        // One validated shape, many per-stream sinks: a sink stamped from
+        // a shape must behave bit-identically to one built directly.
+        let shape = SinkShape::new(32, Window::Tumbling { span: 200 }, 30, 2, 10).unwrap();
+        assert_eq!(shape.domain_size(), 32);
+        assert_eq!(shape.lane_sizes(), &[30, 10, 10]);
+        let records = stream(450, 32);
+        for seed in [1u64, 7, 999] {
+            let mut stamped = shape.sink(seed);
+            let mut direct =
+                WindowedSink::new(32, seed, Window::Tumbling { span: 200 }, 30, 2, 10).unwrap();
+            stamped.push_all(&records).unwrap();
+            direct.push_all(&records).unwrap();
+            assert_eq!(stamped.drain_completed(), direct.drain_completed());
+            assert_eq!(stamped.snapshot(), direct.snapshot());
+        }
+        // Shape validation rejects the same degenerate configs as the sink.
+        assert!(SinkShape::new(0, Window::Tumbling { span: 10 }, 5, 0, 0).is_err());
+        assert!(SinkShape::new(8, Window::Tumbling { span: 10 }, 0, 0, 0).is_err());
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! human rendering for the serde [`Report`] JSON.
 
 use khist_core::api::{
-    run_analyses, Analysis, AnalysisKind, Learn, LedgerEntry, Monitor, Monotone, Report, TestL1,
-    TestL2, Uniformity, WindowReport,
+    run_analyses, Analysis, AnalysisKind, Engine, Learn, LedgerEntry, Monitor, Monotone, Report,
+    TestL1, TestL2, Uniformity, WindowReport,
 };
 use khist_core::monotone::monotonicity_budget;
 use khist_core::uniformity::UniformityBudget;
@@ -110,6 +110,11 @@ pub enum Command {
         runs: Vec<String>,
         /// Emit one JSON object per window (JSONL) instead of human text.
         json: bool,
+        /// Which of the two whitespace-separated fields per line is the
+        /// stream key (`None` = un-keyed single-stream input).
+        key_field: Option<usize>,
+        /// Worker shards stream keys are hashed onto (`1` = unsharded).
+        shards: usize,
     },
     /// Print summary statistics of the file's empirical distribution.
     Summarize {
@@ -139,6 +144,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut every = 100_000u64;
     let mut window = "tumbling".to_string();
     let mut runs: Vec<String> = vec!["learn".into(), "l2".into(), "uniformity".into()];
+    let mut key_field: Option<usize> = None;
+    let mut shards = 1usize;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--k" => k = next_parsed(&mut it, "--k")?,
@@ -149,6 +156,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 every = next_parsed(&mut it, "--every")?;
                 if every == 0 {
                     return Err("--every must be positive".into());
+                }
+            }
+            "--key-field" => {
+                let field: usize = next_parsed(&mut it, "--key-field")?;
+                if field > 1 {
+                    return Err(format!(
+                        "--key-field must be 0 or 1 (keyed records carry exactly two \
+                         whitespace-separated fields per line), got {field}"
+                    ));
+                }
+                key_field = Some(field);
+            }
+            "--shards" => {
+                shards = next_parsed(&mut it, "--shards")?;
+                if shards == 0 {
+                    return Err("--shards must be positive (1 = unsharded)".into());
                 }
             }
             "--json" => json = true,
@@ -214,17 +237,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             json,
             runs,
         }),
-        "watch" => Ok(Command::Watch {
-            path: need_path(path)?,
-            k,
-            eps,
-            n,
-            seed,
-            every,
-            window,
-            runs,
-            json,
-        }),
+        "watch" => {
+            if shards > 1 && key_field.is_none() {
+                return Err(
+                    "--shards needs --key-field: sharding distributes keyed streams, and \
+                     un-keyed input is a single stream"
+                        .into(),
+                );
+            }
+            Ok(Command::Watch {
+                path: need_path(path)?,
+                k,
+                eps,
+                n,
+                seed,
+                every,
+                window,
+                runs,
+                json,
+                key_field,
+                shards,
+            })
+        }
         "summarize" => Ok(Command::Summarize {
             path: need_path(path)?,
             n,
@@ -537,6 +571,12 @@ pub struct WatchOptions {
     pub runs: Vec<String>,
     /// Emit JSONL instead of human text.
     pub json: bool,
+    /// Keyed input: which of the two whitespace-separated fields per line
+    /// is the stream key (`None` = un-keyed single-stream input).
+    pub key_field: Option<usize>,
+    /// Worker shards stream keys are hashed onto (`1` = unsharded; only
+    /// meaningful with `key_field`).
+    pub shards: usize,
 }
 
 /// How many steps a sliding `khist watch` window covers.
@@ -567,6 +607,9 @@ pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
 ) -> Result<String, String> {
     if opts.n == 0 {
         return Err("watch needs a declared domain (--n)".into());
+    }
+    if let Some(field) = opts.key_field {
+        return run_watch_keyed(input, out, opts, field);
     }
     let span = if opts.sliding {
         opts.every
@@ -645,6 +688,136 @@ pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
     ))
 }
 
+/// Parses one keyed record line (`key value` or `value key`, whitespace
+/// separated): `Ok(None)` for blanks and `#` comments, a line-numbered
+/// error for un-keyed lines (a single field), extra fields, or a
+/// non-integer value field.
+fn parse_keyed_record(
+    line: &str,
+    lineno: usize,
+    field: usize,
+) -> Result<Option<(String, usize)>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 2 {
+        return Err(format!(
+            "line {lineno}: --key-field {field} needs keyed records (key and value per \
+             line), but this input is un-keyed: {trimmed}"
+        ));
+    }
+    if fields.len() > 2 {
+        return Err(format!(
+            "line {lineno}: keyed records carry exactly two fields (key and value), got \
+             {}: {trimmed}",
+            fields.len()
+        ));
+    }
+    let key = fields[field];
+    let value_text = fields[1 - field];
+    let value: usize = value_text
+        .parse()
+        .map_err(|_| format!("line {lineno}: not an integer record: {value_text}"))?;
+    Ok(Some((key.to_string(), value)))
+}
+
+/// The keyed flavour of [`run_watch`]: demultiplexes `key value` lines
+/// onto a sharded [`Engine`] (one [`Monitor`]-equivalent state machine
+/// per stream key) and emits every stream's window reports as they
+/// complete, tagged by stream. Per-stream output is bit-identical for
+/// every `--shards` value; the interleaving is deterministic (sorted by
+/// stream, then window, within each ingested chunk).
+fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
+    input: R,
+    out: &mut W,
+    opts: &WatchOptions,
+    field: usize,
+) -> Result<String, String> {
+    let span = if opts.sliding {
+        opts.every
+            .checked_mul(SLIDING_STEPS)
+            .ok_or_else(|| format!("--every {} overflows the sliding span", opts.every))?
+    } else {
+        opts.every
+    };
+    let batch = analyze_batch(opts.n, opts.k, opts.eps, span as usize, &opts.runs)?;
+    let mut builder = Engine::builder(opts.n)
+        .seed(opts.seed)
+        .shards(opts.shards)
+        .analyses(batch);
+    builder = if opts.sliding {
+        builder.sliding(span, opts.every)
+    } else {
+        builder.tumbling(span)
+    };
+    let mut engine = builder.build().map_err(fmt_err)?;
+
+    // `Ok(None)` means the consumer hung up (broken pipe) — a normal way
+    // to stop a streaming tool, not an error.
+    let emit = |out: &mut W, reports: Vec<WindowReport>| -> Result<Option<u64>, String> {
+        let mut windows = 0;
+        for report in reports {
+            let write = out
+                .write_all(render_window(&report, opts.json).as_bytes())
+                .and_then(|()| out.flush());
+            match write {
+                Ok(()) => windows += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(None),
+                Err(e) => return Err(fmt_err(e)),
+            }
+        }
+        Ok(Some(windows))
+    };
+
+    let mut windows = 0u64;
+    // Each chunk costs one scoped-thread round (spawn + join per busy
+    // shard), so the chunk must be big enough to amortize the handoff:
+    // scale it with the shard count so every worker gets thousands of
+    // records per round. Memory stays bounded (chunk × ~word-sized
+    // records), and report latency stays well under a window span.
+    let chunk = 4096 * opts.shards;
+    let mut buffer: Vec<(String, usize)> = Vec::with_capacity(chunk);
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
+        let Some(record) = parse_keyed_record(&line, lineno + 1, field)? else {
+            continue;
+        };
+        buffer.push(record);
+        if buffer.len() >= chunk {
+            let reports = engine.ingest_batch(&buffer).map_err(fmt_err)?;
+            buffer.clear();
+            match emit(out, reports)? {
+                Some(emitted) => windows += emitted,
+                None => return Ok(String::new()),
+            }
+        }
+    }
+    // Emit the final buffer's completed windows before flushing the tails,
+    // so a tail-flush failure can never lose an already-computed report.
+    let reports = engine.ingest_batch(&buffer).map_err(fmt_err)?;
+    match emit(out, reports)? {
+        Some(emitted) => windows += emitted,
+        None => return Ok(String::new()),
+    }
+    let tails = engine.flush().map_err(fmt_err)?;
+    match emit(out, tails)? {
+        Some(emitted) => windows += emitted,
+        None => return Ok(String::new()),
+    }
+    if opts.json {
+        return Ok(String::new());
+    }
+    Ok(format!(
+        "watched {} records from {} streams over {windows} windows on {} shard{}\n",
+        engine.seen(),
+        engine.streams(),
+        engine.shards(),
+        if engine.shards() == 1 { "" } else { "s" },
+    ))
+}
+
 /// Runs `summarize` and renders basic statistics.
 pub fn run_summarize(samples: &[usize], n_override: usize) -> Result<String, String> {
     let n = infer_domain(samples, n_override)?;
@@ -671,6 +844,7 @@ pub fn usage() -> &'static str {
      \x20 khist analyze   <records.txt> [--k K] [--eps E] [--n N] [--seed S] [--json]\n\
      \x20                 [--run learn,l1,l2,uniformity,monotone]\n\
      \x20 khist watch     <records.txt|-> [--every N] [--window tumbling|sliding]\n\
+     \x20                 [--key-field 0|1] [--shards N]\n\
      \x20                 [--k K] [--eps E] [--n N] [--seed S] [--json] [--run ...]\n\
      \x20 khist summarize <records.txt> [--n N]\n\
      \n\
@@ -687,7 +861,17 @@ pub fn usage() -> &'static str {
      batch plus an l2 drift check against the previous window. Sliding\n\
      windows cover 4 steps of N. Memory stays bounded by the sample\n\
      budget however long the stream runs; --json emits one JSON object\n\
-     per window (JSONL).\n"
+     per window (JSONL).\n\
+     \n\
+     keyed watch: with --key-field F (0 or 1), each line carries TWO\n\
+     whitespace-separated fields — a stream key and an integer record;\n\
+     field F is the key. Every key gets its own windows, reports and\n\
+     drift baseline (per-stream cadence, reports tagged \"stream\"), and\n\
+     --shards N (default 1, must be > 0) fans the streams across N worker\n\
+     shards. Per-stream output is bit-identical for every shard count.\n\
+     Keyed watch requires an explicit --n; --shards > 1 requires\n\
+     --key-field. Un-keyed (single-field) lines are rejected with their\n\
+     line number.\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
@@ -798,9 +982,17 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
             window,
             runs,
             json,
+            key_field,
+            shards,
         } => {
             let n = if n > 0 {
                 n
+            } else if key_field.is_some() {
+                return Err(
+                    "watch --key-field needs an explicit --n: keyed records cannot be \
+                     pre-scanned by the record-file oracle to infer their domain"
+                        .into(),
+                );
             } else if path == "-" {
                 return Err(
                     "watch - (stdin) needs an explicit --n: a live stream cannot be \
@@ -821,6 +1013,8 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
                 sliding: window == "sliding",
                 runs,
                 json,
+                key_field,
+                shards,
             };
             let stdout = std::io::stdout();
             if path == "-" {
@@ -985,6 +1179,8 @@ mod tests {
             sliding: false,
             runs: strings(&["learn", "l2", "uniformity"]),
             json: false,
+            key_field: None,
+            shards: 1,
         };
         let mut out = Vec::new();
         let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
@@ -1016,6 +1212,8 @@ mod tests {
             sliding: false,
             runs: strings(&["l2", "uniformity"]),
             json: true,
+            key_field: None,
+            shards: 1,
         };
         let mut out = Vec::new();
         let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
@@ -1043,6 +1241,8 @@ mod tests {
             sliding: false,
             runs: strings(&["uniformity"]),
             json: false,
+            key_field: None,
+            shards: 1,
         };
         let mut out = Vec::new();
         let err = run_watch("1\n2\n".as_bytes(), &mut out, &opts).unwrap_err();
@@ -1058,6 +1258,8 @@ mod tests {
             window: "tumbling".into(),
             runs: strings(&["uniformity"]),
             json: false,
+            key_field: None,
+            shards: 1,
         })
         .unwrap_err();
         assert!(err.contains("--n") && err.contains("stdin"), "{err}");
@@ -1074,6 +1276,8 @@ mod tests {
             sliding: false,
             runs: strings(&["uniformity"]),
             json: false,
+            key_field: None,
+            shards: 1,
         };
         let mut out = Vec::new();
         let err = run_watch("1\nfoo\n".as_bytes(), &mut out, &opts).unwrap_err();
@@ -1081,6 +1285,152 @@ mod tests {
         let mut out = Vec::new();
         let err = run_watch("1\n99\n".as_bytes(), &mut out, &opts).unwrap_err();
         assert!(err.contains("record 99"), "{err}");
+    }
+
+    #[test]
+    fn parse_args_keyed_watch_flags() {
+        let cmd = parse_args(&strings(&[
+            "watch", "-", "--key-field", "0", "--shards", "4", "--n", "64",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch {
+                key_field, shards, ..
+            } => {
+                assert_eq!(key_field, Some(0));
+                assert_eq!(shards, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Flag hardening: --shards 0 and out-of-range --key-field are
+        // rejected at parse time, --shards > 1 requires --key-field.
+        let err = parse_args(&strings(&["watch", "-", "--shards", "0"])).unwrap_err();
+        assert!(err.contains("--shards must be positive"), "{err}");
+        let err = parse_args(&strings(&["watch", "-", "--key-field", "2"])).unwrap_err();
+        assert!(err.contains("--key-field must be 0 or 1"), "{err}");
+        let err = parse_args(&strings(&["watch", "-", "--shards", "2"])).unwrap_err();
+        assert!(err.contains("--shards needs --key-field"), "{err}");
+        // Documented in --help.
+        let help = usage();
+        assert!(help.contains("--key-field") && help.contains("--shards"), "{help}");
+    }
+
+    fn keyed_opts(shards: usize, json: bool) -> WatchOptions {
+        WatchOptions {
+            k: 2,
+            eps: 0.25,
+            n: 64,
+            seed: 7,
+            every: 1_000,
+            sliding: false,
+            runs: strings(&["l2", "uniformity"]),
+            json,
+            key_field: Some(0),
+            shards,
+        }
+    }
+
+    /// Three interleaved tenant streams as `key value` lines.
+    fn keyed_text(records: usize) -> String {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let p = khist_dist::generators::staircase(64, 2).unwrap();
+        let keys = ["api", "web", "batch"];
+        p.sample_many(records, &mut rng)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{} {v}", keys[i % keys.len()]))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn keyed_watch_demultiplexes_streams_and_shards_are_invisible() {
+        let text = keyed_text(7_500); // 2 500 records per stream
+        let run = |shards: usize| {
+            let mut out = Vec::new();
+            let summary =
+                run_watch(text.as_bytes(), &mut out, &keyed_opts(shards, true)).unwrap();
+            assert!(summary.is_empty(), "JSON mode emits pure JSONL");
+            String::from_utf8(out).unwrap()
+        };
+        let single = run(1);
+        let sharded = run(3);
+        // Every line is a stream-tagged WindowReport; per-stream sequences
+        // are in window order and bit-identical across shard counts (the
+        // global interleaving may differ — chunk boundaries scale with the
+        // shard count — but no stream's reports may).
+        let parse = |text: &str| -> Vec<WindowReport> {
+            text.lines()
+                .map(|l| WindowReport::from_json(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+                .collect()
+        };
+        let (a, b) = (parse(&single), parse(&sharded));
+        // 2 windows + 1 partial tail per stream.
+        assert_eq!(a.len(), 9);
+        assert_eq!(b.len(), 9);
+        for key in ["api", "web", "batch"] {
+            let of = |rs: &[WindowReport]| -> Vec<WindowReport> {
+                rs.iter()
+                    .filter(|w| w.stream.as_deref() == Some(key))
+                    .cloned()
+                    .collect()
+            };
+            let windows = of(&a);
+            assert_eq!(windows, of(&b), "stream {key} must not change with shards");
+            assert_eq!(windows.len(), 3, "stream {key}");
+            assert!(windows[0].complete && windows[1].complete && !windows[2].complete);
+            assert!(
+                windows.windows(2).all(|w| w[0].window < w[1].window),
+                "stream {key} reports in window order"
+            );
+            assert_eq!(windows[2].seen, 500, "flushed tail of stream {key}");
+        }
+        // Human rendering tags the stream too.
+        let mut out = Vec::new();
+        let summary = run_watch(text.as_bytes(), &mut out, &keyed_opts(2, false)).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("[api] window 0"), "{rendered}");
+        assert!(summary.contains("3 streams"), "{summary}");
+        assert!(summary.contains("2 shards"), "{summary}");
+    }
+
+    #[test]
+    fn keyed_watch_rejects_unkeyed_input_with_line_numbers() {
+        let opts = keyed_opts(1, false);
+        let mut out = Vec::new();
+        let err = run_watch("api 3\n17\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("un-keyed"),
+            "unhelpful error: {err}"
+        );
+        let mut out = Vec::new();
+        let err = run_watch("api 3 9\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("exactly two"), "{err}");
+        let mut out = Vec::new();
+        let err = run_watch("api foo\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("foo"), "{err}");
+        // --key-field 1 swaps the roles: "value key" lines.
+        let mut opts = keyed_opts(1, false);
+        opts.key_field = Some(1);
+        let mut out = Vec::new();
+        assert!(run_watch("3 api\n".as_bytes(), &mut out, &opts).is_ok());
+
+        // Keyed watch cannot infer a domain: dispatch demands --n.
+        let err = dispatch(Command::Watch {
+            path: "-".into(),
+            k: 2,
+            eps: 0.3,
+            n: 0,
+            seed: 0,
+            every: 100,
+            window: "tumbling".into(),
+            runs: strings(&["uniformity"]),
+            json: false,
+            key_field: Some(0),
+            shards: 2,
+        })
+        .unwrap_err();
+        assert!(err.contains("--n") && err.contains("key"), "{err}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!
 //! | module (re-export) | source crate | contents |
 //! |---|---|---|
-//! | [`api`] | `khist-core` | **the front door**: typed requests, pull `Session` / push `Monitor`, shared `SamplePlan`, serde `Report` |
+//! | [`api`] | `khist-core` | **the front door**: typed requests, pull `Session` / push `Monitor` / keyed multi-stream `Engine`, shared `SamplePlan`, serde `Report` |
 //! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
 //! | [`oracle`] | `khist-oracle` | the pull `SampleOracle` seam + backends, the push `SampleSink`/`WindowedSink` ingest layer, sample multisets, collision estimators, budgets |
 //! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
@@ -83,6 +83,15 @@
 //! `RecordFileOracle` with the same seed, so `Monitor` reports match
 //! `Session::open_records` reports exactly (property-tested in
 //! `tests/monitor_push_pull.rs`).
+//!
+//! For fleets of keyed streams (per-tenant, per-endpoint), the
+//! [`api::Engine`] lifts the same property one level up: stream keys hash
+//! onto a shared-nothing pool of worker shards, each owning the pure
+//! per-stream state machines ([`api::MonitorState`]) for its keys, with
+//! per-stream seeds derived as `Engine::stream_seed(base_seed, key)` — so
+//! a sharded run is **bit-identical per stream** to a dedicated
+//! single-threaded `Monitor` on that stream's records, for any shard
+//! count (property-tested in `tests/engine_sharding.rs`).
 //!
 //! ## Budgets
 //!
@@ -160,9 +169,9 @@ pub mod prelude {
         v_optimal,
     };
     pub use khist_core::api::{
-        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, IdentityL2, Learn, Monitor,
-        MonitorBuilder, Monotone, Report, SamplePlan, Session, TestL1, TestL2, Uniformity,
-        WindowReport,
+        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, Engine, EngineBuilder, IdentityL2,
+        Learn, Monitor, MonitorBuilder, MonitorState, Monotone, Report, SamplePlan, Session,
+        TestL1, TestL2, Uniformity, WindowReport,
     };
     pub use khist_core::compress::compress_to_k;
     pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};

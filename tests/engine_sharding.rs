@@ -1,0 +1,200 @@
+//! Sharding is semantics-free: the keyed multi-stream `Engine`'s
+//! acceptance criteria.
+//!
+//! For every stream key, an `Engine` — at *any* shard count, any batch
+//! boundaries, and any interleaving with other streams — must emit
+//! `WindowReport`s bit-identical to a dedicated single-threaded `Monitor`
+//! fed that stream's records with the derived seed
+//! `Engine::stream_seed(base_seed, key)` (and the matching stream tag),
+//! including the flush of partial tails. The monitor layer's push≡pull
+//! property lifted one level up: sharding is a transport, not a semantic.
+
+use khist::prelude::*;
+use proptest::prelude::*;
+
+/// The standing batch every stream runs: learner (weighted draw_batch
+/// lanes) + ℓ₂ tester (set lanes) + uniformity (main lane) — all three
+/// draw shapes exercised per window. Budgets are explicit and small so
+/// the short windows this test drives always fill every lane (a window
+/// much thinner than its plan can leave a weighted lane empty, which the
+/// learner rejects — for a monitor and a dedicated engine stream alike).
+fn batch() -> Vec<Analysis> {
+    let mut learner = LearnerBudget::calibrated(32, 3, 0.25, 1.0).unwrap();
+    learner.ell = 80;
+    learner.r = 6;
+    learner.m = 30;
+    vec![
+        Learn::k(3).eps(0.25).budget(learner).into(),
+        TestL2::k(3)
+            .eps(0.3)
+            .budget(L2TesterBudget { r: 6, m: 40 })
+            .into(),
+        Uniformity::eps(0.3)
+            .budget(UniformityBudget { m: 60 })
+            .into(),
+    ]
+}
+
+const KEYS: [&str; 4] = ["api", "web", "batch", "edge"];
+
+/// A dedicated single-threaded monitor run over one stream's records:
+/// the reference the engine must match bit for bit.
+fn dedicated_monitor(
+    n: usize,
+    span: u64,
+    base_seed: u64,
+    key: &str,
+    records: &[usize],
+) -> Vec<WindowReport> {
+    let mut monitor = Monitor::builder(n)
+        .seed(Engine::stream_seed(base_seed, key))
+        .stream(key)
+        .tumbling(span)
+        .analyses(batch())
+        .build()
+        .unwrap();
+    let mut windows = monitor.ingest(records).unwrap();
+    windows.extend(monitor.flush().unwrap());
+    windows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Acceptance criterion: `Engine` with shards ∈ {1, 2, 4} produces
+    /// per-stream `WindowReport` sequences bit-identical to a dedicated
+    /// `Monitor` per stream (same seed derivation), including the flush
+    /// of partial tails.
+    #[test]
+    fn prop_engine_streams_equal_dedicated_monitors(
+        // Interleaved keyed records: (key index, value) pairs. The length
+        // is deliberately not span-aligned so flushes cover partial tails.
+        records in proptest::collection::vec((0usize..KEYS.len(), 0usize..32), 200..700),
+        base_seed in 0u64..u64::MAX,
+        cut in 0.0f64..1.0,
+    ) {
+        let n = 32;
+        let span = 120u64;
+        let keyed: Vec<(String, usize)> = records
+            .iter()
+            .map(|&(k, v)| (KEYS[k].to_string(), v))
+            .collect();
+        // Split the stream at an arbitrary point so windows straddle
+        // ingest_batch calls.
+        let split = ((keyed.len() as f64) * cut) as usize;
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = Engine::builder(n)
+                .seed(base_seed)
+                .shards(shards)
+                .tumbling(span)
+                .analyses(batch())
+                .build()
+                .unwrap();
+            let mut got = engine.ingest_batch(&keyed[..split]).unwrap();
+            got.extend(engine.ingest_batch(&keyed[split..]).unwrap());
+            got.extend(engine.flush().unwrap());
+
+            let mut covered = 0;
+            for key in KEYS {
+                let mine: Vec<usize> = keyed
+                    .iter()
+                    .filter(|(k, _)| k == key)
+                    .map(|&(_, v)| v)
+                    .collect();
+                let want = dedicated_monitor(n, span, base_seed, key, &mine);
+                let stream_reports: Vec<WindowReport> = got
+                    .iter()
+                    .filter(|r| r.stream.as_deref() == Some(key))
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(
+                    &stream_reports,
+                    &want,
+                    "stream {} @ {} shards",
+                    key,
+                    shards
+                );
+                covered += stream_reports.len();
+            }
+            prop_assert_eq!(covered, got.len(), "no report escapes its stream");
+        }
+    }
+}
+
+/// The flushed tail of every stream is reported (partial windows
+/// included) — nothing is dropped, and flushing is idempotent in the
+/// `Monitor` sense: the still-live partial window is re-reported
+/// identically, never advanced.
+#[test]
+fn flush_covers_every_partial_tail() {
+    let n = 32;
+    let mut engine = Engine::builder(n)
+        .seed(5)
+        .shards(3)
+        .tumbling(1_000)
+        .analyses(batch())
+        .build()
+        .unwrap();
+    // 150 records per stream: no window ever completes.
+    let keyed: Vec<(String, usize)> = (0..600)
+        .map(|i| (KEYS[i % KEYS.len()].to_string(), (i * 7) % n))
+        .collect();
+    assert!(engine.ingest_batch(&keyed).unwrap().is_empty());
+    let tails = engine.flush().unwrap();
+    assert_eq!(tails.len(), KEYS.len());
+    for tail in &tails {
+        assert!(!tail.complete);
+        assert_eq!(tail.seen, 150);
+        assert_eq!(tail.reports.len(), batch().len(), "tail thick enough to analyze");
+    }
+    // Tails match the dedicated monitors' flushes.
+    for key in KEYS {
+        let mine: Vec<usize> = keyed
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .collect();
+        let want = dedicated_monitor(n, 1_000, 5, key, &mine);
+        let got: Vec<WindowReport> = tails
+            .iter()
+            .filter(|r| r.stream.as_deref() == Some(key))
+            .cloned()
+            .collect();
+        assert_eq!(got, want, "stream {key}");
+    }
+    // A second flush re-reports the same still-live tails (the partial
+    // window is not consumed), exactly like a dedicated monitor would.
+    assert_eq!(engine.flush().unwrap(), tails);
+}
+
+/// The engine's output order is deterministic — every `ingest_batch` /
+/// `flush` call returns its reports sorted by (stream, window id) — and
+/// stable across repeated identical runs.
+#[test]
+fn engine_output_order_is_deterministic() {
+    let run = || {
+        let mut engine = Engine::builder(32)
+            .seed(9)
+            .shards(4)
+            .tumbling(200)
+            .analyses(batch())
+            .build()
+            .unwrap();
+        let keyed: Vec<(String, usize)> = (0..2_000)
+            .map(|i| (KEYS[(i * 13) % KEYS.len()].to_string(), (i * 11) % 32))
+            .collect();
+        (engine.ingest_batch(&keyed).unwrap(), engine.flush().unwrap())
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "identical runs produce identical interleavings");
+    for call in [&a.0, &a.1] {
+        let order: Vec<(Option<&str>, u64)> = call
+            .iter()
+            .map(|r| (r.stream.as_deref(), r.window))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "each call's reports sorted by (stream, window)");
+    }
+}
