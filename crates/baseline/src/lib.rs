@@ -19,7 +19,7 @@
 //!   against.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 pub mod classic;
 pub mod fenwick;

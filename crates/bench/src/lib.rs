@@ -23,7 +23,7 @@
 //! `benches/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 pub mod experiments;
 pub mod runner;

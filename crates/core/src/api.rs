@@ -78,8 +78,8 @@ use std::time::Instant;
 
 use khist_dist::{DenseDistribution, DistError, Interval, TilingHistogram};
 use khist_oracle::{
-    Budget, DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget, RecordFileOracle,
-    SampleOracle, SampleSet,
+    stream_seed, Budget, DenseOracle, L1TesterBudget, L2TesterBudget, LearnerBudget,
+    RecordFileOracle, SampleOracle, SampleSet,
 };
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -631,6 +631,7 @@ impl Report {
     /// Renders the report as compact JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(&self.serialize())
+            // lint:allow(no-panic): serialize() routes every float through finite_or_null
             .expect("reports serialize finite numbers only (non-finite statistics become null)")
     }
 
@@ -638,6 +639,17 @@ impl Report {
     pub fn from_json(text: &str) -> Result<Self, SerdeError> {
         Report::deserialize(&serde::json::from_str(text)?)
     }
+}
+
+/// The workspace's single wall-clock door (enforced by khist-lint's
+/// `wall-clock` rule): runs `f` and returns its result plus elapsed wall
+/// seconds. Replayable state (`MonitorState` and everything under it)
+/// calls this instead of touching `Instant` directly, so "what observed
+/// time" stays answerable by reading one file.
+pub(crate) fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
 }
 
 /// The JSON writer rejects non-finite floats outright; reports encode a
@@ -965,7 +977,7 @@ impl SamplePlan {
     ///
     /// Fails when the backend violates the batch contract (wrong number of
     /// sets returned).
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity)] // (Option<main>, Vec<extra>) mirrors the plan's two-part draw
     pub fn draw<O: SampleOracle + ?Sized>(
         &self,
         oracle: &mut O,
@@ -1095,7 +1107,9 @@ impl Session {
     /// Runs a single analysis (sugar for `run(&[analysis.into()])`).
     pub fn run_one(&mut self, analysis: impl Into<Analysis>) -> Result<Report, DistError> {
         let mut reports = self.run(&[analysis.into()])?;
-        Ok(reports.pop().expect("one request yields one report"))
+        reports.pop().ok_or_else(|| DistError::BadParameter {
+            reason: "engine returned no report for a one-request batch".into(),
+        })
     }
 }
 
@@ -1130,7 +1144,7 @@ pub fn plan_for(analyses: &[Analysis], n: usize) -> Result<SamplePlan, DistError
 ///
 /// Returns the reports in request order plus the ledger entries of this
 /// run (the `"draw"` entry first).
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // (reports, ledger) is the documented batch contract
 pub fn run_analyses<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     seed: u64,
@@ -1154,7 +1168,7 @@ pub fn run_analyses<O: SampleOracle + ?Sized>(
 /// Every analysis must *fit* the plan (its own requirement no larger in
 /// any dimension); a batch that needs more than the plan provides is an
 /// error naming the offending analysis, not a silent under-sample.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // (reports, ledger) is the documented batch contract
 pub fn run_analyses_with_plan<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     seed: u64,
@@ -1190,7 +1204,7 @@ pub fn run_analyses_with_plan<O: SampleOracle + ?Sized>(
 
 /// Shared executor: one draw of `plan`, then every resolved analysis
 /// consumes its view.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // (reports, ledger) is the documented batch contract
 fn run_resolved<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     seed: u64,
@@ -1253,8 +1267,10 @@ fn execute(
     match &item.analysis {
         Analysis::Learn(req) => {
             let BudgetSpec::Learner(budget) = item.budget else {
+                // lint:allow(no-panic): resolve() pairs Learn with a learner budget one match arm up
                 unreachable!("learn resolves to a learner budget");
             };
+            // lint:allow(checked-indexing): the plan drew requirement.r sets for this analysis
             let view = &sets[..item.requirement.r];
             let params = GreedyParams {
                 k: req.k,
@@ -1269,6 +1285,7 @@ fn execute(
             report.samples_spent = outcome.stats.samples_used;
         }
         Analysis::TestL2(req) => {
+            // lint:allow(checked-indexing): the plan drew requirement.r sets for this analysis
             let view = &sets[..item.requirement.r];
             let tr = test_l2_from_sets(n, req.k, req.eps, view)?;
             report.verdict = Some(tr.outcome);
@@ -1277,6 +1294,7 @@ fn execute(
             report.samples_spent = tr.samples_used;
         }
         Analysis::TestL1(req) => {
+            // lint:allow(checked-indexing): the plan drew requirement.r sets for this analysis
             let view = &sets[..item.requirement.r];
             let tr = test_l1_from_sets(n, req.k, req.eps, view)?;
             report.verdict = Some(tr.outcome);
@@ -1309,8 +1327,11 @@ fn execute(
             }
             // q's draw is outside the shared plan (different distribution);
             // its seed is split deterministically from the session seed and
-            // the request's position so batches stay reproducible.
-            let q_seed = seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            // the request's position so batches stay reproducible. Derived
+            // via stream_seed — the one sanctioned SplitMix64 door — so
+            // this split shares its provenance rule with every other seed
+            // in the workspace (khist-lint's seed-discipline rule).
+            let q_seed = stream_seed(seed, index as u64);
             let mut q_oracle = DenseOracle::new(&req.q, q_seed);
             let set_q = q_oracle.draw_set(set_p.total() as usize);
             let cr = test_closeness_l2_from_sets(set_p, &set_q, n, req.eps)?;

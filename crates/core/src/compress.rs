@@ -15,6 +15,10 @@
 //! `‖p − H_k‖₂ ≤ ‖p − H‖₂ + ‖H − H_k‖₂ ≤ ‖p − H‖₂ + ‖H − H*‖₂ + ‖p − H*‖₂`,
 //! keeping the additive-`O(√ε)` regime of Theorems 1–2.
 
+// lint:allow-file(checked-indexing): dynamic-programming tables in this file are
+// allocated up front with exact dimensions (k+1 rows, n columns); every index
+// is a loop variable bounded by those dimensions.
+
 use khist_dist::{DistError, TilingHistogram};
 
 /// Optimal `ℓ₂` coarsening of a tiling histogram to at most `k` pieces.

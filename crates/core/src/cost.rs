@@ -17,7 +17,7 @@
 //!   sampling noise.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use khist_dist::{DenseDistribution, Interval};
 use khist_oracle::{MedianBooster, SampleSet};
@@ -43,7 +43,7 @@ pub trait CostOracle {
 pub struct SampleCostOracle<'a> {
     main: &'a SampleSet,
     booster: MedianBooster<'a>,
-    cache: RefCell<HashMap<(usize, usize), (f64, f64)>>,
+    cache: RefCell<BTreeMap<(usize, usize), (f64, f64)>>,
 }
 
 impl<'a> SampleCostOracle<'a> {
@@ -53,7 +53,7 @@ impl<'a> SampleCostOracle<'a> {
         SampleCostOracle {
             main,
             booster: MedianBooster::new(collision_sets),
-            cache: RefCell::new(HashMap::new()),
+            cache: RefCell::new(BTreeMap::new()),
         }
     }
 

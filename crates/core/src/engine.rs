@@ -74,7 +74,7 @@
 //! assert_eq!(engine.streams(), 2);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc};
 
 use khist_dist::DistError;
@@ -143,8 +143,12 @@ struct StreamSlot {
 struct Shard {
     /// Slots in first-seen order (the engine's per-shard iteration order).
     slots: Vec<StreamSlot>,
-    /// Key → slot index.
-    index: HashMap<String, usize>,
+    /// Key → slot index. A `BTreeMap`, not a default-hasher `HashMap`:
+    /// per-call output is sorted by [`Engine::sort_reports`] either way,
+    /// but nothing in the keyed path may even *risk* depending on
+    /// `RandomState` iteration order (enforced by khist-lint's
+    /// `default-hasher` rule).
+    index: BTreeMap<String, usize>,
 }
 
 impl Shard {
@@ -169,23 +173,22 @@ impl Shard {
     /// shard-mates. Ledgers are drained and dropped; per-stream ledgers
     /// surfacing through the engine are a roadmap item.
     fn ingest(&mut self, cfg: &EngineConfig, records: &[(&str, usize)]) -> ShardOutcome {
-        let mut touched: Vec<usize> = Vec::new();
-        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Grouped per stream, preserving each stream's arrival order (the
+        // only order a stream's state can observe). A `BTreeMap` keyed by
+        // slot index makes the processing order itself deterministic —
+        // grouping must never route through `RandomState`.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &(key, value) in records {
             let slot = self.slot_of(key, cfg);
-            groups
-                .entry(slot)
-                .or_insert_with(|| {
-                    touched.push(slot);
-                    Vec::new()
-                })
-                .push(value);
+            groups.entry(slot).or_default().push(value);
         }
         let mut out = Vec::new();
         let mut errors = Vec::new();
-        for idx in touched {
-            let slot = &mut self.slots[idx];
-            let result = slot.state.ingest(&groups[&idx]);
+        for (idx, group) in groups {
+            let Some(slot) = self.slots.get_mut(idx) else {
+                continue; // unreachable: slot_of returned idx < slots.len()
+            };
+            let result = slot.state.ingest(&group);
             slot.state.drain_ledger();
             match result {
                 Ok(reports) => out.extend(reports),
@@ -408,8 +411,9 @@ impl Engine {
     /// Read access to one stream's state machine (e.g. to check `seen` or
     /// probe [`drift`](MonitorState::drift) for a single tenant).
     pub fn stream_state(&self, key: &str) -> Option<&MonitorState> {
-        let shard = &self.shards[self.shard_of(key)];
-        shard.index.get(key).map(|&slot| &shard.slots[slot].state)
+        let shard = self.shards.get(self.shard_of(key))?;
+        let &slot = shard.index.get(key)?;
+        shard.slots.get(slot).map(|s| &s.state)
     }
 
     /// The shard index `key` hashes to.
@@ -425,8 +429,10 @@ impl Engine {
     /// [`ingest_batch`](Engine::ingest_batch) / [`flush`](Engine::flush).
     pub fn ingest(&mut self, key: &str, records: &[usize]) -> Result<Vec<WindowReport>, DistError> {
         let shard = self.shard_of(key);
+        // lint:allow(checked-indexing): shard_of is hash mod shards.len(), in bounds by construction
         let shard = &mut self.shards[shard];
         let slot = shard.slot_of(key, &self.cfg);
+        // lint:allow(checked-indexing): slot_of returns an index it just ensured exists
         let state = &mut shard.slots[slot].state;
         let result = state.ingest(records);
         state.drain_ledger();
@@ -459,6 +465,7 @@ impl Engine {
         parts.resize_with(self.shards.len(), Vec::new);
         for (key, value) in records {
             let key = key.as_ref();
+            // lint:allow(checked-indexing): hash mod shard_count, in bounds by construction
             parts[(key_hash(key) % shard_count) as usize].push((key, *value));
         }
         let cfg = &self.cfg;
@@ -478,10 +485,12 @@ impl Engine {
                     let tx = tx.clone();
                     scope.spawn(move |_| {
                         tx.send(shard.ingest(cfg, &batch))
+                            // lint:allow(no-panic): rx lives until the scope joins, so send cannot fail
                             .expect("engine result channel outlives the scope");
                     });
                 }
             })
+            // lint:allow(no-panic): a panicked shard worker must abort loudly, not drop windows
             .expect("engine ingest worker panicked");
             drop(tx);
             rx.iter().collect()
@@ -513,10 +522,12 @@ impl Engine {
                     let tx = tx.clone();
                     scope.spawn(move |_| {
                         tx.send(shard.flush())
+                            // lint:allow(no-panic): rx lives until the scope joins, so send cannot fail
                             .expect("engine result channel outlives the scope");
                     });
                 }
             })
+            // lint:allow(no-panic): a panicked shard worker must abort loudly, not drop windows
             .expect("engine flush worker panicked");
             drop(tx);
             rx.iter().collect()

@@ -59,6 +59,7 @@ impl FlatnessTest for L2Flatness<'_> {
         let mut max_slack = 0.0f64;
         for set in self.booster.sets() {
             let total = set.total() as f64;
+            // lint:allow(float-cmp): exact-zero guard on an integer-valued count
             if total == 0.0 {
                 return true; // no evidence at all ⇒ no structure seen
             }
@@ -121,6 +122,7 @@ impl FlatnessTest for L1Flatness<'_> {
         let light = self.light_fraction(iv.len());
         for set in self.booster.sets() {
             let total = set.total() as f64;
+            // lint:allow(float-cmp): exact-zero guard on an integer-valued count
             if total == 0.0 || (set.count_in(iv) as f64) / total < light {
                 return true;
             }

@@ -233,6 +233,7 @@ pub fn greedy_with_oracle(
                 _ => best = Some((cost, j)),
             }
         }
+        // lint:allow(no-panic): the candidate loop above always runs at least once
         let (_, j_min) = best.expect("candidates is non-empty");
         let created = state.insert(j_min, oracle);
         // Record the new pieces at a fresh shared priority, each with its
@@ -275,6 +276,7 @@ fn candidate_endpoints(n: usize, main: &SampleSet, params: &GreedyParams) -> Vec
         CandidatePolicy::Grid(stride) => {
             let stride = stride.max(1);
             let mut g: Vec<usize> = (0..n).step_by(stride).collect();
+            // lint:allow(no-panic): (0..n).step_by(s) is non-empty because n > 0 is validated upstream
             if *g.last().expect("non-empty") != n - 1 {
                 g.push(n - 1);
             }
@@ -285,6 +287,7 @@ fn candidate_endpoints(n: usize, main: &SampleSet, params: &GreedyParams) -> Vec
         let keep = params.max_endpoints;
         let len = endpoints.len();
         endpoints = (0..keep)
+            // lint:allow(checked-indexing): i*(len-1)/(keep-1) <= len-1 for i < keep
             .map(|i| endpoints[i * (len - 1) / (keep - 1)])
             .collect();
         endpoints.dedup();
@@ -296,7 +299,9 @@ fn candidate_endpoints(n: usize, main: &SampleSet, params: &GreedyParams) -> Vec
 fn enumerate_candidates(endpoints: &[usize]) -> Vec<Interval> {
     let mut out = Vec::with_capacity(endpoints.len() * (endpoints.len() + 1) / 2);
     for (i, &a) in endpoints.iter().enumerate() {
+        // lint:allow(checked-indexing): i comes from enumerate() over this slice
         for &b in &endpoints[i..] {
+            // lint:allow(no-panic): endpoints are sorted, so a <= b within the tail slice
             out.push(Interval::new(a, b).expect("endpoints sorted"));
         }
     }
@@ -453,7 +458,7 @@ mod tests {
 
     #[test]
     fn deprecated_dense_wrapper_still_works() {
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the test exercises the deprecated wrapper on purpose
         {
             let p = generators::two_level(32, 0.25, 0.75).unwrap();
             let mut rng = StdRng::seed_from_u64(4);

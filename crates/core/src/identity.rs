@@ -96,7 +96,9 @@ where
     let (set_p, _) = SamplePlan::single(m).draw(oracle_p)?;
     let (set_q, _) = SamplePlan::single(m).draw(oracle_q)?;
     test_closeness_l2_from_sets(
+        // lint:allow(no-panic): SamplePlan::single always allocates a main set
         &set_p.expect("single plan yields a main set"),
+        // lint:allow(no-panic): SamplePlan::single always allocates a main set
         &set_q.expect("single plan yields a main set"),
         n,
         eps,
@@ -171,6 +173,7 @@ pub fn test_identity_l2<O: SampleOracle + ?Sized>(
     }
     let (set_p, _) = SamplePlan::single(m).draw(oracle_p)?;
     test_identity_l2_from_set(
+        // lint:allow(no-panic): SamplePlan::single always allocates a main set
         &set_p.expect("single plan yields a main set"),
         known_q,
         n,
@@ -372,7 +375,7 @@ mod tests {
 
     #[test]
     fn deprecated_dense_wrappers_still_work() {
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the test exercises the deprecated wrapper on purpose
         {
             let p = DenseDistribution::uniform(32).unwrap();
             let mut rng = StdRng::seed_from_u64(9);

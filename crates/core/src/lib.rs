@@ -48,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 pub mod api;
 pub mod compress;
@@ -91,13 +91,13 @@ pub use uniformity::{test_uniformity, UniformityBudget, UniformityReport};
 // The deprecated `*_dense` wrappers stay re-exported so downstream code
 // migrates on its own schedule; the deprecation fires at *their* call
 // sites, not here.
-#[allow(deprecated)]
+#[allow(deprecated)] // re-export keeps compiling; callers get the warning
 pub use greedy::learn_dense;
-#[allow(deprecated)]
+#[allow(deprecated)] // re-export keeps compiling; callers get the warning
 pub use identity::{test_closeness_l2_dense, test_identity_l2_dense};
-#[allow(deprecated)]
+#[allow(deprecated)] // re-export keeps compiling; callers get the warning
 pub use monotone::test_monotone_non_increasing_dense;
-#[allow(deprecated)]
+#[allow(deprecated)] // re-export keeps compiling; callers get the warning
 pub use tester::{test_l1_dense, test_l2_dense};
-#[allow(deprecated)]
+#[allow(deprecated)] // re-export keeps compiling; callers get the warning
 pub use uniformity::test_uniformity_dense;

@@ -84,7 +84,6 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use khist_dist::DistError;
 use khist_oracle::{
@@ -146,6 +145,7 @@ impl WindowReport {
     /// emits one such line per window).
     pub fn to_json(&self) -> String {
         serde::json::to_string(&self.serialize())
+            // lint:allow(no-panic): serialize() routes every float through finite_or_null
             .expect("window reports serialize finite numbers only")
     }
 
@@ -620,8 +620,14 @@ impl MonitorState {
         current: &SampleSet,
         seed: u64,
     ) -> Result<Report, DistError> {
-        let started = Instant::now();
-        let closeness = test_closeness_l2_from_sets(baseline, current, self.n, self.drift_eps)?;
+        // Timing goes through the api.rs wall-clock boundary: the drift
+        // *verdict* is a pure function of the two sample sets; only the
+        // report's wall_seconds metadata (excluded from PartialEq) ever
+        // sees the clock.
+        let (closeness, wall_seconds) = crate::api::timed(|| {
+            test_closeness_l2_from_sets(baseline, current, self.n, self.drift_eps)
+        });
+        let closeness = closeness?;
         Ok(Report {
             analysis: AnalysisKind::ClosenessL2,
             n: self.n,
@@ -636,7 +642,7 @@ impl MonitorState {
                 m: closeness.samples_used,
             },
             seed,
-            wall_seconds: started.elapsed().as_secs_f64(),
+            wall_seconds,
         })
     }
 }

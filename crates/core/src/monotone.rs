@@ -46,6 +46,7 @@ pub fn birge_partition(n: usize, delta: f64) -> Result<Vec<Interval>, DistError>
     while lo < n {
         let len = ((1.0 + delta).powi(j).floor() as usize).max(1);
         let hi = (lo + len - 1).min(n - 1);
+        // lint:allow(no-panic): hi = max(lo, ...) >= lo by construction
         out.push(Interval::new(lo, hi).expect("lo ≤ hi"));
         lo = hi + 1;
         j += 1;
@@ -75,7 +76,9 @@ pub fn pav_non_increasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
         // Non-increasing constraint: previous mean must be ≥ current mean;
         // pool while violated (previous < current).
         while blocks.len() >= 2 {
+            // lint:allow(checked-indexing): len >= 2 is the loop condition
             let cur = blocks[blocks.len() - 1];
+            // lint:allow(checked-indexing): len >= 2 is the loop condition
             let prev = blocks[blocks.len() - 2];
             if prev.0 >= cur.0 {
                 break;
@@ -395,7 +398,7 @@ mod tests {
 
     #[test]
     fn deprecated_dense_wrapper_still_works() {
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the test exercises the deprecated wrapper on purpose
         {
             let p = generators::geometric(64, 0.9).unwrap();
             let mut rng = StdRng::seed_from_u64(6);

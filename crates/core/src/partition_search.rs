@@ -51,6 +51,7 @@ pub fn partition_search(n: usize, k: usize, flat: &impl FlatnessTest) -> Partiti
         while lo <= hi {
             let mid = lo + (hi - lo) / 2;
             probes += 1;
+            // lint:allow(no-panic): lo >= start and mid >= lo inside the binary-search window
             let iv = khist_dist::Interval::new(start, mid as usize).expect("start ≤ mid");
             if flat.is_flat(iv) {
                 lo = mid + 1;

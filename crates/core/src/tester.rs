@@ -184,6 +184,7 @@ fn validate(n: usize, k: usize, eps: f64, sets: &[SampleSet]) -> Result<(), Dist
             reason: "k must be ≥ 1".into(),
         });
     }
+    // lint:allow(float-cmp): exact-zero rejection of a degenerate parameter
     if !(0.0..1.0).contains(&eps) || eps == 0.0 {
         return Err(DistError::BadParameter {
             reason: format!("ε = {eps} must lie in (0, 1)"),
@@ -345,7 +346,7 @@ mod tests {
 
     #[test]
     fn deprecated_dense_wrappers_still_work() {
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the test exercises the deprecated wrapper on purpose
         {
             let p = DenseDistribution::uniform(64).unwrap();
             let mut rng = StdRng::seed_from_u64(2);

@@ -63,6 +63,7 @@ impl TilingState {
     pub fn pieces(&self) -> impl Iterator<Item = Interval> + '_ {
         self.pieces
             .iter()
+            // lint:allow(no-panic): lo <= hi holds for every stored piece
             .map(|(&lo, &(hi, _))| Interval::new(lo, hi).expect("valid piece"))
     }
 
@@ -74,6 +75,7 @@ impl TilingState {
             .pieces
             .range(..=j.lo())
             .next_back()
+            // lint:allow(no-panic): the tiling always has a piece starting at index 0
             .expect("tiling always covers index 0")
             .0;
         for (&lo, &(hi, cost)) in self.pieces.range(first_start..) {
@@ -92,12 +94,16 @@ impl TilingState {
         let overlapped = self.overlapping(j);
         let removed: f64 = overlapped.iter().map(|&(_, _, c)| c).sum();
         let mut added = oracle.piece_cost(j);
+        // lint:allow(checked-indexing): overlapping() returns at least the piece containing j.lo()
         let (first_lo, _, _) = overlapped[0];
+        // lint:allow(checked-indexing): same non-empty guarantee
         let (_, last_hi, _) = overlapped[overlapped.len() - 1];
         if first_lo < j.lo() {
+            // lint:allow(no-panic): first_lo < j.lo() guards the trim bounds
             added += oracle.piece_cost(Interval::new(first_lo, j.lo() - 1).expect("left trim"));
         }
         if last_hi > j.hi() {
+            // lint:allow(no-panic): last_hi > j.hi() guards the trim bounds
             added += oracle.piece_cost(Interval::new(j.hi() + 1, last_hi).expect("right trim"));
         }
         self.total_cost - removed + added
@@ -110,7 +116,9 @@ impl TilingState {
     pub fn insert(&mut self, j: Interval, oracle: &impl CostOracle) -> Vec<Interval> {
         debug_assert!(j.hi() < self.n);
         let overlapped = self.overlapping(j);
+        // lint:allow(checked-indexing): overlapping() returns at least the piece containing j.lo()
         let (first_lo, _, _) = overlapped[0];
+        // lint:allow(checked-indexing): same non-empty guarantee
         let (_, last_hi, _) = overlapped[overlapped.len() - 1];
         for &(lo, _, cost) in &overlapped {
             self.pieces.remove(&lo);
@@ -118,11 +126,13 @@ impl TilingState {
         }
         let mut created = Vec::with_capacity(3);
         if first_lo < j.lo() {
+            // lint:allow(no-panic): first_lo < j.lo() guards the trim bounds
             let trim = Interval::new(first_lo, j.lo() - 1).expect("left trim");
             created.push(trim);
         }
         created.push(j);
         if last_hi > j.hi() {
+            // lint:allow(no-panic): last_hi > j.hi() guards the trim bounds
             let trim = Interval::new(j.hi() + 1, last_hi).expect("right trim");
             created.push(trim);
         }

@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn deprecated_dense_wrapper_still_works() {
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the test exercises the deprecated wrapper on purpose
         {
             let p = DenseDistribution::uniform(256).unwrap();
             let budget = UniformityBudget::calibrated(256, 0.4, 0.1).unwrap();

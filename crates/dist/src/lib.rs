@@ -17,7 +17,7 @@
 //!   ensemble.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 mod dense;
 mod error;

@@ -1,0 +1,85 @@
+//! The `khist-lint` command-line front end.
+//!
+//! ```text
+//! khist-lint check [--json] [--root PATH]   lint the workspace (exit 1 on findings)
+//! khist-lint rules                          list every rule with its summary
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error —
+//! so CI can distinguish "the code is dirty" from "the linter is broken".
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use khist_lint::{lint_workspace, RULE_SUMMARIES};
+
+const USAGE: &str = "usage:\n  khist-lint check [--json] [--root PATH]\n  khist-lint rules";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for (name, summary) in RULE_SUMMARIES {
+                println!("{name:18} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("khist-lint: unknown command '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("khist-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("khist-lint: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("khist-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "khist-lint: {} file(s) scanned, {} diagnostic(s)",
+            report.files_scanned,
+            report.diagnostics.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

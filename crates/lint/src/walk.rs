@@ -1,0 +1,64 @@
+//! The workspace walker: every `.rs` file the linter owns.
+//!
+//! Skipped subtrees, by design:
+//! - `vendor/` — vendored third-party shims are not ours to lint;
+//! - `target/` — build output;
+//! - `.git/` and other dot-directories;
+//! - `crates/lint/tests/fixtures/` — the fixture corpus *intentionally*
+//!   violates every rule (that is what the fixtures prove); the fixture
+//!   tests lint those files one at a time via [`crate::lint_source`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", "node_modules"];
+
+/// Collects every lintable `.rs` file under `root`, workspace-relative and
+/// sorted (so diagnostics order never depends on filesystem order).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    descend(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn descend(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            descend(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_and_skips_vendor_and_fixtures() {
+        // The lint crate lives two levels below the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_files(&root).expect("workspace is readable");
+        assert!(!files.is_empty());
+        let rel: Vec<String> = files
+            .iter()
+            .map(|f| f.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(rel.iter().any(|f| f.ends_with("crates/core/src/engine.rs")));
+        assert!(rel.iter().all(|f| !f.contains("/vendor/")));
+        assert!(rel.iter().all(|f| !f.contains("/target/")));
+        assert!(rel.iter().all(|f| !f.contains("/fixtures/")));
+    }
+}

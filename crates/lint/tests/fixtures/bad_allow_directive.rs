@@ -1,0 +1,4 @@
+//! Fixture: a malformed lint:allow directive.
+pub fn nothing() {
+    // lint:allow(no-panic)
+}

@@ -1,0 +1,4 @@
+//! Fixture: bounds-panicking index in library code.
+pub fn midpoint(values: &[u64]) -> u64 {
+    values[values.len() / 2]
+}

@@ -1,0 +1,10 @@
+//! Fixture: grouping through a randomized-hasher map.
+use std::collections::HashMap;
+
+pub fn group(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}

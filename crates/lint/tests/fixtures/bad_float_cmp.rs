@@ -1,0 +1,4 @@
+//! Fixture: bitwise float equality against a literal.
+pub fn is_degenerate(eps: f64) -> bool {
+    eps == 0.0
+}

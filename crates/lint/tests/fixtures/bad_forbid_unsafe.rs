@@ -1,0 +1,3 @@
+//! Fixture: a crate root missing the forbid(unsafe_code) attribute.
+
+pub mod inner {}

@@ -1,0 +1,3 @@
+//! Fixture: an unexplained lint suppression.
+#[allow(dead_code)]
+fn helper() {}

@@ -1,0 +1,4 @@
+//! Fixture: panicking extraction in library code.
+pub fn first(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Fixture: unscoped thread escapes the crossbeam discipline.
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

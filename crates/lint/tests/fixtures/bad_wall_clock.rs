@@ -1,0 +1,8 @@
+//! Fixture: reading the wall clock outside the api.rs boundary.
+use std::time::Instant;
+
+pub fn elapsed_of<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
+}

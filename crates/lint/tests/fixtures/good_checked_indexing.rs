@@ -1,0 +1,4 @@
+//! Fixture: checked access with an explicit default.
+pub fn midpoint(values: &[u64]) -> u64 {
+    values.get(values.len() / 2).copied().unwrap_or_default()
+}

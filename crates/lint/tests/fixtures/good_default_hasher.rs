@@ -1,0 +1,10 @@
+//! Fixture: deterministic grouping through an ordered map.
+use std::collections::BTreeMap;
+
+pub fn group(keys: &[u64]) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}

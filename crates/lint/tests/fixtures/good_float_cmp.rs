@@ -1,0 +1,4 @@
+//! Fixture: tolerance-based comparison.
+pub fn is_degenerate(eps: f64) -> bool {
+    eps.abs() < f64::EPSILON
+}

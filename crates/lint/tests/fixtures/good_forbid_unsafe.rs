@@ -1,0 +1,5 @@
+//! Fixture: a crate root that forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod inner {}

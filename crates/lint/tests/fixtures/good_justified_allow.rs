@@ -1,0 +1,3 @@
+//! Fixture: the suppression says why the lint is wrong here.
+#[allow(dead_code)] // exercised only behind the bench feature gate
+fn helper() {}

@@ -1,0 +1,4 @@
+//! Fixture: fallible extraction surfaces the empty case.
+pub fn first(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}

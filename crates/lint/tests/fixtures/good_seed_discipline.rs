@@ -1,0 +1,6 @@
+//! Fixture: derives per-stream seeds through the oracle's one seeding door.
+use khist_oracle::stream_seed;
+
+pub fn seeds(base: u64, streams: u64) -> Vec<u64> {
+    (0..streams).map(|s| stream_seed(base, s)).collect()
+}

@@ -1,0 +1,8 @@
+//! Fixture: parallelism stays inside a crossbeam scope.
+pub fn fan_out(items: &[u64]) -> u64 {
+    crossbeam::scope(|scope| {
+        let handle = scope.spawn(|_| items.iter().sum::<u64>());
+        handle.join().unwrap_or_default()
+    })
+    .unwrap_or_default()
+}

@@ -1,0 +1,6 @@
+//! Fixture: pure state transition; timing stays at the api boundary.
+pub fn ingest(total: &mut u64, batch: &[u64]) {
+    for &v in batch {
+        *total += v;
+    }
+}

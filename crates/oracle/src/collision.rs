@@ -48,11 +48,12 @@ fn median_of(values: impl Iterator<Item = f64>) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
     if v.len() % 2 == 1 {
-        Some(v[mid])
+        v.get(mid).copied()
     } else {
+        // lint:allow(checked-indexing): mid >= 1 because v is non-empty with even length
         Some((v[mid - 1] + v[mid]) / 2.0)
     }
 }

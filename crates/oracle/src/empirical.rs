@@ -31,6 +31,7 @@ pub fn empirical_distribution(set: &SampleSet, n: usize) -> Result<DenseDistribu
     }
     let mut weights = vec![0.0f64; n];
     for &v in set.unique_values() {
+        // lint:allow(checked-indexing): SampleSet validated every value against n at insert
         weights[v] = set.occurrences(v) as f64;
     }
     DenseDistribution::from_weights(&weights)

@@ -238,17 +238,24 @@ impl DenseOracle {
                     if i >= count {
                         break;
                     }
+                    // lint:allow(checked-indexing): i < count == sizes.len() == slots.len()
                     let set = self.set_for_stream(first + i as u64, sizes[i]);
-                    *slots[i].lock().expect("slot lock never poisoned") = Some(set);
+                    // lint:allow(checked-indexing): i < count == slots.len()
+                    let slot = &slots[i];
+                    // lint:allow(no-panic): lock holders never panic
+                    *slot.lock().expect("slot lock never poisoned") = Some(set);
                 });
             }
         })
+        // lint:allow(no-panic): a panicked sampling worker must abort loudly, not return bad sets
         .expect("sampling worker panicked");
         slots
             .into_iter()
             .map(|s| {
                 s.into_inner()
+                    // lint:allow(no-panic): lock holders never panic
                     .expect("slot lock never poisoned")
+                    // lint:allow(no-panic): the worker loop covers every index below count
                     .expect("every stream index visited")
             })
             .collect()
@@ -335,6 +342,7 @@ impl SampleOracle for ReplayOracle {
 
     fn draw_set(&mut self, _m: usize) -> SampleSet {
         let set = self.sets.pop_front().unwrap_or_else(|| {
+            // lint:allow(no-panic): replaying past the recording is a harness bug, not a data error
             panic!(
                 "ReplayOracle exhausted: all {} recorded sets already replayed",
                 self.replayed
@@ -480,6 +488,7 @@ impl RecordFileOracle {
     /// population).
     fn pour(&self, reservoirs: &mut [Reservoir], rngs: &mut [StdRng], router: &mut LaneRouter) {
         let file = std::fs::File::open(&self.path).unwrap_or_else(|e| {
+            // lint:allow(no-panic): open() already validated the file; a vanished file is unrecoverable
             panic!("{}: vanished after scan: {e}", self.path.display());
         });
         self.passes.set(self.passes.get() + 1);
@@ -489,6 +498,7 @@ impl RecordFileOracle {
                 break;
             }
             let line = line.unwrap_or_else(|e| {
+                // lint:allow(no-panic): the record file was readable at open(); mid-draw I/O failure is unrecoverable
                 panic!(
                     "{}: read failed at line {} after clean scan: {e}",
                     self.path.display(),
@@ -505,10 +515,12 @@ impl RecordFileOracle {
                         self.n
                     );
                     let lane = router.lane_of(t);
+                    // lint:allow(checked-indexing): lane_of returns an index below the lane count
                     reservoirs[lane].offer(value, &mut rngs[lane]);
                     t += 1;
                 }
                 Ok(None) => {}
+                // lint:allow(no-panic): a record that parsed at open() but not now means the file was rewritten
                 Err(e) => panic!("{}: rewritten after scan: {e}", self.path.display()),
             }
         }
@@ -535,6 +547,7 @@ impl SampleOracle for RecordFileOracle {
         let mut reservoirs = vec![Reservoir::new(m)];
         let mut rngs = self.lane_rngs(first, 1);
         self.pour(&mut reservoirs, &mut rngs, &mut LaneRouter::Single);
+        // lint:allow(checked-indexing): reservoirs was just built with exactly one lane
         reservoirs[0].to_sample_set()
     }
 

@@ -48,6 +48,7 @@ impl Reservoir {
             // Replace a random slot with probability capacity/seen.
             let j = rng.random_range(0..self.seen);
             if (j as usize) < self.capacity {
+                // lint:allow(checked-indexing): j < capacity == items.len() is the guard above
                 self.items[j as usize] = value;
             }
         }

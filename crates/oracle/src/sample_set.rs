@@ -10,6 +10,10 @@
 //! multiplicities plus two prefix-sum arrays (of multiplicities and of
 //! per-value pair counts), answering both queries with two binary searches.
 
+// lint:allow-file(checked-indexing): this file is prefix-sum arithmetic; every
+// index comes from partition_point/binary_search over the same arrays, which
+// are built with exactly len(values)+1 entries.
+
 use rand::Rng;
 
 use khist_dist::{DenseDistribution, Interval};
@@ -47,6 +51,8 @@ impl SampleSet {
         let mut values = Vec::new();
         let mut count_prefix = vec![0u64];
         let mut pair_prefix = vec![0u64];
+        let mut count_total = 0u64;
+        let mut pair_total = 0u64;
         let mut i = 0;
         while i < samples.len() {
             let v = samples[i];
@@ -56,8 +62,10 @@ impl SampleSet {
             }
             let occ = (j - i) as u64;
             values.push(v);
-            count_prefix.push(count_prefix.last().unwrap() + occ);
-            pair_prefix.push(pair_prefix.last().unwrap() + choose2(occ));
+            count_total += occ;
+            pair_total += choose2(occ);
+            count_prefix.push(count_total);
+            pair_prefix.push(pair_total);
             i = j;
         }
         SampleSet {
@@ -134,7 +142,7 @@ impl SampleSet {
 
     /// Total collision count over the whole domain.
     pub fn collisions_total(&self) -> u64 {
-        *self.pair_prefix.last().expect("prefix array non-empty")
+        self.pair_prefix.last().copied().unwrap_or(0)
     }
 
     /// Empirical interval mass `|S_I| / m` — the `y_I` of Algorithm 1.

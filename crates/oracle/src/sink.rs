@@ -435,6 +435,7 @@ impl WindowedSink {
         for lane in 0..self.sizes.len() {
             let merged = panes
                 .iter()
+                // lint:allow(checked-indexing): every pane is built with sizes.len() lanes
                 .map(|p| &p.lanes[lane])
                 .fold(None::<Reservoir>, |acc, r| match acc {
                     None => Some(r.clone()),
@@ -466,6 +467,7 @@ impl WindowedSink {
     fn complete_pane(&mut self) {
         match self.window {
             Window::Tumbling { .. } => {
+                // lint:allow(no-panic): complete_pane is only called right after a pane filled
                 let pane = self.panes.pop_back().expect("a pane just completed");
                 let snap = self.freeze(std::iter::once(&pane), pane.id, true);
                 self.next_window_id = pane.id + 1;
@@ -504,11 +506,14 @@ impl SampleSink for WindowedSink {
             let pane = self.new_pane();
             self.panes.push_back(pane);
         }
+        // lint:allow(no-panic): the needs_new_pane branch above guarantees a back pane
         let pane = self.panes.back_mut().expect("pane just ensured");
         let lane = pane.router.lane_of(pane.t);
+        // lint:allow(checked-indexing): lane_of returns an index below the lane count
         pane.lanes[lane].offer(value, &mut pane.rngs[lane]);
         pane.t += 1;
         self.seen += 1;
+        // lint:allow(no-panic): the pane pushed above is still live
         if self.panes.back().expect("pane live").t == self.window.pane_span() {
             self.complete_pane();
         }

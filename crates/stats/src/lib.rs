@@ -18,7 +18,7 @@
 //! dependencies beyond `std`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 pub mod counter;
 pub mod interval;

@@ -49,6 +49,7 @@ pub fn ols_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "ols_fit: all x values identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
+    // lint:allow(float-cmp): exact-zero guard before dividing by syy
     let r_squared = if syy == 0.0 {
         0.0
     } else {

@@ -510,7 +510,7 @@ fn analyze_batch(
 /// graceful degradation, not an error: the per-set-normalized testers
 /// stay valid, and every `Report.samples_spent` / ledger entry records
 /// the *actual* counts consumed, so under-sampling is visible.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // the oracle-threading signature is the API, not incidental
 pub fn run_analyze_with<O: SampleOracle + ?Sized>(
     oracle: &mut O,
     k: usize,

@@ -142,7 +142,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// missing_docs is enforced centrally via [workspace.lints] in the root Cargo.toml.
 
 pub mod app;
 
@@ -187,13 +187,13 @@ pub mod prelude {
 
     // Deprecated pre-API wrappers, re-exported so downstream code keeps
     // compiling while it migrates (the deprecation fires at call sites).
-    #[allow(deprecated)]
+    #[allow(deprecated)] // re-export keeps compiling; callers get the warning
     pub use khist_core::greedy::learn_dense;
-    #[allow(deprecated)]
+    #[allow(deprecated)] // re-export keeps compiling; callers get the warning
     pub use khist_core::identity::{test_closeness_l2_dense, test_identity_l2_dense};
-    #[allow(deprecated)]
+    #[allow(deprecated)] // re-export keeps compiling; callers get the warning
     pub use khist_core::tester::{test_l1_dense, test_l2_dense};
-    #[allow(deprecated)]
+    #[allow(deprecated)] // re-export keeps compiling; callers get the warning
     pub use khist_core::uniformity::test_uniformity_dense;
 }
 

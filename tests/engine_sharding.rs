@@ -198,3 +198,35 @@ fn engine_output_order_is_deterministic() {
         assert_eq!(order, sorted, "each call's reports sorted by (stream, window)");
     }
 }
+
+/// First-arrival order of keys must not leak into the output. Internally
+/// each shard groups records per slot (an ordered map, not a randomized
+/// hasher), so feeding the same records with streams debuting in opposite
+/// orders yields reports that differ only by the per-call sort.
+#[test]
+fn key_arrival_order_does_not_change_reports() {
+    let run = |reverse: bool| {
+        let mut engine = Engine::builder(32)
+            .seed(9)
+            .shards(3)
+            .tumbling(200)
+            .analyses(batch())
+            .build()
+            .unwrap();
+        let mut keys: Vec<&str> = KEYS.to_vec();
+        if reverse {
+            keys.reverse();
+        }
+        // Debut every stream in the chosen order, then interleave evenly.
+        let mut keyed: Vec<(String, usize)> = keys
+            .iter()
+            .map(|k| (k.to_string(), 0))
+            .collect();
+        keyed.extend((0..3_000).map(|i| (KEYS[(i * 7) % KEYS.len()].to_string(), (i * 11) % 32)));
+        let mut out = engine.ingest_batch(&keyed).unwrap();
+        out.extend(engine.flush().unwrap());
+        out.sort_by(|a, b| (&a.stream, a.window).cmp(&(&b.stream, b.window)));
+        out
+    };
+    assert_eq!(run(false), run(true), "report content independent of key debut order");
+}

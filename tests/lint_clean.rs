@@ -1,0 +1,25 @@
+//! Tier-1 gate: the workspace must be clean under its own static-analysis
+//! pass. Runs as part of plain `cargo test`, so a determinism/purity/no-panic
+//! regression fails the build even when CI's dedicated `static-analysis` job
+//! is not in the loop.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // CARGO_MANIFEST_DIR for the root `khist` package IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = khist_lint::lint_workspace(root).expect("walking the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "khist-lint found {} diagnostic(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

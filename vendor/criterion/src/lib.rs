@@ -220,6 +220,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Criterion bench group entry point (generated by `criterion_group!`).
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
