@@ -12,6 +12,13 @@
 //! `tests/engine_sharding.rs`), so this bench pins the *speed* side of
 //! that trade: on a ≥ 4-core machine the multi-shard rows should beat the
 //! 1-shard row wall-clock.
+//!
+//! A second group measures the *warm steady state* at fleet scale: an
+//! engine already holding 100 000 debuted streams ingests batches that
+//! complete no window, so each iteration pays only the allocation-free
+//! pipeline (intern lookup → partition → counting-sort → reservoir
+//! skip-sampling). This is the path `tests/engine_zero_alloc.rs` proves
+//! heap-silent; the bench pins its speed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use khist_core::api::{Analysis, Engine, TestL2, Uniformity};
@@ -72,5 +79,48 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput);
+/// Streams in the warm fleet-scale group.
+const WARM_STREAMS: usize = 100_000;
+/// Records per warm iteration (5 per stream, round-robin interleaved).
+const WARM_BATCH: usize = 500_000;
+
+fn bench_warm_ingest_100k_streams(c: &mut Criterion) {
+    let n = 256;
+    let p = generators::staircase(n, 4).expect("valid staircase");
+    let mut rng = StdRng::seed_from_u64(11);
+    let values = p.sample_many(WARM_BATCH, &mut rng);
+    let records: Vec<(String, usize)> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (format!("tenant-{:06}", i % WARM_STREAMS), v))
+        .collect();
+
+    let mut group = c.benchmark_group("engine_warm_ingest_100k_streams");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        // Build and warm the engine once per shard count: every key
+        // debuted, every scratch buffer at steady-state capacity. The
+        // span is far beyond the records any measurement feeds, so the
+        // timed iterations stay on the pure ingest path.
+        let mut engine = Engine::builder(n)
+            .seed(11)
+            .shards(shards)
+            .tumbling(1_000_000_000)
+            .analyses(standing())
+            .build()
+            .expect("valid engine config");
+        let reports = engine.ingest_batch(&records).expect("clean warm-up ingest");
+        assert!(reports.is_empty(), "warm-up must not complete windows");
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let reports = engine.ingest_batch(&records).expect("clean warm ingest");
+                assert!(reports.is_empty(), "warm batches complete no window");
+                reports.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_warm_ingest_100k_streams);
 criterion_main!(benches);

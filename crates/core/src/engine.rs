@@ -9,20 +9,37 @@
 //!
 //! ```text
 //!   ingest_batch(&[(key, value), …])
-//!        │  key ──FNV-1a──▶ shard = hash(key) mod shards
-//!        ▼
-//!   ┌─────────┐  ┌─────────┐       ┌─────────┐   one scoped worker thread
-//!   │ shard 0 │  │ shard 1 │  ...  │ shard S │   per busy shard; results
-//!   │ ┌─────┐ │  │ ┌─────┐ │       │ ┌─────┐ │   handed back over an mpsc
-//!   │ │state│ │  │ │state│ │       │ │state│ │   channel
-//!   │ │state│ │  │ └─────┘ │       │ │state│ │
-//!   │ └─────┘ │  └─────────┘       │ └─────┘ │   state = MonitorState of
-//!   └─────────┘                    └─────────┘   one stream key
-//!        │              │               │
-//!        └──────────────┴───────────────┘
-//!                       ▼
+//!        │  key ──interner──▶ (shard, slot): FNV-1a hashed once at debut,
+//!        ▼                    then a u32 id — no String on the hot path
+//!   ┌─────────┐  ┌─────────┐       ┌─────────┐   one *persistent* worker
+//!   │ shard 0 │  │ shard 1 │  ...  │ shard S │   thread per shard, spawned
+//!   │ ┌─────┐ │  │ ┌─────┐ │       │ ┌─────┐ │   at build and parked when
+//!   │ │state│ │  │ │state│ │       │ │state│ │   idle; the shard's slab is
+//!   │ │state│ │  │ └─────┘ │       │ │state│ │   handed through a one-slot
+//!   │ └─────┘ │  └─────────┘       │ └─────┘ │   mailbox per batch
+//!   └─────────┘                    └─────────┘
+//!        │              │               │        state = MonitorState of
+//!        └──────────────┴───────────────┘        one stream key (a slab
+//!                       ▼                        slot in debut order)
 //!     Vec<WindowReport> tagged by stream, sorted by (stream, window)
 //! ```
+//!
+//! # The allocation-free batch pipeline
+//!
+//! Steady-state `ingest_batch` (every key already interned, no window
+//! closing) performs **zero heap allocations** — asserted by a
+//! counting-allocator integration test (`tests/engine_zero_alloc.rs`):
+//!
+//! * keys resolve through the interner's open-addressing table (hash +
+//!   probe, no `String`, no `BTreeMap`);
+//! * records partition into per-shard scratch buffers reused across
+//!   batches;
+//! * each shard groups its slice with a counting sort over reused scratch
+//!   (counts / touched-slot list / scatter buffer);
+//! * busy shards move through their worker's single-slot mailbox by value
+//!   (`mem::take` of the shard slab — no copy, no channel allocation) and
+//!   move back when collected. When at most one shard is busy the batch
+//!   runs inline on the caller thread — no handoff at all.
 //!
 //! # Sharding is semantics-free
 //!
@@ -74,9 +91,9 @@
 //! assert_eq!(engine.streams(), 2);
 //! ```
 
-use std::collections::BTreeMap;
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
+use crossbeam::Courier;
 use khist_dist::DistError;
 use khist_oracle::{stream_seed, SinkShape, Window};
 
@@ -95,7 +112,9 @@ type ShardOutcome = (Vec<WindowReport>, Vec<(String, DistError)>);
 /// across processes and platforms — `std`'s default hasher is randomized
 /// per process, which would make "which shard owns tenant X" and "what
 /// seed does tenant X sample with" unreproducible. FNV-1a is stable,
-/// tiny, and good enough for short keys.
+/// tiny, and good enough for short keys. Each key is hashed once per
+/// batch appearance; the [`Interner`] caches the hash at debut so rehash
+/// and shard routing never recompute it.
 fn key_hash(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in key.bytes() {
@@ -106,7 +125,8 @@ fn key_hash(key: &str) -> u64 {
 }
 
 /// Everything the shards share, read-only: one validated configuration
-/// stamped out per stream key.
+/// stamped out per stream key. Wrapped in an `Arc` so the persistent
+/// workers hold it without borrowing the engine.
 struct EngineConfig {
     seed: u64,
     shape: SinkShape,
@@ -130,75 +150,199 @@ impl EngineConfig {
     }
 }
 
+/// One interned stream key: its cached hash and its home `(shard, slot)`.
+struct KeyEntry {
+    key: String,
+    hash: u64,
+    shard: u32,
+    slot: u32,
+}
+
+/// The engine's key interner: a debut-ordered slab of [`KeyEntry`] plus an
+/// open-addressing hash table over it. Steady-state resolution is an
+/// FNV-1a hash, a linear probe, and one short key comparison — no
+/// allocation, no `String` construction, no tree walk. Debut (the only
+/// cold path) allocates the entry and, rarely, regrows the table.
+///
+/// The table stores `entry index + 1` so `0` marks an empty bucket; its
+/// length is always a power of two. Stream counts are capped at `u32`
+/// range (4 billion keys) by the id width — far beyond the slab sizes the
+/// monitor layer supports in memory anyway.
+struct Interner {
+    entries: Vec<KeyEntry>,
+    table: Vec<u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            entries: Vec::new(),
+            table: vec![0; 64],
+        }
+    }
+
+    /// Steady-state key resolution: no allocation, no `String`.
+    // lint:hot-path
+    fn lookup(&self, key: &str, hash: u64) -> Option<u32> {
+        let mask = self.table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            // lint:allow(checked-indexing): i is masked onto the table length
+            let probe = self.table[i];
+            if probe == 0 {
+                return None;
+            }
+            let id = probe - 1;
+            // lint:allow(checked-indexing): the table only stores ids of live entries
+            let entry = &self.entries[id as usize];
+            if entry.hash == hash && entry.key == key {
+                return Some(id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Registers a debuting key (cold path: allocates the entry, may
+    /// regrow the table). Caller guarantees `key` is not present.
+    fn insert(&mut self, key: &str, hash: u64, shard: u32, slot: u32) -> u32 {
+        let id = self.entries.len() as u32;
+        self.entries.push(KeyEntry {
+            key: key.to_string(),
+            hash,
+            shard,
+            slot,
+        });
+        // Keep load factor below 3/4 so probe chains stay short.
+        if self.entries.len() * 4 > self.table.len() * 3 {
+            self.grow();
+        } else {
+            Self::place(&mut self.table, hash, id);
+        }
+        id
+    }
+
+    fn grow(&mut self) {
+        let mut table = vec![0u32; self.table.len() * 2];
+        for (id, entry) in self.entries.iter().enumerate() {
+            Self::place(&mut table, entry.hash, id as u32);
+        }
+        self.table = table;
+    }
+
+    fn place(table: &mut [u32], hash: u64, id: u32) {
+        let mask = table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        // lint:allow(checked-indexing): i is masked onto the table length
+        while table[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        // lint:allow(checked-indexing): i is masked onto the table length
+        table[i] = id + 1;
+    }
+}
+
 /// One stream owned by a shard.
 struct StreamSlot {
     key: String,
     state: MonitorState,
 }
 
-/// One worker's worth of streams. Shards share nothing: every stream key
-/// hashes to exactly one shard, and only that shard's worker ever touches
-/// its states.
+/// One worker's worth of streams, plus its reusable batch scratch. Shards
+/// share nothing: every stream key hashes to exactly one shard, and only
+/// that shard's worker (or the caller thread, when the shard runs inline)
+/// ever touches its states.
+///
+/// `Default` is derived so the engine can `mem::take` a shard — an
+/// allocation-free move — to hand it to its persistent worker by value and
+/// reinstall it when the batch result is collected.
 #[derive(Default)]
 struct Shard {
-    /// Slots in first-seen order (the engine's per-shard iteration order).
+    /// Slots in debut order — the shard-local slab the interner's
+    /// `(shard, slot)` coordinates point into.
     slots: Vec<StreamSlot>,
-    /// Key → slot index. A `BTreeMap`, not a default-hasher `HashMap`:
-    /// per-call output is sorted by [`Engine::sort_reports`] either way,
-    /// but nothing in the keyed path may even *risk* depending on
-    /// `RandomState` iteration order (enforced by khist-lint's
-    /// `default-hasher` rule).
-    index: BTreeMap<String, usize>,
+    /// Counting-sort scratch: per-slot record count, doubling as the
+    /// scatter cursor. Sized to `slots.len()`, zero between batches.
+    counts: Vec<usize>,
+    /// Slots touched by the current batch (those with `counts > 0`).
+    touched: Vec<u32>,
+    /// `(slot, start, end)` group extents into `grouped`, in slot order.
+    spans: Vec<(u32, usize, usize)>,
+    /// The batch's record values scattered into per-slot contiguous runs.
+    grouped: Vec<usize>,
 }
 
 impl Shard {
-    /// The slot owning `key`, created on first contact.
-    fn slot_of(&mut self, key: &str, cfg: &EngineConfig) -> usize {
-        if let Some(&slot) = self.index.get(key) {
-            return slot;
-        }
-        let slot = self.slots.len();
-        self.slots.push(StreamSlot {
-            key: key.to_string(),
-            state: cfg.new_state(key),
-        });
-        self.index.insert(key.to_string(), slot);
-        slot
-    }
-
     /// Ingests one shard's slice of a keyed batch: records are grouped per
-    /// stream (preserving per-stream arrival order — the only order a
-    /// stream's state can observe) and each touched stream ingests its
-    /// group independently; a failing stream does not stop its
-    /// shard-mates. Ledgers are drained and dropped; per-stream ledgers
-    /// surfacing through the engine are a roadmap item.
-    fn ingest(&mut self, cfg: &EngineConfig, records: &[(&str, usize)]) -> ShardOutcome {
-        // Grouped per stream, preserving each stream's arrival order (the
-        // only order a stream's state can observe). A `BTreeMap` keyed by
-        // slot index makes the processing order itself deterministic —
-        // grouping must never route through `RandomState`.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for &(key, value) in records {
-            let slot = self.slot_of(key, cfg);
-            groups.entry(slot).or_default().push(value);
+    /// stream with a counting sort over reused scratch (preserving each
+    /// stream's arrival order — the only order a stream's state can
+    /// observe) and each touched stream ingests its group independently; a
+    /// failing stream does not stop its shard-mates. Ledgers are drained
+    /// and dropped; per-stream ledgers surfacing through the engine are a
+    /// roadmap item.
+    ///
+    /// Slot index order is debut order, so the processing order is
+    /// deterministic for every batch partitioning — and the whole pass
+    /// allocates nothing once the scratch has grown to the working size.
+    fn ingest(&mut self, cfg: &EngineConfig, records: &[(u32, usize)]) -> ShardOutcome {
+        let _ = cfg; // shards no longer create streams; debut happens in the engine
+        if self.counts.len() < self.slots.len() {
+            self.counts.resize(self.slots.len(), 0);
+        }
+        for &(slot, _) in records {
+            // lint:allow(checked-indexing): the engine only routes interned slots here
+            let c = &mut self.counts[slot as usize];
+            if *c == 0 {
+                self.touched.push(slot);
+            }
+            *c += 1;
+        }
+        // Ascending slot index == per-shard debut order: deterministic.
+        self.touched.sort_unstable();
+        let mut offset = 0usize;
+        for &slot in &self.touched {
+            // lint:allow(checked-indexing): touched slots were counted above
+            let count = self.counts[slot as usize];
+            self.spans.push((slot, offset, offset + count));
+            // Repurpose the count as the scatter cursor.
+            // lint:allow(checked-indexing): same touched slot
+            self.counts[slot as usize] = offset;
+            offset += count;
+        }
+        self.grouped.clear();
+        self.grouped.resize(records.len(), 0);
+        for &(slot, value) in records {
+            // lint:allow(checked-indexing): cursor stays within this slot's span
+            let cursor = &mut self.counts[slot as usize];
+            // lint:allow(checked-indexing): spans tile 0..records.len() exactly
+            self.grouped[*cursor] = value;
+            *cursor += 1;
         }
         let mut out = Vec::new();
         let mut errors = Vec::new();
-        for (idx, group) in groups {
-            let Some(slot) = self.slots.get_mut(idx) else {
-                continue; // unreachable: slot_of returned idx < slots.len()
+        for j in 0..self.spans.len() {
+            // lint:allow(checked-indexing): j < spans.len() by the loop bound
+            let (slot_idx, start, end) = self.spans[j];
+            // Reset the scratch count before the next batch.
+            // lint:allow(checked-indexing): touched slot, in bounds as above
+            self.counts[slot_idx as usize] = 0;
+            let Some(slot) = self.slots.get_mut(slot_idx as usize) else {
+                continue; // unreachable: the engine interned slot_idx into this shard
             };
-            let result = slot.state.ingest(&group);
+            // lint:allow(checked-indexing): span extents tile the grouped buffer
+            let group = &self.grouped[start..end];
+            let result = slot.state.ingest(group);
             slot.state.drain_ledger();
             match result {
                 Ok(reports) => out.extend(reports),
                 Err(e) => errors.push((slot.key.clone(), e)),
             }
         }
+        self.touched.clear();
+        self.spans.clear();
         (out, errors)
     }
 
-    /// Flushes every stream the shard owns, in first-seen order; a failing
+    /// Flushes every stream the shard owns, in debut order; a failing
     /// stream does not stop its shard-mates.
     fn flush(&mut self) -> ShardOutcome {
         let mut out = Vec::new();
@@ -213,6 +357,27 @@ impl Shard {
         }
         (out, errors)
     }
+}
+
+/// A job handed to a shard's persistent worker: the shard slab moves in by
+/// value and moves back out inside [`ShardReply`].
+enum ShardJob {
+    /// Ingest a partitioned batch slice (`(slot, value)` records).
+    Ingest {
+        shard: Shard,
+        records: Vec<(u32, usize)>,
+    },
+    /// Flush every stream the shard owns.
+    Flush { shard: Shard },
+}
+
+/// A worker's answer: the shard slab (reinstalled by the engine), the
+/// batch outcome, and the partition buffer (returned so its capacity is
+/// recycled; empty for flush jobs).
+struct ShardReply {
+    shard: Shard,
+    outcome: ShardOutcome,
+    records: Vec<(u32, usize)>,
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -286,7 +451,9 @@ impl EngineBuilder {
 
     /// Builds the engine: validates the configuration once (shard count,
     /// standing batch, window policy, lane shape) so that per-stream state
-    /// creation on first contact with a new key is cheap and infallible.
+    /// creation on first contact with a new key is cheap and infallible,
+    /// and spawns the persistent worker pool (one parked thread per shard;
+    /// none for a single-shard engine, which always runs inline).
     pub fn build(self) -> Result<Engine, DistError> {
         if self.shards == 0 {
             return Err(DistError::BadParameter {
@@ -298,15 +465,55 @@ impl EngineBuilder {
         let (plan, shape) = resolve_config(self.n, self.window, &self.analyses, self.drift_eps)?;
         let mut shards = Vec::with_capacity(self.shards);
         shards.resize_with(self.shards, Shard::default);
+        let cfg = Arc::new(EngineConfig {
+            seed: self.seed,
+            shape,
+            analyses: Arc::new(self.analyses),
+            plan,
+            drift_eps: self.drift_eps,
+        });
+        // Persistent workers: spawned once here, parked on their mailbox
+        // between batches. A 1-shard engine has no workers at all.
+        let workers = if self.shards > 1 {
+            (0..self.shards)
+                .map(|i| {
+                    let cfg = Arc::clone(&cfg);
+                    Courier::spawn(&format!("khist-shard-{i}"), move |job: ShardJob| match job {
+                        ShardJob::Ingest {
+                            mut shard,
+                            records,
+                        } => {
+                            let outcome = shard.ingest(&cfg, &records);
+                            ShardReply {
+                                shard,
+                                outcome,
+                                records,
+                            }
+                        }
+                        ShardJob::Flush { mut shard } => {
+                            let outcome = shard.flush();
+                            ShardReply {
+                                shard,
+                                outcome,
+                                records: Vec::new(),
+                            }
+                        }
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut parts = Vec::with_capacity(self.shards);
+        parts.resize_with(self.shards, Vec::new);
         Ok(Engine {
-            cfg: EngineConfig {
-                seed: self.seed,
-                shape,
-                analyses: Arc::new(self.analyses),
-                plan,
-                drift_eps: self.drift_eps,
-            },
+            cfg,
             shards,
+            workers,
+            interner: Interner::new(),
+            parts,
+            busy: Vec::new(),
+            outcomes: Vec::new(),
             stashed: Vec::new(),
         })
     }
@@ -314,11 +521,24 @@ impl EngineBuilder {
 
 /// A keyed multi-stream ingest engine: [`Monitor`](crate::monitor::Monitor)
 /// semantics per stream key, scaled across a shared-nothing pool of worker
-/// shards. See the [module docs](self) for the architecture and the
-/// sharding-is-semantics-free contract.
+/// shards. See the [module docs](self) for the architecture, the
+/// allocation-free batch pipeline, and the sharding-is-semantics-free
+/// contract.
 pub struct Engine {
-    cfg: EngineConfig,
+    cfg: Arc<EngineConfig>,
     shards: Vec<Shard>,
+    /// Persistent shard workers (empty for a 1-shard engine). Index i is
+    /// shard i's dedicated worker; dropping the engine parks-then-joins
+    /// them.
+    workers: Vec<Courier<ShardJob, ShardReply>>,
+    interner: Interner,
+    /// Per-shard partition scratch: `(slot, value)` records, reused across
+    /// batches (round-tripped through the workers to keep capacity).
+    parts: Vec<Vec<(u32, usize)>>,
+    /// Indices of the shards busy in the current call.
+    busy: Vec<u32>,
+    /// Per-call shard outcomes, drained by [`Engine::settle`].
+    outcomes: Vec<ShardOutcome>,
     /// Reports computed by healthy streams during a call that returned an
     /// error for some *other* stream. Streams are independent, so those
     /// reports are valid and must not be lost — they are delivered (in
@@ -369,18 +589,16 @@ impl Engine {
 
     /// Number of distinct stream keys seen so far.
     pub fn streams(&self) -> usize {
-        self.shards.iter().map(|s| s.slots.len()).sum()
+        self.interner.entries.len()
     }
 
-    /// All stream keys seen so far, sorted.
+    /// All stream keys seen so far, in **debut order** — the order in
+    /// which each key's first record reached the engine, which is
+    /// independent of shard count and stable across calls. Borrowed
+    /// straight from the interner's slab; nothing is re-sorted or
+    /// re-hashed per call.
     pub fn stream_keys(&self) -> Vec<&str> {
-        let mut keys: Vec<&str> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.slots.iter().map(|slot| slot.key.as_str()))
-            .collect();
-        keys.sort_unstable();
-        keys
+        self.interner.entries.iter().map(|e| e.key.as_str()).collect()
     }
 
     /// Total records ingested across all streams.
@@ -411,14 +629,36 @@ impl Engine {
     /// Read access to one stream's state machine (e.g. to check `seen` or
     /// probe [`drift`](MonitorState::drift) for a single tenant).
     pub fn stream_state(&self, key: &str) -> Option<&MonitorState> {
-        let shard = self.shards.get(self.shard_of(key))?;
-        let &slot = shard.index.get(key)?;
-        shard.slots.get(slot).map(|s| &s.state)
+        let id = self.interner.lookup(key, key_hash(key))?;
+        let entry = self.interner.entries.get(id as usize)?;
+        let shard = self.shards.get(entry.shard as usize)?;
+        shard.slots.get(entry.slot as usize).map(|s| &s.state)
     }
 
     /// The shard index `key` hashes to.
     pub fn shard_of(&self, key: &str) -> usize {
         (key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Resolves `key` to its interned id, creating the stream's slot (and
+    /// state machine) on debut. Steady state touches no `String`.
+    fn intern(&mut self, key: &str) -> u32 {
+        let hash = key_hash(key);
+        if let Some(id) = self.interner.lookup(key, hash) {
+            return id;
+        }
+        let shard_idx = (hash % self.shards.len() as u64) as usize;
+        let Some(shard) = self.shards.get_mut(shard_idx) else {
+            // Unreachable: shard_idx < shards.len() by the modulo above;
+            // keep the no-panic discipline anyway.
+            return 0;
+        };
+        let slot = shard.slots.len() as u32;
+        shard.slots.push(StreamSlot {
+            key: key.to_string(),
+            state: self.cfg.new_state(key),
+        });
+        self.interner.insert(key, hash, shard_idx as u32, slot)
     }
 
     /// Ingests records for a single stream in arrival order, reporting the
@@ -428,23 +668,30 @@ impl Engine {
     /// reports — those wait for the next
     /// [`ingest_batch`](Engine::ingest_batch) / [`flush`](Engine::flush).
     pub fn ingest(&mut self, key: &str, records: &[usize]) -> Result<Vec<WindowReport>, DistError> {
-        let shard = self.shard_of(key);
-        // lint:allow(checked-indexing): shard_of is hash mod shards.len(), in bounds by construction
-        let shard = &mut self.shards[shard];
-        let slot = shard.slot_of(key, &self.cfg);
-        // lint:allow(checked-indexing): slot_of returns an index it just ensured exists
-        let state = &mut shard.slots[slot].state;
+        let id = self.intern(key);
+        let (shard_idx, slot_idx) = match self.interner.entries.get(id as usize) {
+            Some(entry) => (entry.shard as usize, entry.slot as usize),
+            None => return Ok(Vec::new()), // unreachable: intern just returned id
+        };
+        // lint:allow(checked-indexing): intern placed this (shard, slot) coordinate
+        let state = &mut self.shards[shard_idx].slots[slot_idx].state;
         let result = state.ingest(records);
         state.drain_ledger();
         result
     }
 
     /// Ingests a batch of keyed records in arrival order — the engine's
-    /// main entry point. Records are partitioned onto shards by key hash;
-    /// busy shards run on scoped worker threads (shared-nothing: a shard's
-    /// states are touched only by its worker), and completed windows come
-    /// back sorted by `(stream, window id)` — a deterministic interleaving
-    /// with every stream's reports in window order.
+    /// main entry point. Records are partitioned onto shards through the
+    /// interner (keys hash once; steady state touches no `String`); busy
+    /// shards move by value to their persistent workers (shared-nothing: a
+    /// shard's states are touched only by its worker), and completed
+    /// windows come back sorted by `(stream, window id)` — a deterministic
+    /// interleaving with every stream's reports in window order. When at
+    /// most one shard is busy the batch runs inline on the caller thread:
+    /// no handoff, no wakeup.
+    ///
+    /// A warm call — every key interned, no window completing — performs
+    /// zero heap allocations (see the [module docs](self)).
     ///
     /// Streams fail *independently*: a record outside `[0, n)` (or a
     /// failing standing analysis) stops only its own stream — exactly
@@ -460,108 +707,135 @@ impl Engine {
         &mut self,
         records: &[(K, usize)],
     ) -> Result<Vec<WindowReport>, DistError> {
-        let shard_count = self.shards.len() as u64;
-        let mut parts: Vec<Vec<(&str, usize)>> = Vec::with_capacity(self.shards.len());
-        parts.resize_with(self.shards.len(), Vec::new);
         for (key, value) in records {
-            let key = key.as_ref();
-            // lint:allow(checked-indexing): hash mod shard_count, in bounds by construction
-            parts[(key_hash(key) % shard_count) as usize].push((key, *value));
+            let id = self.intern(key.as_ref());
+            let (shard_idx, slot) = match self.interner.entries.get(id as usize) {
+                Some(entry) => (entry.shard as usize, entry.slot),
+                None => continue, // unreachable: intern just returned id
+            };
+            // lint:allow(checked-indexing): interned shard indices are < shards.len()
+            self.parts[shard_idx].push((slot, *value));
         }
-        let cfg = &self.cfg;
-        let busy = parts.iter().filter(|p| !p.is_empty()).count();
-        let outcome = if busy > 1 {
-            // Batched channel handoff: one scoped worker per busy shard,
-            // results returned over an mpsc channel. Workers own disjoint
-            // shards, so output depends only on each shard's input.
-            let (tx, rx) = mpsc::channel();
-            crossbeam::scope(|scope| {
-                for ((_, shard), batch) in
-                    self.shards.iter_mut().enumerate().zip(parts)
-                {
-                    if batch.is_empty() {
-                        continue;
-                    }
-                    let tx = tx.clone();
-                    scope.spawn(move |_| {
-                        tx.send(shard.ingest(cfg, &batch))
-                            // lint:allow(no-panic): rx lives until the scope joins, so send cannot fail
-                            .expect("engine result channel outlives the scope");
-                    });
-                }
-            })
-            // lint:allow(no-panic): a panicked shard worker must abort loudly, not drop windows
-            .expect("engine ingest worker panicked");
-            drop(tx);
-            rx.iter().collect()
-        } else {
-            let mut outcome = Vec::new();
-            for (shard, batch) in self.shards.iter_mut().zip(parts) {
-                if !batch.is_empty() {
-                    outcome.push(shard.ingest(cfg, &batch));
-                }
+        self.busy.clear();
+        for (i, part) in self.parts.iter().enumerate() {
+            if !part.is_empty() {
+                self.busy.push(i as u32);
             }
-            outcome
-        };
-        self.settle(outcome)
+        }
+        if self.busy.len() <= 1 || self.workers.is_empty() {
+            // At most one busy shard (or a single-shard engine): run
+            // inline on the caller thread — a worker handoff would buy no
+            // parallelism and cost two context switches.
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                let outcome = self.shards[i].ingest(&self.cfg, &self.parts[i]);
+                // lint:allow(checked-indexing): same index as above
+                self.parts[i].clear();
+                self.outcomes.push(outcome);
+            }
+        } else {
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                let shard = std::mem::take(&mut self.shards[i]);
+                // lint:allow(checked-indexing): same index as above
+                let records = std::mem::take(&mut self.parts[i]);
+                // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
+                self.workers[i].submit(ShardJob::Ingest { shard, records });
+            }
+            // Collect in shard order — deterministic regardless of which
+            // worker finishes first.
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
+                let reply = self.workers[i].collect();
+                let ShardReply {
+                    shard,
+                    outcome,
+                    mut records,
+                } = reply;
+                records.clear();
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                self.shards[i] = shard;
+                // lint:allow(checked-indexing): same index as above
+                self.parts[i] = records;
+                self.outcomes.push(outcome);
+            }
+        }
+        self.settle()
     }
 
     /// Flushes every stream: completed-but-uncollected windows, then each
     /// stream's partial tail (when it holds records) — fanned across the
-    /// shards like [`ingest_batch`](Engine::ingest_batch), sorted by
+    /// persistent workers like [`ingest_batch`](Engine::ingest_batch)
+    /// (inline when at most one shard holds streams), sorted by
     /// `(stream, window id)`, with the same independent-failure contract.
     pub fn flush(&mut self) -> Result<Vec<WindowReport>, DistError> {
-        let busy = self.shards.iter().filter(|s| !s.slots.is_empty()).count();
-        let outcome = if busy > 1 {
-            let (tx, rx) = mpsc::channel();
-            crossbeam::scope(|scope| {
-                for shard in self.shards.iter_mut() {
-                    if shard.slots.is_empty() {
-                        continue;
-                    }
-                    let tx = tx.clone();
-                    scope.spawn(move |_| {
-                        tx.send(shard.flush())
-                            // lint:allow(no-panic): rx lives until the scope joins, so send cannot fail
-                            .expect("engine result channel outlives the scope");
-                    });
-                }
-            })
-            // lint:allow(no-panic): a panicked shard worker must abort loudly, not drop windows
-            .expect("engine flush worker panicked");
-            drop(tx);
-            rx.iter().collect()
+        self.busy.clear();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.slots.is_empty() {
+                self.busy.push(i as u32);
+            }
+        }
+        if self.busy.len() <= 1 || self.workers.is_empty() {
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                let outcome = self.shards[i].flush();
+                self.outcomes.push(outcome);
+            }
         } else {
-            self.shards
-                .iter_mut()
-                .filter(|s| !s.slots.is_empty())
-                .map(Shard::flush)
-                .collect()
-        };
-        self.settle(outcome)
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                let shard = std::mem::take(&mut self.shards[i]);
+                // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
+                self.workers[i].submit(ShardJob::Flush { shard });
+            }
+            for j in 0..self.busy.len() {
+                // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
+                let i = self.busy[j] as usize;
+                // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
+                let ShardReply { shard, outcome, .. } = self.workers[i].collect();
+                // lint:allow(checked-indexing): busy holds indices < shards.len()
+                self.shards[i] = shard;
+                self.outcomes.push(outcome);
+            }
+        }
+        self.settle()
     }
 
-    /// Merges per-shard outcomes into the call's result. On full success,
-    /// the computed reports — plus any reports stashed by an earlier
-    /// failing call — come back sorted. When any stream failed, the
-    /// healthy streams' reports are stashed for the next successful call
-    /// and the error of the lexicographically smallest failing key is
-    /// returned (deterministic for every shard count; channel arrival
-    /// order is not).
-    fn settle(&mut self, outcome: Vec<ShardOutcome>) -> Result<Vec<WindowReport>, DistError> {
+    /// Merges the per-shard outcomes collected by the current call into
+    /// its result. On full success, the computed reports — plus any
+    /// reports stashed by an earlier failing call — come back sorted. When
+    /// any stream failed, the healthy streams' reports are stashed for the
+    /// next successful call and the error of the lexicographically
+    /// smallest failing key is returned (deterministic for every shard
+    /// count; worker completion order is not).
+    fn settle(&mut self) -> Result<Vec<WindowReport>, DistError> {
         let mut reports = Vec::new();
-        let mut errors: Vec<(String, DistError)> = Vec::new();
-        for (shard_reports, shard_errors) in outcome {
+        let mut first_error: Option<(String, DistError)> = None;
+        for (shard_reports, shard_errors) in self.outcomes.drain(..) {
             reports.extend(shard_reports);
-            errors.extend(shard_errors);
+            for (key, e) in shard_errors {
+                let smaller = match &first_error {
+                    Some((held, _)) => key < *held,
+                    None => true,
+                };
+                if smaller {
+                    first_error = Some((key, e));
+                }
+            }
         }
-        if let Some(first) = errors
-            .into_iter()
-            .min_by(|(a, _), (b, _)| a.cmp(b))
-            .map(|(_, e)| e)
-        {
+        if let Some((_, e)) = first_error {
             self.stashed.append(&mut reports);
-            return Err(first);
+            return Err(e);
         }
         reports.append(&mut self.stashed);
         Engine::sort_reports(&mut reports);
@@ -636,6 +910,20 @@ mod tests {
             .unwrap()
     }
 
+    /// A dedicated monitor reproducing one engine stream, fed `records`.
+    fn dedicated(key: &str, span: u64, records: &[usize]) -> Vec<WindowReport> {
+        let mut monitor = Monitor::builder(64)
+            .seed(Engine::stream_seed(11, key))
+            .stream(key)
+            .tumbling(span)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        let mut want = monitor.ingest(records).unwrap();
+        want.extend(monitor.flush().unwrap());
+        want
+    }
+
     #[test]
     fn builder_rejects_bad_configs() {
         assert!(
@@ -672,6 +960,45 @@ mod tests {
         // Per-stream state is inspectable.
         assert_eq!(engine.stream_state("api").unwrap().seen(), 2_000);
         assert!(engine.stream_state("nope").is_none());
+    }
+
+    #[test]
+    fn stream_keys_come_back_in_debut_order() {
+        // Debut order — not lexicographic, not shard order.
+        let mut engine = engine(3, 1_000);
+        engine.ingest("zeta", &[1]).unwrap();
+        let batch = vec![
+            ("mid".to_string(), 2usize),
+            ("alpha".to_string(), 3),
+            ("mid".to_string(), 4),
+        ];
+        engine.ingest_batch(&batch).unwrap();
+        assert_eq!(engine.stream_keys(), ["zeta", "mid", "alpha"]);
+        // Stable across calls and shard counts.
+        let mut other = engine_with_shards_and_same_records();
+        assert_eq!(other.stream_keys(), ["zeta", "mid", "alpha"]);
+        fn engine_with_shards_and_same_records() -> Engine {
+            let mut e = Engine::builder(64)
+                .seed(11)
+                .shards(1)
+                .tumbling(1_000)
+                .analyses(vec![
+                    Learn::k(3).eps(0.25).scale(0.05).into(),
+                    TestL2::k(3).eps(0.3).scale(0.05).into(),
+                    Uniformity::eps(0.3).scale(0.2).into(),
+                ])
+                .build()
+                .unwrap();
+            e.ingest("zeta", &[1]).unwrap();
+            let batch = vec![
+                ("mid".to_string(), 2usize),
+                ("alpha".to_string(), 3),
+                ("mid".to_string(), 4),
+            ];
+            e.ingest_batch(&batch).unwrap();
+            e
+        }
+        let _ = other.flush();
     }
 
     #[test]
@@ -718,15 +1045,7 @@ mod tests {
                 .filter(|(k, _)| k == key)
                 .map(|&(_, v)| v)
                 .collect();
-            let mut monitor = Monitor::builder(64)
-                .seed(Engine::stream_seed(11, key))
-                .stream(key)
-                .tumbling(700)
-                .analyses(standing())
-                .build()
-                .unwrap();
-            let mut want = monitor.ingest(&mine).unwrap();
-            want.extend(monitor.flush().unwrap());
+            let want = dedicated(key, 700, &mine);
             let stream_reports: Vec<WindowReport> = got
                 .iter()
                 .filter(|r| r.stream.as_deref() == Some(key))
@@ -747,6 +1066,83 @@ mod tests {
         let mut via_batch = b.ingest_batch(&records).unwrap();
         via_batch.extend(b.flush().unwrap());
         assert_eq!(via_single, via_batch);
+    }
+
+    #[test]
+    fn duplicate_keys_within_one_batch_group_in_arrival_order() {
+        // The same key appearing in many disjoint positions of one batch
+        // must see its records in arrival order — bit-identical to a
+        // dedicated monitor fed the same subsequence.
+        // The keys slice repeats "dup" in disjoint positions, so every
+        // round-robin pass scatters the key across the batch.
+        let span = 500u64;
+        let batch = keyed_events(64, 5_000, &["dup", "other", "dup", "dup", "other"], 2);
+        for shards in [1usize, 2, 4] {
+            let mut eng = engine(shards, span);
+            let mut got = eng.ingest_batch(&batch).unwrap();
+            got.extend(eng.flush().unwrap());
+            for key in ["dup", "other"] {
+                let mine: Vec<usize> = batch
+                    .iter()
+                    .filter(|(k, _)| k == key)
+                    .map(|&(_, v)| v)
+                    .collect();
+                let want = dedicated(key, span, &mine);
+                let stream_reports: Vec<WindowReport> = got
+                    .iter()
+                    .filter(|r| r.stream.as_deref() == Some(key))
+                    .cloned()
+                    .collect();
+                assert_eq!(stream_reports, want, "stream {key} @ {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_and_empty_slices_are_no_ops() {
+        let mut eng = engine(2, 500);
+        let empty: [(String, usize); 0] = [];
+        assert!(eng.ingest_batch(&empty).unwrap().is_empty());
+        assert_eq!(eng.streams(), 0);
+        // An empty single-stream slice still debuts the key (a monitor
+        // fed no records exists, with zero seen) but reports nothing.
+        assert!(eng.ingest("quiet", &[]).unwrap().is_empty());
+        assert_eq!(eng.streams(), 1);
+        assert_eq!(eng.stream_state("quiet").unwrap().seen(), 0);
+        // And an engine with streams but an empty batch stays warm.
+        eng.ingest("quiet", &[1, 2, 3]).unwrap();
+        assert!(eng.ingest_batch(&empty).unwrap().is_empty());
+        assert_eq!(eng.seen(), 3);
+    }
+
+    #[test]
+    fn debut_and_window_completion_in_the_same_batch() {
+        // A key's very first batch immediately completes windows: the
+        // debut path (slot creation) and the report path run in one call
+        // and must still match a dedicated monitor bit for bit.
+        let span = 250u64;
+        let records: Vec<usize> = (0..1_000usize).map(|i| (i * 11) % 64).collect();
+        for shards in [1usize, 2, 4] {
+            let mut eng = engine(shards, span);
+            // Prime the engine with another stream so the debuting key is
+            // not the only slot in its shard.
+            eng.ingest("primer", &[5, 6, 7]).unwrap();
+            let batch: Vec<(String, usize)> = records
+                .iter()
+                .map(|&v| ("newcomer".to_string(), v))
+                .collect();
+            let mut got = eng.ingest_batch(&batch).unwrap();
+            got.retain(|r| r.stream.as_deref() == Some("newcomer"));
+            got.extend(
+                eng.flush()
+                    .unwrap()
+                    .into_iter()
+                    .filter(|r| r.stream.as_deref() == Some("newcomer")),
+            );
+            let want = dedicated("newcomer", span, &records);
+            assert_eq!(got, want, "@ {shards} shards");
+            assert_eq!(got.len(), 4, "four complete windows, no tail");
+        }
     }
 
     #[test]
@@ -819,5 +1215,26 @@ mod tests {
         assert!(tails.iter().all(|t| !t.complete && t.seen == 300));
         let keys: Vec<&str> = tails.iter().map(|t| t.stream.as_deref().unwrap()).collect();
         assert_eq!(keys, ["x", "y", "z"], "sorted by stream");
+    }
+
+    #[test]
+    fn interner_survives_table_growth() {
+        // Push well past the initial 64-bucket table so lookup keeps
+        // resolving every key across several regrows.
+        let mut eng = engine(4, 100_000);
+        for i in 0..500usize {
+            let key = format!("stream-{i}");
+            eng.ingest(&key, &[i % 64]).unwrap();
+        }
+        assert_eq!(eng.streams(), 500);
+        for i in 0..500usize {
+            let key = format!("stream-{i}");
+            let state = eng.stream_state(&key).unwrap();
+            assert_eq!(state.seen(), 1, "{key}");
+        }
+        // Debut order is the numeric creation order.
+        let keys = eng.stream_keys();
+        assert_eq!(keys[0], "stream-0");
+        assert_eq!(keys[499], "stream-499");
     }
 }

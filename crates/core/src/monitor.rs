@@ -36,7 +36,7 @@
 //! [`Analysis`] requests; their shared [`SamplePlan`] shapes the sink's
 //! reservoir lanes, so every completed window already holds exactly the
 //! draw the batch needs. Freezing a window into a
-//! [`ReplayOracle`](khist_oracle::ReplayOracle) and running the engine
+//! [`ReplayOracle`] and running the engine
 //! over it therefore performs **zero oracle draws beyond the frozen
 //! window** — the replay would panic if the engine asked for more, and the
 //! ledger's single `"draw"` entry equals the window's kept samples.
@@ -87,7 +87,7 @@ use std::sync::Arc;
 
 use khist_dist::DistError;
 use khist_oracle::{
-    SampleSet, SampleSink, SinkShape, Window, WindowSnapshot, WindowedSink,
+    ReplayOracle, SampleSet, SampleSink, SinkShape, Window, WindowSnapshot, WindowedSink,
 };
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -576,8 +576,13 @@ impl MonitorState {
 
     /// Runs the standing batch + drift over one frozen window and advances
     /// the drift baselines (completed windows only).
-    fn report_window(&mut self, snap: WindowSnapshot) -> Result<WindowReport, DistError> {
-        let mut replay = snap.replay();
+    fn report_window(&mut self, mut snap: WindowSnapshot) -> Result<WindowReport, DistError> {
+        // Merge the drift baseline up front, then *move* the frozen lanes
+        // into the replay oracle — finalizing a window clones no sample
+        // sets (amortized window finalization; the public
+        // `WindowSnapshot::replay` keeps its borrowing, cloning form).
+        let current = snap.merged();
+        let mut replay = ReplayOracle::from_sets(snap.n, std::mem::take(&mut snap.lanes));
         let (reports, ledger) =
             run_analyses_with_plan(&mut replay, snap.seed, &self.analyses, self.plan)?;
         debug_assert_eq!(
@@ -586,7 +591,6 @@ impl MonitorState {
             "a window report must consume exactly the frozen window"
         );
         self.pending_ledger.extend(ledger);
-        let current = snap.merged();
         let drift = match self.disjoint_baseline(snap.start) {
             Some(baseline) if baseline.total() >= 2 && current.total() >= 2 => {
                 Some(self.drift_between(baseline, &current, snap.seed)?)

@@ -16,6 +16,7 @@
 //! | `float-cmp` | no bare `f64` `==`/`!=`; JSON floats go through `finite_or_null` |
 //! | `forbid-unsafe` | every non-vendor crate root carries `#![forbid(unsafe_code)]` |
 //! | `justified-allow` | every `#[allow(…)]` carries a same-line justification comment |
+//! | `hot-path-alloc` | functions marked `// lint:hot-path` stay free of the obvious allocators |
 //!
 //! Being lexical, the rules are approximations: they see tokens, not
 //! types. Each rule documents its approximation; the `lint:allow` escape
@@ -39,6 +40,7 @@ pub const RULE_NAMES: &[&str] = &[
     "float-cmp",
     "forbid-unsafe",
     "justified-allow",
+    "hot-path-alloc",
 ];
 
 /// One-line summaries, aligned with [`RULE_NAMES`] (for `khist-lint rules`).
@@ -79,6 +81,10 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
         "justified-allow",
         "every #[allow(...)] needs a same-line justification comment",
     ),
+    (
+        "hot-path-alloc",
+        "no format!/to_string/String::from/Vec::new inside a // lint:hot-path function",
+    ),
 ];
 
 /// Keywords that can legally precede `[` without forming an index
@@ -118,6 +124,7 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed, allows: &Allows) -> Vec<Diag
         justified_allow(ctx, lexed, tokens, i, &mut raw);
     }
     forbid_unsafe(ctx, tokens, &mut raw);
+    hot_path_alloc(ctx, lexed, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -444,6 +451,59 @@ fn forbid_unsafe(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>)
             1,
             "crate root is missing #![forbid(unsafe_code)]".to_string(),
         ));
+    }
+}
+
+/// `hot-path-alloc`: the obvious allocating constructs — `format!`,
+/// `.to_string()`, `String::from`, `Vec::new` — inside a function marked
+/// with a `// lint:hot-path` comment (placed directly above the `fn`,
+/// after any doc comments). The mark is opt-in: it states a measured
+/// zero-allocation contract (see `tests/engine_zero_alloc.rs`), and this
+/// rule keeps casual edits from quietly re-introducing per-record heap
+/// traffic. Approximation: `Vec::new` itself does not allocate until
+/// pushed into — it is flagged because a fresh `Vec` in a hot path is a
+/// growth allocation waiting to happen; hoist the buffer into reusable
+/// scratch, or `lint:allow` with the reason it stays empty.
+fn hot_path_alloc(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    for comment in &lexed.comments {
+        if comment.text.trim() != "lint:hot-path" {
+            continue;
+        }
+        let Some(start) = tokens.iter().position(|t| t.line > comment.line) else {
+            continue;
+        };
+        let end = item_extent(tokens, start);
+        for (i, tok) in tokens.iter().enumerate().take(end).skip(start) {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let flagged = match tok.text.as_str() {
+                "format" => tokens.get(i + 1).is_some_and(|t| t.is_punct('!')),
+                "to_string" => i > 0 && tokens[i - 1].is_punct('.'),
+                "from" => {
+                    i >= 2
+                        && tokens[i - 1].kind == TokenKind::PathSep
+                        && tokens[i - 2].is_ident("String")
+                }
+                "new" => {
+                    i >= 2
+                        && tokens[i - 1].kind == TokenKind::PathSep
+                        && tokens[i - 2].is_ident("Vec")
+                }
+                _ => false,
+            };
+            if flagged {
+                out.push(Diagnostic::new(
+                    "hot-path-alloc",
+                    &ctx.path,
+                    tok.line,
+                    "heap allocation inside a lint:hot-path function; hoist it into \
+                     reusable scratch (or lint:allow with why it cannot recur warm)"
+                        .to_string(),
+                ));
+            }
+        }
     }
 }
 

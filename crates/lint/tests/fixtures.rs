@@ -159,6 +159,23 @@ fn justified_allow_fixtures() {
 }
 
 #[test]
+fn hot_path_alloc_fixtures() {
+    // The mark is opt-in and path-independent: lint under a non-core
+    // virtual path to show it bites outside crates/{core,oracle} too.
+    check_pair(
+        "src/fixture.rs",
+        include_str!("fixtures/bad_hot_path_alloc.rs"),
+        include_str!("fixtures/good_hot_path_alloc.rs"),
+        &[
+            ("hot-path-alloc", 5),
+            ("hot-path-alloc", 6),
+            ("hot-path-alloc", 7),
+            ("hot-path-alloc", 8),
+        ],
+    );
+}
+
+#[test]
 fn malformed_allow_directive_is_itself_a_diagnostic() {
     let got = run(
         "crates/core/src/fixture.rs",

@@ -1,0 +1,10 @@
+//! Fixture: allocating constructs inside a `lint:hot-path` function.
+
+// lint:hot-path
+fn hot(x: usize, buf: &mut Vec<String>) {
+    let s = format!("{x}");
+    buf.push(x.to_string());
+    let t = String::from("x");
+    let scratch: Vec<usize> = Vec::new();
+    drop((s, t, scratch));
+}

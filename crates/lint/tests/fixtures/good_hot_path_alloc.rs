@@ -1,0 +1,17 @@
+//! Fixture: the hot-path mark tolerates allocation-free bodies, allocation
+//! outside marked functions, and explicitly justified exemptions.
+
+// lint:hot-path
+fn hot(buf: &mut [usize], x: usize) -> usize {
+    buf.iter().sum::<usize>() + x
+}
+
+fn cold(x: usize) -> String {
+    format!("allocation is fine off the hot path: {x}")
+}
+
+// lint:hot-path
+fn cold_start() -> Vec<usize> {
+    // lint:allow(hot-path-alloc): runs once at build time, never per record
+    Vec::new()
+}

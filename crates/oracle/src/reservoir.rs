@@ -3,8 +3,41 @@
 //! The learner and testers consume i.i.d. samples; when the data arrives as
 //! a stream of records (the monitoring scenario of the `drift_detection`
 //! example) a reservoir turns "the stream so far" into a uniform sample of
-//! fixed size `capacity` without storing the stream — Vitter's classic
-//! Algorithm R, `O(1)` per record.
+//! fixed size `capacity` without storing the stream.
+//!
+//! # Skip sampling (Algorithm L)
+//!
+//! The classic Algorithm R draws one random number per offered record to
+//! decide whether it replaces a held item — `O(records)` RNG calls, and the
+//! RNG dominates the per-record cost even though almost every record is
+//! discarded. This implementation uses Vitter-style *skip sampling* in the
+//! variant known as Algorithm L (Li 1994): once the reservoir is full it
+//! draws, in `O(1)`, *how many upcoming records will be skipped* before the
+//! next acceptance, and then passes over them with a counter decrement and
+//! no RNG at all. Only an acceptance costs randomness (three draws: the
+//! replaced slot, the `W` update, and the next skip), so a stream of `N`
+//! records through a capacity-`k` reservoir costs `O(k · (1 + log(N/k)))`
+//! expected RNG calls instead of `O(N)`.
+//!
+//! The kept-set law is exactly that of Algorithm R — a uniform sample
+//! without replacement of the offered records (this is property-tested
+//! against a per-record reference implementation below). [`Reservoir::offer`]
+//! and [`Reservoir::offer_all`] advance the *same* skip state machine, so a
+//! stream produces bit-identical contents no matter how it is chopped into
+//! batches; `offer_all` additionally bulk-advances over full skips without
+//! touching the passed-over records.
+//!
+//! # Seed-stream contract
+//!
+//! A reservoir owns no RNG: every call threads one in, and each *lane* of a
+//! windowed sink or record-file oracle feeds its reservoir from a dedicated
+//! `StdRng` seeded by `stream_seed(seed, lane)` (see
+//! [`crate::oracle::stream_seed`]). Skip sampling changes how
+//! *many* values are drawn from that stream, not which stream is used, so
+//! the push path ([`crate::sink::WindowedSink`]) and the pull path
+//! ([`crate::oracle::RecordFileOracle`]'s internal pour) — which route record `t`
+//! through the same `LaneRouter` and the same per-lane RNGs — remain
+//! bit-identical to each other by construction.
 //!
 //! Note the statistical caveat (documented rather than hidden): a reservoir
 //! produces a uniform sample *without replacement* of the observed records.
@@ -17,12 +50,50 @@ use rand::Rng;
 
 use crate::sample_set::SampleSet;
 
+/// Algorithm L state, live only once the reservoir is full.
+///
+/// `w` is the running estimate of the largest "priority" in the reservoir
+/// (each update multiplies by a fresh `u^(1/k)`); `gap` is the number of
+/// upcoming records to pass over before the next acceptance, distributed
+/// `Geometric(w)`.
+#[derive(Debug, Clone, Copy)]
+struct SkipState {
+    gap: u64,
+    w: f64,
+}
+
 /// A fixed-capacity uniform reservoir over a stream of `usize` records.
+///
+/// See the [module docs](self) for the skip-sampling algorithm and the
+/// seed-stream contract. The public surface is deliberately small: offer
+/// records (singly or in batches), snapshot the kept set, reset per window,
+/// or merge two reservoirs lane-wise for sliding windows.
 #[derive(Debug, Clone)]
 pub struct Reservoir {
     items: Vec<usize>,
     capacity: usize,
     seen: u64,
+    /// `None` until the first post-full offer (and after `reset`/`merge`);
+    /// initialized lazily so clones, merges and snapshots need no RNG.
+    skip: Option<SkipState>,
+}
+
+/// Uniform draw in the half-open unit interval flipped to `(0, 1]`, so its
+/// logarithm is always finite (`ln(0)` would poison the skip arithmetic).
+fn positive_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.random::<f64>()
+}
+
+/// Draws the next `Geometric(w)` skip length: `floor(ln(u) / ln(1 - w))`.
+///
+/// Total for every representable `w` in `[0, 1]`: `w == 1` gives a `-inf`
+/// denominator and a gap of 0 (accept immediately), and the saturating
+/// float-to-int cast turns any overflow into `u64::MAX` (skip practically
+/// forever) rather than wrapping.
+fn next_gap<R: Rng + ?Sized>(w: f64, rng: &mut R) -> u64 {
+    let denom = (1.0 - w).ln();
+    let gap = (positive_unit(rng).ln() / denom).floor();
+    gap as u64
 }
 
 impl Reservoir {
@@ -36,28 +107,103 @@ impl Reservoir {
             items: Vec::with_capacity(capacity),
             capacity,
             seen: 0,
+            skip: None,
+        }
+    }
+
+    /// Initializes the skip state on the first post-full offer: `W` starts
+    /// at `u^(1/k)` and the first gap is drawn from it. Two RNG draws.
+    fn ensure_skip<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.skip.is_none() {
+            let k = self.capacity as f64;
+            let w = (positive_unit(rng).ln() / k).exp();
+            let gap = next_gap(w, rng);
+            self.skip = Some(SkipState { gap, w });
+        }
+    }
+
+    /// After an acceptance: shrink `W` by a fresh `u^(1/k)` factor and draw
+    /// the next gap. Two RNG draws.
+    fn advance_skip<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let k = self.capacity as f64;
+        if let Some(s) = self.skip.as_mut() {
+            s.w *= (positive_unit(rng).ln() / k).exp();
+            s.gap = next_gap(s.w, rng);
         }
     }
 
     /// Offers one stream record.
+    ///
+    /// Fill phase: records are kept verbatim until `capacity` is reached
+    /// (no RNG). After that, skipped records cost one counter decrement and
+    /// an accepted record costs three RNG draws (slot, `W` update, next
+    /// gap) — drawn in that fixed order, which is part of the determinism
+    /// contract shared with [`Self::offer_all`].
+    // lint:hot-path
     pub fn offer<R: Rng + ?Sized>(&mut self, value: usize, rng: &mut R) {
-        self.seen += 1;
         if self.items.len() < self.capacity {
             self.items.push(value);
-        } else {
-            // Replace a random slot with probability capacity/seen.
-            let j = rng.random_range(0..self.seen);
-            if (j as usize) < self.capacity {
-                // lint:allow(checked-indexing): j < capacity == items.len() is the guard above
-                self.items[j as usize] = value;
+            self.seen += 1;
+            return;
+        }
+        self.ensure_skip(rng);
+        self.seen += 1;
+        let skipping = match self.skip.as_mut() {
+            Some(s) if s.gap > 0 => {
+                s.gap -= 1;
+                true
             }
+            _ => false,
+        };
+        if !skipping {
+            let j = rng.random_range(0..self.capacity);
+            // lint:allow(checked-indexing): j < capacity == items.len() by the range above
+            self.items[j] = value;
+            self.advance_skip(rng);
         }
     }
 
-    /// Offers a batch of records.
+    /// Offers a batch of records, bulk-advancing over skipped spans.
+    ///
+    /// Bit-identical to calling [`Self::offer`] once per record with the
+    /// same RNG — the skip state machine is shared — but a fully-skipped
+    /// slice costs one subtraction instead of a loop, so arbitrary batch
+    /// boundaries neither change the kept set nor slow the fast path.
+    // lint:hot-path
     pub fn offer_all<R: Rng + ?Sized>(&mut self, values: &[usize], rng: &mut R) {
-        for &v in values {
-            self.offer(v, rng);
+        let mut rest = values;
+        // Fill phase: copy records verbatim until the reservoir is full.
+        if self.items.len() < self.capacity {
+            let take = (self.capacity - self.items.len()).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            self.items.extend_from_slice(head);
+            self.seen += take as u64;
+            rest = tail;
+        }
+        // Skip-sampling phase: jump straight to each accepted record.
+        while !rest.is_empty() {
+            self.ensure_skip(rng);
+            let gap = match self.skip {
+                Some(s) => s.gap,
+                None => 0,
+            };
+            let len = rest.len() as u64;
+            if gap >= len {
+                // The whole remaining slice is passed over.
+                if let Some(s) = self.skip.as_mut() {
+                    s.gap -= len;
+                }
+                self.seen += len;
+                return;
+            }
+            let idx = gap as usize;
+            let j = rng.random_range(0..self.capacity);
+            // lint:allow(checked-indexing): idx < rest.len() (gap < len), j < capacity == items.len()
+            self.items[j] = rest[idx];
+            self.seen += gap + 1;
+            self.advance_skip(rng);
+            // lint:allow(checked-indexing): idx + 1 <= rest.len(), so the slice is in range
+            rest = &rest[idx + 1..];
         }
     }
 
@@ -91,10 +237,18 @@ impl Reservoir {
         SampleSet::from_samples(self.items.clone())
     }
 
+    /// Consumes the reservoir into a [`SampleSet`] without copying the
+    /// kept records — the allocation-free way to finalize a window whose
+    /// reservoir will not be offered any further records.
+    pub fn into_sample_set(self) -> SampleSet {
+        SampleSet::from_samples(self.items)
+    }
+
     /// Clears the reservoir for a fresh window.
     pub fn reset(&mut self) {
         self.items.clear();
         self.seen = 0;
+        self.skip = None;
     }
 
     /// Merges two reservoirs into one whose contents approximate a uniform
@@ -109,6 +263,10 @@ impl Reservoir {
     /// so merges chain associatively enough for windowed sinks to fold a
     /// sliding window's panes lane by lane
     /// ([`WindowedSink`](crate::sink::WindowedSink)).
+    ///
+    /// The merged reservoir's skip schedule restarts as if freshly filled;
+    /// in this workspace merged reservoirs are only ever snapshotted (a
+    /// frozen window), never offered further records.
     ///
     /// Deterministic for a fixed `rng` state.
     pub fn merge<R: Rng + ?Sized>(&self, other: &Reservoir, rng: &mut R) -> Reservoir {
@@ -139,6 +297,7 @@ impl Reservoir {
             items,
             capacity,
             seen: self.seen + other.seen,
+            skip: None,
         }
     }
 }
@@ -147,7 +306,7 @@ impl Reservoir {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     #[test]
     fn fills_up_to_capacity_first() {
@@ -194,6 +353,121 @@ mod tests {
         }
     }
 
+    /// Reference per-record Algorithm R, as shipped before skip sampling:
+    /// one `random_range(0..seen)` draw per post-full record.
+    fn algorithm_r_reference<R: Rng + ?Sized>(
+        records: &[usize],
+        capacity: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let mut items = Vec::with_capacity(capacity);
+        for (i, &v) in records.iter().enumerate() {
+            let seen = i as u64 + 1;
+            if items.len() < capacity {
+                items.push(v);
+            } else {
+                let j = rng.random_range(0..seen);
+                if (j as usize) < capacity {
+                    items[j as usize] = v;
+                }
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn skip_sampling_kept_sets_match_per_record_law() {
+        // Exchangeability with the old per-record implementation: stream
+        // positions 0..60 through capacity-6 reservoirs under both
+        // algorithms; every position's survival frequency should be ~0.1
+        // under both, and the two algorithms should agree within noise
+        // (~8σ margins at 30k trials, so this is not flaky).
+        let trials = 30_000;
+        let records: Vec<usize> = (0..60).collect();
+        let mut new_hits = [0u32; 60];
+        let mut old_hits = [0u32; 60];
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..trials {
+            let mut r = Reservoir::new(6);
+            r.offer_all(&records, &mut rng);
+            for &v in r.items() {
+                new_hits[v] += 1;
+            }
+            for &v in &algorithm_r_reference(&records, 6, &mut rng) {
+                old_hits[v] += 1;
+            }
+        }
+        let expected = 6.0 / 60.0;
+        for v in 0..60 {
+            let p_new = new_hits[v] as f64 / trials as f64;
+            let p_old = old_hits[v] as f64 / trials as f64;
+            assert!(
+                (p_new - expected).abs() < 0.015,
+                "position {v}: skip-sampling survival {p_new}"
+            );
+            assert!(
+                (p_new - p_old).abs() < 0.015,
+                "position {v}: skip {p_new} vs per-record {p_old}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_per_record_offers_are_bit_identical() {
+        // Arbitrary batch boundaries must not change the kept set: the
+        // engine chops streams at batch edges, the sink offers per record.
+        let records: Vec<usize> = (0..1_000).map(|v| v * 7 % 257).collect();
+        for &chunk in &[1usize, 2, 3, 7, 64, 333, 1_000] {
+            let mut per_record = Reservoir::new(9);
+            let mut batched = Reservoir::new(9);
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            for &v in &records {
+                per_record.offer(v, &mut rng_a);
+            }
+            for slice in records.chunks(chunk) {
+                batched.offer_all(slice, &mut rng_b);
+            }
+            assert_eq!(per_record.items(), batched.items(), "chunk {chunk}");
+            assert_eq!(per_record.seen(), batched.seen(), "chunk {chunk}");
+        }
+    }
+
+    /// RNG wrapper that counts how many raw draws pass through it.
+    struct CountingRng {
+        inner: StdRng,
+        calls: u64,
+    }
+
+    impl RngCore for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.calls += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn skip_sampling_uses_sublinear_rng_calls() {
+        // 100k records through capacity 8: Algorithm L accepts about
+        // k·ln(N/k) ≈ 75 records, each costing a handful of raw draws.
+        // The old per-record scheme used ≥ 100_000 draws.
+        let mut rng = CountingRng {
+            inner: StdRng::seed_from_u64(5),
+            calls: 0,
+        };
+        let mut r = Reservoir::new(8);
+        let records: Vec<usize> = (0..100_000).map(|v| v % 64).collect();
+        for slice in records.chunks(1024) {
+            r.offer_all(slice, &mut rng);
+        }
+        assert_eq!(r.seen(), 100_000);
+        assert!(
+            rng.calls < 2_000,
+            "expected O(k log(N/k)) RNG calls, used {}",
+            rng.calls
+        );
+    }
+
     #[test]
     fn snapshot_and_reset() {
         let mut rng = StdRng::seed_from_u64(4);
@@ -206,6 +480,19 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.seen(), 0);
         assert_eq!(r.capacity(), 3);
+        // A reset reservoir re-enters the fill phase from scratch.
+        r.offer_all(&[1, 2, 3], &mut rng);
+        assert_eq!(r.items(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn into_sample_set_matches_snapshot() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut r = Reservoir::new(5);
+        r.offer_all(&[3, 1, 4, 1, 5, 9, 2, 6], &mut rng);
+        let snapshot = r.to_sample_set();
+        let moved = r.into_sample_set();
+        assert_eq!(snapshot, moved);
     }
 
     #[test]

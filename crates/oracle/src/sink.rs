@@ -41,6 +41,7 @@
 //! how many records stream through.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -220,7 +221,10 @@ enum LaneKind {
 pub struct SinkShape {
     n: usize,
     window: Window,
-    sizes: Vec<usize>,
+    /// Lane capacities behind an `Arc`: stamping a sink per stream shares
+    /// one allocation across every stream of the engine, so a million idle
+    /// streams hold a million pointers, not a million `Vec`s.
+    sizes: Arc<[usize]>,
     kind: LaneKind,
 }
 
@@ -277,7 +281,7 @@ impl SinkShape {
         Ok(SinkShape {
             n,
             window,
-            sizes,
+            sizes: sizes.into(),
             kind,
         })
     }
@@ -298,13 +302,14 @@ impl SinkShape {
     }
 
     /// Stamps out an empty sink of this shape seeded with `seed` — the
-    /// cheap per-stream constructor (no re-validation).
+    /// cheap per-stream constructor (no re-validation, no `Vec` copy: the
+    /// lane sizes are shared behind an `Arc`).
     pub fn sink(&self, seed: u64) -> WindowedSink {
         WindowedSink {
             n: self.n,
             seed,
             window: self.window,
-            sizes: self.sizes.clone(),
+            sizes: Arc::clone(&self.sizes),
             kind: self.kind,
             panes: VecDeque::new(),
             seen: 0,
@@ -323,7 +328,7 @@ pub struct WindowedSink {
     n: usize,
     seed: u64,
     window: Window,
-    sizes: Vec<usize>,
+    sizes: Arc<[usize]>,
     kind: LaneKind,
     panes: VecDeque<Pane>,
     seen: u64,
@@ -461,16 +466,51 @@ impl WindowedSink {
         }
     }
 
+    /// Freezes one pane *by value* — the tumbling fast path. A tumbling
+    /// window is exactly one retired pane, so its reservoirs move straight
+    /// into the snapshot's sample sets with no clone and no merge stream
+    /// (bit-identical to folding a single pane through [`Self::freeze`],
+    /// which never touches its merge RNG for one pane).
+    fn freeze_single(n: usize, pane: Pane, complete: bool) -> WindowSnapshot {
+        let Pane {
+            id,
+            seed,
+            start,
+            t,
+            lanes,
+            ..
+        } = pane;
+        let mut sets = Vec::with_capacity(lanes.len());
+        let mut kept = 0;
+        for lane in lanes {
+            let set = lane.into_sample_set();
+            kept += set.total();
+            sets.push(set);
+        }
+        WindowSnapshot {
+            window: id,
+            n,
+            start,
+            end: start + t,
+            seen: t,
+            kept,
+            seed,
+            complete,
+            lanes: sets,
+        }
+    }
+
     /// Handles a pane reaching its span: tumbling windows freeze and drop
-    /// the pane; sliding windows freeze the whole deque once it covers a
-    /// full span, then retire the oldest pane.
+    /// the pane (moving its reservoirs into the snapshot); sliding windows
+    /// freeze the whole deque once it covers a full span, then retire the
+    /// oldest pane.
     fn complete_pane(&mut self) {
         match self.window {
             Window::Tumbling { .. } => {
                 // lint:allow(no-panic): complete_pane is only called right after a pane filled
                 let pane = self.panes.pop_back().expect("a pane just completed");
-                let snap = self.freeze(std::iter::once(&pane), pane.id, true);
                 self.next_window_id = pane.id + 1;
+                let snap = Self::freeze_single(self.n, pane, true);
                 self.completed.push_back(snap);
             }
             Window::Sliding { .. } => {
@@ -486,19 +526,27 @@ impl WindowedSink {
     }
 }
 
+/// Builds the out-of-domain rejection. Kept out of line so the error
+/// formatting (the only allocation `push` could reach) stays off the
+/// record-accepting hot path.
+#[cold]
+fn out_of_domain(value: usize, n: usize) -> DistError {
+    DistError::BadParameter {
+        reason: format!(
+            "record {value} outside declared domain [0, {n}); widen the domain or drop the record"
+        ),
+    }
+}
+
 impl SampleSink for WindowedSink {
     fn domain_size(&self) -> usize {
         self.n
     }
 
+    // lint:hot-path
     fn push(&mut self, value: usize) -> Result<(), DistError> {
         if value >= self.n {
-            return Err(DistError::BadParameter {
-                reason: format!(
-                    "record {value} outside declared domain [0, {}); widen the domain or drop the record",
-                    self.n
-                ),
-            });
+            return Err(out_of_domain(value, self.n));
         }
         let pane_span = self.window.pane_span();
         let needs_new_pane = self.panes.back().is_none_or(|p| p.t >= pane_span);

@@ -647,15 +647,28 @@ pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
 
     let mut windows = 0u64;
     let mut buffer: Vec<usize> = Vec::with_capacity(1024);
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
+    // One read buffer reused for every line: `read_line` appends into it,
+    // so clearing (not dropping) between lines keeps the steady state free
+    // of per-line allocation.
+    let mut input = input;
+    let mut line = String::with_capacity(256);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = input
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let value: usize = trimmed
             .parse()
-            .map_err(|_| format!("line {}: not an integer record: {trimmed}", lineno + 1))?;
+            .map_err(|_| format!("line {lineno}: not an integer record: {trimmed}"))?;
         buffer.push(value);
         if buffer.len() >= 1024 {
             let reports = monitor.ingest(&buffer).map_err(fmt_err)?;
@@ -692,35 +705,42 @@ pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
 /// separated): `Ok(None)` for blanks and `#` comments, a line-numbered
 /// error for un-keyed lines (a single field), extra fields, or a
 /// non-integer value field.
+///
+/// The key is returned as a slice borrowed from `line` — the hot path
+/// allocates only when building an error message.
 fn parse_keyed_record(
     line: &str,
     lineno: usize,
     field: usize,
-) -> Result<Option<(String, usize)>, String> {
+) -> Result<Option<(&str, usize)>, String> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
     }
-    let fields: Vec<&str> = trimmed.split_whitespace().collect();
-    if fields.len() < 2 {
+    let mut fields = trimmed.split_whitespace();
+    let (Some(first), Some(second)) = (fields.next(), fields.next()) else {
         return Err(format!(
             "line {lineno}: --key-field {field} needs keyed records (key and value per \
              line), but this input is un-keyed: {trimmed}"
         ));
-    }
-    if fields.len() > 2 {
+    };
+    if fields.next().is_some() {
+        // Two consumed above plus the one just seen plus whatever remains.
+        let total = 3 + fields.count();
         return Err(format!(
             "line {lineno}: keyed records carry exactly two fields (key and value), got \
-             {}: {trimmed}",
-            fields.len()
+             {total}: {trimmed}"
         ));
     }
-    let key = fields[field];
-    let value_text = fields[1 - field];
+    let (key, value_text) = if field == 0 {
+        (first, second)
+    } else {
+        (second, first)
+    };
     let value: usize = value_text
         .parse()
         .map_err(|_| format!("line {lineno}: not an integer record: {value_text}"))?;
-    Ok(Some((key.to_string(), value)))
+    Ok(Some((key, value)))
 }
 
 /// The keyed flavour of [`run_watch`]: demultiplexes `key value` lines
@@ -772,22 +792,51 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
     };
 
     let mut windows = 0u64;
-    // Each chunk costs one scoped-thread round (spawn + join per busy
-    // shard), so the chunk must be big enough to amortize the handoff:
-    // scale it with the shard count so every worker gets thousands of
-    // records per round. Memory stays bounded (chunk × ~word-sized
-    // records), and report latency stays well under a window span.
+    // Each chunk costs one mailbox round per busy shard, so the chunk must
+    // be big enough to amortize the handoff: scale it with the shard count
+    // so every worker gets thousands of records per round. Memory stays
+    // bounded (chunk × ~word-sized records), and report latency stays well
+    // under a window span.
     let chunk = 4096 * opts.shards;
-    let mut buffer: Vec<(String, usize)> = Vec::with_capacity(chunk);
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
-        let Some(record) = parse_keyed_record(&line, lineno + 1, field)? else {
+    // Zero-copy line handling: one reused read buffer, keys copied into a
+    // per-chunk byte arena (cleared, not freed, between chunks) and
+    // addressed by spans. No per-line `String` is ever allocated.
+    let mut input = input;
+    let mut line = String::with_capacity(256);
+    let mut lineno = 0usize;
+    let mut arena = String::with_capacity(chunk * 8);
+    let mut spans: Vec<(usize, usize, usize)> = Vec::with_capacity(chunk);
+    // Borrows `arena` for the duration of one `ingest_batch` call.
+    let ingest_chunk = |engine: &mut Engine,
+                        arena: &str,
+                        spans: &[(usize, usize, usize)]|
+     -> Result<Vec<WindowReport>, String> {
+        let records: Vec<(&str, usize)> = spans
+            .iter()
+            // lint:allow(checked-indexing): spans are valid arena offsets by construction
+            .map(|&(start, end, value)| (&arena[start..end], value))
+            .collect();
+        engine.ingest_batch(&records).map_err(fmt_err)
+    };
+    loop {
+        line.clear();
+        let read = input
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed at line {}: {e}", lineno + 1))?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
+        let Some((key, value)) = parse_keyed_record(&line, lineno, field)? else {
             continue;
         };
-        buffer.push(record);
-        if buffer.len() >= chunk {
-            let reports = engine.ingest_batch(&buffer).map_err(fmt_err)?;
-            buffer.clear();
+        let start = arena.len();
+        arena.push_str(key);
+        spans.push((start, arena.len(), value));
+        if spans.len() >= chunk {
+            let reports = ingest_chunk(&mut engine, &arena, &spans)?;
+            spans.clear();
+            arena.clear();
             match emit(out, reports)? {
                 Some(emitted) => windows += emitted,
                 None => return Ok(String::new()),
@@ -796,7 +845,7 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
     }
     // Emit the final buffer's completed windows before flushing the tails,
     // so a tail-flush failure can never lose an already-computed report.
-    let reports = engine.ingest_batch(&buffer).map_err(fmt_err)?;
+    let reports = ingest_chunk(&mut engine, &arena, &spans)?;
     match emit(out, reports)? {
         Some(emitted) => windows += emitted,
         None => return Ok(String::new()),

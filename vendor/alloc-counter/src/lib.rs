@@ -1,0 +1,87 @@
+//! A counting wrapper around the system allocator, for tests that assert a
+//! hot path performs **zero heap allocations** once warm.
+//!
+//! Install it as the global allocator in an integration-test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+//!
+//! let before = ALLOC.allocations();
+//! warm_hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Counts are global (every thread's allocations land in the same
+//! counters), so a zero-alloc assertion is only meaningful in a binary
+//! where nothing else runs concurrently — use one `#[test]` per
+//! integration-test file, or serialize the measured sections.
+//!
+//! This is test instrumentation, not a production allocator: the wrapper
+//! adds two relaxed atomic increments per call and otherwise defers
+//! entirely to [`std::alloc::System`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocator that counts every allocation and deallocation while
+/// forwarding the actual work to the system allocator.
+pub struct CountingAllocator {
+    /// Calls to `alloc`, `alloc_zeroed`, and `realloc` (a realloc is a
+    /// fresh acquisition from the hot path's point of view).
+    allocations: AtomicU64,
+    /// Calls to `dealloc`.
+    deallocations: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter, usable in `static` position.
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation events so far (alloc + alloc_zeroed + realloc).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total deallocation events so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every allocation decision to `System`, which upholds the
+// GlobalAlloc contract; the wrapper only adds relaxed counter increments,
+// which cannot violate any allocator invariant.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}

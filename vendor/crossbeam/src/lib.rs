@@ -1,6 +1,8 @@
 //! Offline shim for `crossbeam::scope`, built on `std::thread::scope`
 //! (stable since Rust 1.63 — scoped threads landed in std after crossbeam
-//! pioneered the API, which is why the adapter is this thin).
+//! pioneered the API, which is why the adapter is this thin), plus a
+//! [`Courier`] persistent-worker primitive for callers that want to pay
+//! thread spawn cost once instead of per batch.
 //!
 //! Matches the crossbeam contract the workspace relies on: `scope` returns
 //! `Err` (instead of unwinding) when any spawned thread panicked, and the
@@ -10,6 +12,8 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Handle for spawning threads inside a [`scope`].
 pub struct Scope<'scope, 'env: 'scope> {
@@ -47,6 +51,147 @@ where
             f(&wrapper)
         })
     }))
+}
+
+/// Mailbox cell shared between a [`Courier`] and its worker thread.
+enum Cell<J, R> {
+    /// No job pending and no result waiting.
+    Empty,
+    /// A job submitted but not yet picked up by the worker.
+    Job(J),
+    /// A finished result awaiting [`Courier::collect`].
+    Done(R),
+    /// The worker panicked while running a job; it has exited.
+    Poisoned,
+    /// Owner requested shutdown; the worker exits when it sees this.
+    Shutdown,
+}
+
+/// A persistent worker thread fed one job at a time through a single-slot
+/// mailbox: spawn once, then `submit`/`collect` per round with no thread
+/// creation, no channel allocation, and no heap traffic beyond what the job
+/// itself does. The worker parks on a condvar while idle.
+///
+/// Protocol: every [`Courier::submit`] must be paired with exactly one
+/// [`Courier::collect`] before the next submit. `collect` panics if the
+/// worker panicked while running a job, mirroring how a scoped-spawn
+/// caller would surface a worker panic. Dropping the courier signals
+/// shutdown and joins the thread.
+pub struct Courier<J, R> {
+    mailbox: Arc<(Mutex<Cell<J, R>>, Condvar)>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> Courier<J, R> {
+    /// Spawns the worker thread (named `name` for debuggability) running
+    /// `work` on every submitted job until the courier is dropped.
+    pub fn spawn<F>(name: &str, mut work: F) -> Self
+    where
+        F: FnMut(J) -> R + Send + 'static,
+    {
+        let mailbox: Arc<(Mutex<Cell<J, R>>, Condvar)> =
+            Arc::new((Mutex::new(Cell::Empty), Condvar::new()));
+        let shared = Arc::clone(&mailbox);
+        let worker = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*shared;
+                loop {
+                    let job = {
+                        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            match &*cell {
+                                Cell::Shutdown => return,
+                                Cell::Job(_) => break,
+                                _ => cell = cvar.wait(cell).unwrap_or_else(|e| e.into_inner()),
+                            }
+                        }
+                        match std::mem::replace(&mut *cell, Cell::Empty) {
+                            Cell::Job(job) => job,
+                            // The loop above only breaks on Cell::Job.
+                            _ => unreachable!("mailbox state changed under lock"),
+                        }
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(job)));
+                    let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let done = match outcome {
+                        Ok(result) => {
+                            *cell = Cell::Done(result);
+                            false
+                        }
+                        Err(_) => {
+                            *cell = Cell::Poisoned;
+                            true
+                        }
+                    };
+                    cvar.notify_all();
+                    if done {
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn courier worker thread");
+        Courier {
+            mailbox,
+            worker: Some(worker),
+        }
+    }
+
+    /// Hands the worker its next job. Must not be called while a previous
+    /// job's result is still uncollected.
+    ///
+    /// # Panics
+    /// Panics on protocol misuse (submit-before-collect) or if the worker
+    /// has already panicked.
+    pub fn submit(&self, job: J) {
+        let (lock, cvar) = &*self.mailbox;
+        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+        match &*cell {
+            Cell::Empty => *cell = Cell::Job(job),
+            Cell::Poisoned => panic!("courier worker panicked on a previous job"),
+            _ => panic!("courier protocol violation: submit before collect"),
+        }
+        cvar.notify_all();
+    }
+
+    /// Blocks until the in-flight job finishes and returns its result.
+    ///
+    /// # Panics
+    /// Panics if the worker panicked while running the job.
+    pub fn collect(&self) -> R {
+        let (lock, cvar) = &*self.mailbox;
+        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*cell {
+                Cell::Done(_) => match std::mem::replace(&mut *cell, Cell::Empty) {
+                    Cell::Done(result) => return result,
+                    _ => unreachable!("mailbox state changed under lock"),
+                },
+                Cell::Poisoned => panic!("courier worker panicked"),
+                _ => cell = cvar.wait(cell).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+}
+
+impl<J, R> Drop for Courier<J, R> {
+    fn drop(&mut self) {
+        {
+            let (lock, cvar) = &*self.mailbox;
+            let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+            // A poisoned worker already exited; otherwise ask it to stop
+            // (dropping any un-collected result or un-run job).
+            if !matches!(&*cell, Cell::Poisoned) {
+                *cell = Cell::Shutdown;
+            }
+            cvar.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            // The worker never exits by panic path without setting the cell,
+            // and join only errs on panic — which catch_unwind intercepted.
+            let _ = worker.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +235,71 @@ mod tests {
     fn returns_closure_value() {
         let v = scope(|_| 41 + 1).unwrap();
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn courier_round_trips_jobs() {
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier", |x| x * 2);
+        for round in 0..100u64 {
+            courier.submit(round);
+            assert_eq!(courier.collect(), round * 2);
+        }
+    }
+
+    #[test]
+    fn courier_worker_keeps_closure_state() {
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier-state", {
+            let mut total = 0u64;
+            move |x| {
+                total += x;
+                total
+            }
+        });
+        courier.submit(3);
+        assert_eq!(courier.collect(), 3);
+        courier.submit(4);
+        assert_eq!(courier.collect(), 7);
+    }
+
+    #[test]
+    fn courier_moves_owned_buffers_without_copying() {
+        // The job and result types can carry big owned buffers; the round
+        // trip preserves identity (same allocation, same contents).
+        let courier: Courier<Vec<usize>, (usize, Vec<usize>)> =
+            Courier::spawn("test-courier-buffers", |buf: Vec<usize>| (buf.iter().sum(), buf));
+        let buf: Vec<usize> = (0..1024).collect();
+        let expected_sum: usize = buf.iter().sum();
+        let ptr_before = buf.as_ptr();
+        courier.submit(buf);
+        let (sum, buf) = courier.collect();
+        assert_eq!(sum, expected_sum);
+        assert_eq!(buf.as_ptr(), ptr_before);
+    }
+
+    #[test]
+    fn courier_drop_joins_idle_worker() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&counter);
+        let courier: Courier<usize, usize> = Courier::spawn("test-courier-drop", move |x| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        courier.submit(1);
+        assert_eq!(courier.collect(), 1);
+        drop(courier);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn courier_worker_panic_surfaces_on_collect() {
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier-panic", |x| {
+            assert!(x != 13, "unlucky job");
+            x
+        });
+        courier.submit(1);
+        assert_eq!(courier.collect(), 1);
+        courier.submit(13);
+        let collected = catch_unwind(AssertUnwindSafe(|| courier.collect()));
+        assert!(collected.is_err());
     }
 }
