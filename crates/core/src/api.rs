@@ -1024,6 +1024,19 @@ pub struct LedgerEntry {
     pub seconds: f64,
 }
 
+impl Serialize for LedgerEntry {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("label", Value::Str(self.label.clone())),
+            ("samples", self.samples.serialize()),
+            // Elapsed time is finite by construction, but the JSON writer
+            // rejects non-finite floats outright — route through the same
+            // boundary every other float takes.
+            ("seconds", finite_or_null(Some(self.seconds))),
+        ])
+    }
+}
+
 /// A sampling session: one oracle, one seed, any number of analyses.
 ///
 /// [`Session::run`] executes a batch through a shared [`SamplePlan`]; the

@@ -9,8 +9,10 @@
 //!
 //! ```text
 //!   ingest_batch(&[(key, value), …])
-//!        │  key ──interner──▶ (shard, slot): FNV-1a hashed once at debut,
-//!        ▼                    then a u32 id — no String on the hot path
+//!        │  key ──interner──▶ (shard, slot): FNV-1a hashed once at debut
+//!        ▼                    and routed on a consistent-hash virtual-node
+//!                             ring, then a u32 id — no String, no ring
+//!                             walk on the hot path
 //!   ┌─────────┐  ┌─────────┐       ┌─────────┐   one *persistent* worker
 //!   │ shard 0 │  │ shard 1 │  ...  │ shard S │   thread per shard, spawned
 //!   │ ┌─────┐ │  │ ┌─────┐ │       │ ┌─────┐ │   at build and parked when
@@ -57,6 +59,23 @@
 //! transport, not a semantic. Property-tested in
 //! `tests/engine_sharding.rs`.
 //!
+//! Routing rides a consistent-hash **virtual-node ring** (64 mixed
+//! FNV-1a points per shard) instead of `hash mod N`, so
+//! [`Engine::resize`] can grow or shrink a *live* pool migrating only
+//! ~1/(N+1) of streams — each migrated stream's state machine moves
+//! between shard slabs untouched, keeping its reports bit-identical
+//! across any resize history (`tests/engine_ring.rs`).
+//!
+//! # The control plane
+//!
+//! Operators interrogate one stream mid-window without disturbing it:
+//! [`Engine::snapshot`] answers an on-demand sub-batch from the stream's
+//! current partial window (routed to the owning shard over the same
+//! worker mailboxes as batches), [`Engine::ledger`] reports the stream's
+//! lifetime sample/time spend as bounded per-label totals, and
+//! [`Engine::stream_seen`] lists debut-ordered per-stream record counts.
+//! `khist serve` exposes exactly these as its `STATS` requests.
+//!
 //! # Example
 //!
 //! ```
@@ -97,7 +116,7 @@ use crossbeam::Courier;
 use khist_dist::DistError;
 use khist_oracle::{stream_seed, SinkShape, Window};
 
-use crate::api::{Analysis, SamplePlan};
+use crate::api::{Analysis, LedgerEntry, Report, SamplePlan};
 use crate::monitor::{resolve_config, MonitorState, WindowReport};
 
 /// One shard's answer to a batch: everything that succeeded, plus every
@@ -122,6 +141,113 @@ fn key_hash(key: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Virtual nodes per shard on the consistent-hash ring. 64 points keep a
+/// shard's share of the hash space within ~1/√64 ≈ 12% (relative) of the
+/// ideal 1/N, which is what makes the resize-migration bound of
+/// `2/(N+1)` (property-tested in `tests/engine_ring.rs`) comfortably
+/// hold while keeping the ring small enough that a debut lookup is a
+/// sub-microsecond binary search.
+const VNODES: u32 = 64;
+
+/// Full-avalanche 64-bit finalizer (MurmurHash3's `fmix64`). The ring
+/// needs its positions *uniform over the whole `u64` space*, and raw
+/// FNV-1a cannot deliver that for the ring's inputs: over 8-byte records
+/// that differ in one or two bytes (vnode ids) or short ASCII keys, FNV
+/// clusters its outputs in a narrow band, which measured as one shard
+/// owning ~80–90% of a 3-shard ring. One multiply–xor–shift cascade on
+/// top spreads every input bit across every output bit, restoring the
+/// ~1/N shares (± ~12% with [`VNODES`] points) the migration bound
+/// assumes. Not a seed path: seeds derive from the *unmixed* FNV hash via
+/// `stream_seed`, so report bytes are unchanged by ring placement.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Ring position for one virtual node. The point depends only on
+/// `(shard, vnode)` — *not* on the total shard count — so growing a pool
+/// from N to N+1 shards only **adds** shard N's points to the ring. Keys
+/// move only where a new point lands between them and their old owner:
+/// the expected migrated fraction is exactly the new shard's share,
+/// ~1/(N+1), instead of the (N-1)/N reshuffle `hash mod N` causes.
+fn vnode_point(shard: u32, vnode: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in shard.to_le_bytes().into_iter().chain(vnode.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// A fixed virtual-node consistent-hash ring: the deterministic
+/// replacement for `fnv1a(key) mod N` shard routing.
+///
+/// `points` holds every shard's [`VNODES`] virtual nodes sorted by hash
+/// position; a key belongs to the first point at or clockwise-after its
+/// FNV-1a hash (wrapping). Routing is only consulted at key debut and at
+/// [`Engine::resize`] — steady-state records resolve through the
+/// interner's cached `(shard, slot)` coordinates, so the ring adds zero
+/// work (and zero allocations) to the warm ingest path.
+struct Ring {
+    /// Sorted `(point, shard)` pairs. Ties (two vnodes hashing to the
+    /// same point — astronomically unlikely with FNV-1a over 8 distinct
+    /// bytes) order by shard id, keeping ownership deterministic.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Builds the ring for a pool of `shards` shards (cold path: called
+    /// once at [`EngineBuilder::build`] and once per [`Engine::resize`]).
+    fn new(shards: usize) -> Ring {
+        let mut points = Vec::with_capacity(shards * VNODES as usize);
+        for shard in 0..shards as u32 {
+            for vnode in 0..VNODES {
+                points.push((vnode_point(shard, vnode), shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The shard owning `hash`: the first virtual node at or after the
+    /// hash's mixed ring position, wrapping past the top back to the
+    /// smallest point. The key hash goes through the same [`mix64`]
+    /// finalizer as the vnode points — FNV-1a over short keys clusters,
+    /// and clustered lookups would land on the same few arcs however well
+    /// the points themselves are spread.
+    // lint:hot-path
+    fn owner(&self, hash: u64) -> u32 {
+        let hash = mix64(hash);
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        match self.points.get(idx).or_else(|| self.points.first()) {
+            Some(&(_, shard)) => shard,
+            None => 0, // unreachable: a ring always holds ≥ VNODES points
+        }
+    }
+}
+
+/// Folds freshly drained [`LedgerEntry`]s into a stream's retained
+/// per-label totals. The retained ledger answers "what has this stream
+/// cost so far" (`Engine::ledger`) in bounded memory: one entry per label
+/// (`"draw"` plus each standing-analysis name), with samples and seconds
+/// accumulated across the stream's whole life — it never grows with the
+/// number of windows, so a long-running server holds it indefinitely.
+fn absorb_ledger(totals: &mut Vec<LedgerEntry>, drained: Vec<LedgerEntry>) {
+    for entry in drained {
+        match totals.iter_mut().find(|t| t.label == entry.label) {
+            Some(t) => {
+                t.samples += entry.samples;
+                t.seconds += entry.seconds;
+            }
+            None => totals.push(entry),
+        }
+    }
 }
 
 /// Everything the shards share, read-only: one validated configuration
@@ -245,6 +371,9 @@ impl Interner {
 struct StreamSlot {
     key: String,
     state: MonitorState,
+    /// Retained per-label ledger totals (see [`absorb_ledger`]) — the
+    /// stream's lifetime cost, served by [`Engine::ledger`].
+    ledger: Vec<LedgerEntry>,
 }
 
 /// One worker's worth of streams, plus its reusable batch scratch. Shards
@@ -276,9 +405,10 @@ impl Shard {
     /// stream with a counting sort over reused scratch (preserving each
     /// stream's arrival order — the only order a stream's state can
     /// observe) and each touched stream ingests its group independently; a
-    /// failing stream does not stop its shard-mates. Ledgers are drained
-    /// and dropped; per-stream ledgers surfacing through the engine are a
-    /// roadmap item.
+    /// failing stream does not stop its shard-mates. Ledgers drain into
+    /// the slot's retained per-label totals (served by
+    /// [`Engine::ledger`]); windows are the only producers of ledger
+    /// entries, so a warm batch drains an empty vector — no allocation.
     ///
     /// Slot index order is debut order, so the processing order is
     /// deterministic for every batch partitioning — and the whole pass
@@ -331,7 +461,8 @@ impl Shard {
             // lint:allow(checked-indexing): span extents tile the grouped buffer
             let group = &self.grouped[start..end];
             let result = slot.state.ingest(group);
-            slot.state.drain_ledger();
+            let drained = slot.state.drain_ledger();
+            absorb_ledger(&mut slot.ledger, drained);
             match result {
                 Ok(reports) => out.extend(reports),
                 Err(e) => errors.push((slot.key.clone(), e)),
@@ -349,13 +480,31 @@ impl Shard {
         let mut errors = Vec::new();
         for slot in &mut self.slots {
             let result = slot.state.flush();
-            slot.state.drain_ledger();
+            let drained = slot.state.drain_ledger();
+            absorb_ledger(&mut slot.ledger, drained);
             match result {
                 Ok(reports) => out.extend(reports),
                 Err(e) => errors.push((slot.key.clone(), e)),
             }
         }
         (out, errors)
+    }
+
+    /// Answers an on-demand sub-batch from one stream's *current*
+    /// (possibly partial) window — the control-plane half of the shard
+    /// protocol, behind [`Engine::snapshot`]. The ledger spend the
+    /// snapshot incurs is folded into the slot's retained totals like any
+    /// window's.
+    fn snapshot(&mut self, slot: u32, analyses: &[Analysis]) -> Result<Vec<Report>, DistError> {
+        let Some(slot) = self.slots.get_mut(slot as usize) else {
+            return Err(DistError::BadParameter {
+                reason: "snapshot routed to a slot this shard does not own".into(),
+            });
+        };
+        let result = slot.state.snapshot(analyses);
+        let drained = slot.state.drain_ledger();
+        absorb_ledger(&mut slot.ledger, drained);
+        result
     }
 }
 
@@ -369,15 +518,23 @@ enum ShardJob {
     },
     /// Flush every stream the shard owns.
     Flush { shard: Shard },
+    /// Answer a control-plane snapshot for one stream the shard owns.
+    Snapshot {
+        shard: Shard,
+        slot: u32,
+        analyses: Arc<Vec<Analysis>>,
+    },
 }
 
 /// A worker's answer: the shard slab (reinstalled by the engine), the
 /// batch outcome, and the partition buffer (returned so its capacity is
-/// recycled; empty for flush jobs).
+/// recycled; empty for flush jobs). Control-plane snapshot jobs answer in
+/// `snapshot` instead of `outcome`.
 struct ShardReply {
     shard: Shard,
     outcome: ShardOutcome,
     records: Vec<(u32, usize)>,
+    snapshot: Option<Result<Vec<Report>, DistError>>,
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -474,40 +631,12 @@ impl EngineBuilder {
         });
         // Persistent workers: spawned once here, parked on their mailbox
         // between batches. A 1-shard engine has no workers at all.
-        let workers = if self.shards > 1 {
-            (0..self.shards)
-                .map(|i| {
-                    let cfg = Arc::clone(&cfg);
-                    Courier::spawn(&format!("khist-shard-{i}"), move |job: ShardJob| match job {
-                        ShardJob::Ingest {
-                            mut shard,
-                            records,
-                        } => {
-                            let outcome = shard.ingest(&cfg, &records);
-                            ShardReply {
-                                shard,
-                                outcome,
-                                records,
-                            }
-                        }
-                        ShardJob::Flush { mut shard } => {
-                            let outcome = shard.flush();
-                            ShardReply {
-                                shard,
-                                outcome,
-                                records: Vec::new(),
-                            }
-                        }
-                    })
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let workers = Engine::spawn_workers(&cfg, self.shards);
         let mut parts = Vec::with_capacity(self.shards);
         parts.resize_with(self.shards, Vec::new);
         Ok(Engine {
             cfg,
+            ring: Ring::new(self.shards),
             shards,
             workers,
             interner: Interner::new(),
@@ -526,6 +655,9 @@ impl EngineBuilder {
 /// contract.
 pub struct Engine {
     cfg: Arc<EngineConfig>,
+    /// Consistent-hash routing: consulted at key debut, [`Engine::shard_of`]
+    /// and [`Engine::resize`] only — interned keys carry their coordinates.
+    ring: Ring,
     shards: Vec<Shard>,
     /// Persistent shard workers (empty for a 1-shard engine). Index i is
     /// shard i's dedicated worker; dropping the engine parks-then-joins
@@ -592,6 +724,32 @@ impl Engine {
         self.interner.entries.len()
     }
 
+    /// Number of distinct stream keys seen so far — the control-plane
+    /// name for [`streams`](Engine::streams) (`khist serve`'s `STATS`
+    /// reply and the fleet example both read it).
+    pub fn stream_count(&self) -> usize {
+        self.interner.entries.len()
+    }
+
+    /// Per-stream `(key, records seen)` totals in **debut order** —
+    /// served straight from the interner slab and each stream's state, so
+    /// callers (the `STATS` control plane, `examples/fleet_monitor.rs`)
+    /// never recompute totals from window reports.
+    pub fn stream_seen(&self) -> Vec<(&str, u64)> {
+        self.interner
+            .entries
+            .iter()
+            .map(|e| {
+                let seen = self
+                    .shards
+                    .get(e.shard as usize)
+                    .and_then(|s| s.slots.get(e.slot as usize))
+                    .map_or(0, |s| s.state.seen());
+                (e.key.as_str(), seen)
+            })
+            .collect()
+    }
+
     /// All stream keys seen so far, in **debut order** — the order in
     /// which each key's first record reached the engine, which is
     /// independent of shard count and stable across calls. Borrowed
@@ -635,9 +793,11 @@ impl Engine {
         shard.slots.get(entry.slot as usize).map(|s| &s.state)
     }
 
-    /// The shard index `key` hashes to.
+    /// The shard index `key` routes to on the consistent-hash ring. Pure
+    /// in `(key, shard count)`: independent of debut order, and stable
+    /// under [`Engine::resize`] for every key the resize did not migrate.
     pub fn shard_of(&self, key: &str) -> usize {
-        (key_hash(key) % self.shards.len() as u64) as usize
+        self.ring.owner(key_hash(key)) as usize
     }
 
     /// Resolves `key` to its interned id, creating the stream's slot (and
@@ -647,9 +807,9 @@ impl Engine {
         if let Some(id) = self.interner.lookup(key, hash) {
             return id;
         }
-        let shard_idx = (hash % self.shards.len() as u64) as usize;
+        let shard_idx = self.ring.owner(hash) as usize;
         let Some(shard) = self.shards.get_mut(shard_idx) else {
-            // Unreachable: shard_idx < shards.len() by the modulo above;
+            // Unreachable: ring owners are < shards.len() by construction;
             // keep the no-panic discipline anyway.
             return 0;
         };
@@ -657,8 +817,188 @@ impl Engine {
         shard.slots.push(StreamSlot {
             key: key.to_string(),
             state: self.cfg.new_state(key),
+            ledger: Vec::new(),
         });
         self.interner.insert(key, hash, shard_idx as u32, slot)
+    }
+
+    /// Spawns the persistent worker pool for `shards` shards: one parked
+    /// thread per shard, each owning one end of a single-slot mailbox. A
+    /// pool of one (or zero) shards has no workers — every job runs
+    /// inline on the caller thread.
+    fn spawn_workers(
+        cfg: &Arc<EngineConfig>,
+        shards: usize,
+    ) -> Vec<Courier<ShardJob, ShardReply>> {
+        if shards <= 1 {
+            return Vec::new();
+        }
+        (0..shards)
+            .map(|i| {
+                let cfg = Arc::clone(cfg);
+                Courier::spawn(&format!("khist-shard-{i}"), move |job: ShardJob| match job {
+                    ShardJob::Ingest {
+                        mut shard,
+                        records,
+                    } => {
+                        let outcome = shard.ingest(&cfg, &records);
+                        ShardReply {
+                            shard,
+                            outcome,
+                            records,
+                            snapshot: None,
+                        }
+                    }
+                    ShardJob::Flush { mut shard } => {
+                        let outcome = shard.flush();
+                        ShardReply {
+                            shard,
+                            outcome,
+                            records: Vec::new(),
+                            snapshot: None,
+                        }
+                    }
+                    ShardJob::Snapshot {
+                        mut shard,
+                        slot,
+                        analyses,
+                    } => {
+                        let result = shard.snapshot(slot, &analyses);
+                        ShardReply {
+                            shard,
+                            outcome: (Vec::new(), Vec::new()),
+                            records: Vec::new(),
+                            snapshot: Some(result),
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Re-routes the pool onto `shards` shards, **migrating only the
+    /// streams whose ring owner changed** — the point of consistent
+    /// hashing: growing N→N+1 moves ~1/(N+1) of live streams (bounded at
+    /// 2/(N+1), property-tested in `tests/engine_ring.rs`) instead of the
+    /// (N-1)/N a `hash mod N` re-key would. Migration moves each stream's
+    /// [`MonitorState`] between shard slabs without touching its contents,
+    /// so per-stream reports are bit-identical across any resize history.
+    /// The worker pool is respawned for the new count (old workers park,
+    /// join, and drop first). Returns how many streams moved.
+    pub fn resize(&mut self, shards: usize) -> Result<usize, DistError> {
+        if shards == 0 {
+            return Err(DistError::BadParameter {
+                reason: "engine needs at least one shard (1 = unsharded)".into(),
+            });
+        }
+        if shards == self.shards.len() {
+            return Ok(0);
+        }
+        let ring = Ring::new(shards);
+        // Drain every shard's slab; donors[shard][slot] holds the stream
+        // until its new owner claims it (debut order = entry order, so
+        // claims arrive in increasing slot order per donor).
+        let old = std::mem::take(&mut self.shards);
+        let mut donors: Vec<Vec<Option<StreamSlot>>> = old
+            .into_iter()
+            .map(|s| s.slots.into_iter().map(Some).collect())
+            .collect();
+        let mut fresh: Vec<Shard> = Vec::with_capacity(shards);
+        fresh.resize_with(shards, Shard::default);
+        let mut moved = 0usize;
+        for entry in &mut self.interner.entries {
+            let slot = donors
+                .get_mut(entry.shard as usize)
+                .and_then(|d| d.get_mut(entry.slot as usize))
+                .and_then(Option::take);
+            let Some(slot) = slot else {
+                continue; // unreachable: interner coordinates index live slots
+            };
+            let owner = ring.owner(entry.hash);
+            if owner != entry.shard {
+                moved += 1;
+            }
+            let Some(dest) = fresh.get_mut(owner as usize) else {
+                continue; // unreachable: ring owners are < shards by construction
+            };
+            entry.shard = owner;
+            entry.slot = dest.slots.len() as u32;
+            dest.slots.push(slot);
+        }
+        self.shards = fresh;
+        self.ring = ring;
+        // Old couriers drop (park → join) when replaced; fresh scratch for
+        // the new pool width.
+        self.workers = Engine::spawn_workers(&self.cfg, shards);
+        self.parts.clear();
+        self.parts.resize_with(shards, Vec::new);
+        self.busy.clear();
+        Ok(moved)
+    }
+
+    /// Answers an on-demand sub-batch from one stream's *current*
+    /// (possibly partial) window — "what does tenant X look like right
+    /// now", mid-window, without waiting for the window to complete and
+    /// without disturbing ingestion or the drift baseline. The query is
+    /// routed to the owning shard over its persistent worker's mailbox
+    /// (inline for a single-shard engine), exactly like a batch; the
+    /// sample spend is folded into the stream's ledger.
+    ///
+    /// The batch may be any sub-batch whose requirements fit the standing
+    /// plan — the frozen lanes cannot serve a larger draw (that errors,
+    /// never triggers a fresh draw). Unknown keys error.
+    pub fn snapshot(
+        &mut self,
+        key: &str,
+        analyses: &[Analysis],
+    ) -> Result<Vec<Report>, DistError> {
+        let unknown = || DistError::BadParameter {
+            reason: format!("unknown stream key '{key}'"),
+        };
+        let id = self.interner.lookup(key, key_hash(key)).ok_or_else(unknown)?;
+        let (shard_idx, slot) = match self.interner.entries.get(id as usize) {
+            Some(entry) => (entry.shard as usize, entry.slot),
+            None => return Err(unknown()), // unreachable: lookup returned id
+        };
+        if self.workers.is_empty() {
+            return match self.shards.get_mut(shard_idx) {
+                Some(shard) => shard.snapshot(slot, analyses),
+                None => Err(unknown()), // unreachable: interned shard index
+            };
+        }
+        // lint:allow(checked-indexing): interned shard indices are < shards.len()
+        let shard = std::mem::take(&mut self.shards[shard_idx]);
+        // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
+        self.workers[shard_idx].submit(ShardJob::Snapshot {
+            shard,
+            slot,
+            analyses: Arc::new(analyses.to_vec()),
+        });
+        // lint:allow(checked-indexing): same worker index as above
+        let reply = self.workers[shard_idx].collect();
+        // lint:allow(checked-indexing): interned shard indices are < shards.len()
+        self.shards[shard_idx] = reply.shard;
+        match reply.snapshot {
+            Some(result) => result,
+            None => Err(DistError::BadParameter {
+                reason: "shard worker answered a snapshot job without a snapshot".into(),
+            }),
+        }
+    }
+
+    /// One stream's retained ledger: per-label lifetime totals (`"draw"`
+    /// plus each analysis name — samples and wall seconds accumulated over
+    /// every completed window and [`Engine::snapshot`] of the stream).
+    /// Bounded memory: one entry per label, however long the stream runs.
+    /// `None` for keys the engine has never seen.
+    pub fn ledger(&self, key: &str) -> Option<&[LedgerEntry]> {
+        let id = self.interner.lookup(key, key_hash(key))?;
+        let entry = self.interner.entries.get(id as usize)?;
+        let shard = self.shards.get(entry.shard as usize)?;
+        shard
+            .slots
+            .get(entry.slot as usize)
+            .map(|s| s.ledger.as_slice())
     }
 
     /// Ingests records for a single stream in arrival order, reporting the
@@ -757,6 +1097,7 @@ impl Engine {
                     shard,
                     outcome,
                     mut records,
+                    ..
                 } = reply;
                 records.clear();
                 // lint:allow(checked-indexing): busy holds indices < shards.len()
@@ -809,6 +1150,26 @@ impl Engine {
             }
         }
         self.settle()
+    }
+
+    /// [`Engine::flush`], reordered into stream **debut order** (the
+    /// order each key's first record reached the engine) instead of the
+    /// lexicographic `(stream, window)` order. Within a stream, windows
+    /// stay in id order (the reorder is a stable sort on the debut
+    /// index). This is the order live tools emit end-of-stream tails in:
+    /// `khist watch --key-field` and `khist serve` both finish with it,
+    /// so tail output lines up with the order streams appeared, not with
+    /// key spelling.
+    pub fn flush_debut_ordered(&mut self) -> Result<Vec<WindowReport>, DistError> {
+        let mut tails = self.flush()?;
+        tails.sort_by_key(|report| {
+            report.stream.as_deref().map_or(u32::MAX, |key| {
+                self.interner
+                    .lookup(key, key_hash(key))
+                    .unwrap_or(u32::MAX)
+            })
+        });
+        Ok(tails)
     }
 
     /// Merges the per-shard outcomes collected by the current call into
@@ -1215,6 +1576,139 @@ mod tests {
         assert!(tails.iter().all(|t| !t.complete && t.seen == 300));
         let keys: Vec<&str> = tails.iter().map(|t| t.stream.as_deref().unwrap()).collect();
         assert_eq!(keys, ["x", "y", "z"], "sorted by stream");
+    }
+
+    #[test]
+    fn ring_owner_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 13] {
+            let ring = Ring::new(shards);
+            assert_eq!(ring.points.len(), shards * VNODES as usize);
+            for i in 0..1_000u64 {
+                let hash = key_hash(&format!("key-{i}"));
+                let owner = ring.owner(hash);
+                assert!((owner as usize) < shards);
+                assert_eq!(owner, ring.owner(hash), "pure in the hash");
+            }
+        }
+        // Degenerate single-shard ring: everything routes to shard 0.
+        let solo = Ring::new(1);
+        assert!((0..1_000u64).all(|h| solo.owner(h.wrapping_mul(0x9e37)) == 0));
+    }
+
+    #[test]
+    fn snapshot_answers_mid_window_and_routes_over_workers() {
+        // 2 shards → the query really crosses a Courier mailbox.
+        let mut engine = engine(2, 10_000);
+        let records = keyed_events(64, 5_000, &["api", "web"], 9);
+        assert!(engine.ingest_batch(&records).unwrap().is_empty(), "mid-window");
+        let sub = vec![Uniformity::eps(0.3).scale(0.2).into()];
+        let reports = engine.snapshot("api", &sub).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].statistic.is_some());
+        // Bit-identical to a dedicated monitor's snapshot of the same
+        // records — the control plane is as semantics-free as ingest.
+        let mine: Vec<usize> = records
+            .iter()
+            .filter(|(k, _)| k == "api")
+            .map(|&(_, v)| v)
+            .collect();
+        let mut monitor = Monitor::builder(64)
+            .seed(Engine::stream_seed(11, "api"))
+            .stream("api")
+            .tumbling(10_000)
+            .analyses(standing())
+            .build()
+            .unwrap();
+        monitor.ingest(&mine).unwrap();
+        assert_eq!(monitor.snapshot(&sub).unwrap(), reports);
+        // Unknown keys error; the engine stays usable.
+        assert!(engine.snapshot("nope", &sub).is_err());
+        assert_eq!(engine.stream_state("api").unwrap().seen(), 2_500);
+    }
+
+    #[test]
+    fn ledger_retains_bounded_per_label_totals() {
+        let mut engine = engine(2, 500);
+        let records = keyed_events(64, 4_000, &["api", "web"], 4);
+        engine.ingest_batch(&records).unwrap();
+        // 4 windows per stream, but the ledger stays one entry per label.
+        let ledger = engine.ledger("api").unwrap();
+        let labels: Vec<&str> = ledger.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels.len(), 1 + standing().len(), "draw + one per analysis");
+        assert!(labels.contains(&"draw"));
+        let draw = ledger.iter().find(|e| e.label == "draw").unwrap();
+        assert!(draw.samples > 0);
+        // A snapshot's spend folds into the same totals (give the partial
+        // window some records to freeze first).
+        let before = draw.samples;
+        engine
+            .ingest_batch(&keyed_events(64, 600, &["api", "web"], 8))
+            .unwrap();
+        engine
+            .snapshot("api", &[Uniformity::eps(0.3).scale(0.2).into()])
+            .unwrap();
+        let after = engine
+            .ledger("api")
+            .unwrap()
+            .iter()
+            .find(|e| e.label == "draw")
+            .unwrap()
+            .samples;
+        assert!(after > before, "snapshot spend ledgered: {after} vs {before}");
+        assert!(engine.ledger("nope").is_none());
+    }
+
+    #[test]
+    fn stream_seen_reports_debut_ordered_totals() {
+        let mut engine = engine(3, 1_000);
+        engine.ingest("zeta", &[1, 2]).unwrap();
+        engine
+            .ingest_batch(&[("alpha".to_string(), 3usize), ("zeta".to_string(), 4)])
+            .unwrap();
+        assert_eq!(engine.stream_count(), 2);
+        assert_eq!(engine.stream_seen(), [("zeta", 3), ("alpha", 1)]);
+    }
+
+    #[test]
+    fn resize_migrates_states_not_semantics() {
+        // Same records through a static 3-shard engine and through an
+        // engine resized 1→3→2 mid-stream: per-stream reports identical.
+        let keys = ["api", "web", "batch", "mobile", "edge", "iot"];
+        let records = keyed_events(64, 12_000, &keys, 6);
+        let mut baseline = engine(3, 500);
+        let mut want = baseline.ingest_batch(&records).unwrap();
+        want.extend(baseline.flush().unwrap());
+
+        let mut live = engine(1, 500);
+        let mut got = live.ingest_batch(&records[..4_000]).unwrap();
+        let moved = live.resize(3).unwrap();
+        assert!(moved <= live.streams(), "moved {moved} of {}", live.streams());
+        got.extend(live.ingest_batch(&records[4_000..9_000]).unwrap());
+        live.resize(2).unwrap();
+        got.extend(live.ingest_batch(&records[9_000..]).unwrap());
+        got.extend(live.flush().unwrap());
+
+        for key in keys {
+            let of = |rs: &[WindowReport]| -> Vec<WindowReport> {
+                rs.iter()
+                    .filter(|r| r.stream.as_deref() == Some(key))
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(of(&want), of(&got), "stream {key} across resizes");
+        }
+        // Coordinates, counters and ledgers survived the moves.
+        assert_eq!(live.shards(), 2);
+        assert_eq!(live.stream_count(), keys.len());
+        for key in keys {
+            assert_eq!(live.shard_of(key), {
+                let id = live.interner.lookup(key, key_hash(key)).unwrap();
+                live.interner.entries[id as usize].shard as usize
+            });
+            assert!(live.ledger(key).is_some());
+        }
+        assert!(live.resize(0).is_err());
+        assert_eq!(live.resize(2).unwrap(), 0, "same-size resize is a no-op");
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct FileContext {
     /// Library code of `crates/oracle`: the one home of raw SplitMix64
     /// seed derivation (`stream_seed`/`window_seed`).
     pub is_seed_home: bool,
+    /// Library code of `crates/serve`: the reactor plumbs deadlines as
+    /// `Instant` *values*, so `wall-clock` switches from flagging the
+    /// type name to flagging clock *reads* (`Instant::now`) there.
+    pub is_serve: bool,
+    /// The reactor itself (`crates/serve/src/reactor.rs`) — the one
+    /// serve file granted a single budgeted `Instant::now` call site.
+    pub is_serve_reactor: bool,
     /// A crate root (`src/lib.rs` or `crates/*/src/lib.rs`) that must
     /// carry `#![forbid(unsafe_code)]`.
     pub is_crate_root: bool,
@@ -51,6 +58,8 @@ impl FileContext {
                 && !is_test_like,
             is_clock_boundary: path == "crates/core/src/api.rs",
             is_seed_home: path.starts_with("crates/oracle/src/"),
+            is_serve: path.starts_with("crates/serve/src/"),
+            is_serve_reactor: path == "crates/serve/src/reactor.rs",
             is_crate_root: path == "src/lib.rs"
                 || (components.len() == 4
                     && components[0] == "crates"
@@ -93,5 +102,12 @@ mod tests {
 
         let crate_tests = FileContext::classify("crates/oracle/tests/x.rs");
         assert!(crate_tests.is_test_like && !crate_tests.is_core_or_oracle);
+
+        let reactor = FileContext::classify("crates/serve/src/reactor.rs");
+        assert!(reactor.is_serve && reactor.is_serve_reactor && !reactor.is_core_or_oracle);
+        let conn = FileContext::classify("crates/serve/src/conn.rs");
+        assert!(conn.is_serve && !conn.is_serve_reactor);
+        let serve_tests = FileContext::classify("crates/serve/tests/x.rs");
+        assert!(serve_tests.is_test_like && !serve_tests.is_serve);
     }
 }

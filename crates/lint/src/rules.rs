@@ -8,7 +8,7 @@
 //! | rule | invariant it protects |
 //! |------|-----------------------|
 //! | `default-hasher` | `RandomState` iteration order would break bit-identity across processes |
-//! | `wall-clock` | `MonitorState` and everything under it stays clock-free; timing lives in `api.rs` |
+//! | `wall-clock` | `MonitorState` and everything under it stays clock-free; timing lives in `api.rs` (plus one budgeted reactor read in `crates/serve`) |
 //! | `no-panic` | library hot paths in `crates/{core,oracle}` return `Result`, not aborts |
 //! | `checked-indexing` | same, for `x[i]` bounds panics |
 //! | `seed-discipline` | all randomness derives from `stream_seed`/`window_seed`, never ad-hoc SplitMix64 |
@@ -51,7 +51,7 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
     ),
     (
         "wall-clock",
-        "Instant/SystemTime only inside crates/core/src/api.rs, the designated timing boundary",
+        "Instant/SystemTime only inside crates/core/src/api.rs; crates/serve may hold Instant values but gets exactly one Instant::now, in reactor.rs",
     ),
     (
         "no-panic",
@@ -123,6 +123,7 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed, allows: &Allows) -> Vec<Diag
         // an unexplained `#[allow]` in a test is the same review hazard.
         justified_allow(ctx, lexed, tokens, i, &mut raw);
     }
+    wall_clock_serve(ctx, tokens, &in_test, &mut raw);
     forbid_unsafe(ctx, tokens, &mut raw);
     hot_path_alloc(ctx, lexed, &mut raw);
 
@@ -256,9 +257,11 @@ fn default_hasher(ctx: &FileContext, tok: &Token, out: &mut Vec<Diagnostic>) {
 /// `wall-clock`: `Instant`/`SystemTime` outside the designated boundary
 /// (`crates/core/src/api.rs`). The pure state machines (`MonitorState`
 /// and below) must stay replayable: push ≡ pull holds only if nothing in
-/// them observes time.
+/// them observes time. `crates/serve` gets its own arm of this rule
+/// ([`wall_clock_serve`]): a reactor cannot be clock-free, but it can be
+/// clock-*disciplined*.
 fn wall_clock(ctx: &FileContext, tok: &Token, out: &mut Vec<Diagnostic>) {
-    if ctx.is_clock_boundary || tok.kind != TokenKind::Ident {
+    if ctx.is_clock_boundary || ctx.is_serve || tok.kind != TokenKind::Ident {
         return;
     }
     if matches!(tok.text.as_str(), "Instant" | "SystemTime") {
@@ -272,6 +275,72 @@ fn wall_clock(ctx: &FileContext, tok: &Token, out: &mut Vec<Diagnostic>) {
                 tok.text
             ),
         ));
+    }
+}
+
+/// The `crates/serve` arm of `wall-clock`. The reactor must observe time
+/// (flush deadlines are real), so bare `Instant` — the *type*, plumbed
+/// around as parameters and fields — is legal throughout serve library
+/// code. What stays budgeted is *reading* the clock: exactly one
+/// `Instant::now` call site is allowed, in `reactor.rs` (its `clock()`
+/// fn), so every deadline decision traces to a single read per loop
+/// iteration and the rest of the crate stays replayable given those
+/// values. `SystemTime` is flagged unconditionally — wall-clock
+/// timestamps have no business in serve output. This is a per-file pass
+/// (not per-token like the others) because "the first read is free"
+/// requires counting across the whole token stream.
+fn wall_clock_serve(
+    ctx: &FileContext,
+    tokens: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !ctx.is_serve {
+        return;
+    }
+    let mut budget = usize::from(ctx.is_serve_reactor);
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx.is_test_like || in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if tok.is_ident("SystemTime") {
+            out.push(Diagnostic::new(
+                "wall-clock",
+                &ctx.path,
+                tok.line,
+                "SystemTime in crates/serve; the reactor reads the monotonic clock only \
+                 — wall-clock timestamps never enter serve state or output"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let reads_clock = tok.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::PathSep)
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("now"));
+        if !reads_clock {
+            continue;
+        }
+        if budget > 0 {
+            budget -= 1;
+        } else if ctx.is_serve_reactor {
+            out.push(Diagnostic::new(
+                "wall-clock",
+                &ctx.path,
+                tok.line,
+                "second Instant::now in the reactor; crates/serve budgets exactly one \
+                 clock site (reactor.rs's clock()) — thread the Instant through as a value"
+                    .to_string(),
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                "wall-clock",
+                &ctx.path,
+                tok.line,
+                "Instant::now outside the reactor's single clock site (reactor.rs); \
+                 take an Instant parameter instead of reading the clock"
+                    .to_string(),
+            ));
+        }
     }
 }
 

@@ -69,6 +69,48 @@ fn wall_clock_is_permitted_at_the_api_boundary() {
 }
 
 #[test]
+fn wall_clock_serve_reactor_gets_one_budgeted_read() {
+    // In reactor.rs the first Instant::now is the budgeted clock site;
+    // the second read and any SystemTime mention are flagged.
+    check_pair(
+        "crates/serve/src/reactor.rs",
+        include_str!("fixtures/bad_wall_clock_serve.rs"),
+        include_str!("fixtures/good_wall_clock_serve.rs"),
+        &[("wall-clock", 9), ("wall-clock", 12), ("wall-clock", 13)],
+    );
+}
+
+#[test]
+fn wall_clock_serve_non_reactor_files_have_no_budget() {
+    // The same single-clock-site code is illegal outside reactor.rs: other
+    // serve files may hold Instant values but never read the clock.
+    let src = include_str!("fixtures/good_wall_clock_serve.rs");
+    assert_eq!(
+        run("crates/serve/src/conn.rs", src),
+        vec![("wall-clock".to_string(), 6)]
+    );
+}
+
+#[test]
+fn wall_clock_serve_allows_bare_instant_values() {
+    // Plumbing Instant around (parameters, fields, arithmetic) without a
+    // clock read lints clean anywhere in the serve crate.
+    let src = "use std::time::Instant;\nfn later(now: Instant) -> Instant { now }\n";
+    assert_eq!(run("crates/serve/src/protocol.rs", src), vec![]);
+}
+
+#[test]
+fn thread_discipline_applies_inside_the_serve_reactor() {
+    // The reactor is single-threaded by contract; spawning is flagged
+    // there exactly as in core.
+    let src = include_str!("fixtures/bad_thread_discipline.rs");
+    assert_eq!(
+        run("crates/serve/src/reactor.rs", src),
+        vec![("thread-discipline".to_string(), 3)]
+    );
+}
+
+#[test]
 fn no_panic_fixtures() {
     check_pair(
         "crates/core/src/fixture.rs",

@@ -1,0 +1,14 @@
+//! Fixture: a serve reactor with one clock read too many, plus wall time.
+use std::time::Instant;
+
+fn clock() -> Instant {
+    Instant::now()
+}
+
+fn sneaky_deadline() -> Instant {
+    Instant::now()
+}
+
+fn wall_time_is_never_ok() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

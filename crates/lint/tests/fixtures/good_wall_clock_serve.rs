@@ -1,0 +1,12 @@
+//! Fixture: the reactor's single clock site; deadlines travel as values.
+use std::time::{Duration, Instant};
+
+/// The one budgeted read.
+fn clock() -> Instant {
+    Instant::now()
+}
+
+/// Everything downstream computes from plumbed `Instant` values.
+fn deadline_after(now: Instant, flush: Duration) -> Instant {
+    now + flush
+}

@@ -1,0 +1,223 @@
+//! Per-connection state: transport, buffers, framing offsets.
+//!
+//! A connection owns two bounded buffers — unframed input bytes and
+//! unsent reply bytes — plus its line counter, so every error a
+//! connection ever sees can be pinned to a line number of *its own*
+//! input. The reactor never stores per-connection state anywhere else;
+//! dropping a `Conn` is all it takes to forget a producer.
+
+use std::io::{self, Read, Write};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+/// What the connection speaks: records or control requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    /// Data plane: `key value` record lines.
+    Data,
+    /// Control plane: `STATS` / `SUB` / `SHUTDOWN` lines.
+    Control,
+}
+
+/// The byte source/sink under a connection.
+pub(crate) enum Transport {
+    /// An accepted Unix-socket connection (nonblocking).
+    Socket(UnixStream),
+    /// The process's stdin (made nonblocking by the reactor). Stdin has
+    /// no reply channel; replies are routed to stderr instead.
+    Stdin(io::Stdin),
+}
+
+/// One read attempt's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadStatus {
+    /// Bytes were appended to the input buffer.
+    Data(usize),
+    /// The descriptor has nothing more right now (`EWOULDBLOCK`/`EINTR`).
+    Blocked,
+    /// End of stream.
+    Eof,
+}
+
+/// One connection's complete state.
+pub(crate) struct Conn {
+    /// Byte transport.
+    pub transport: Transport,
+    /// Data or control plane.
+    pub role: Role,
+    /// Unframed input bytes (bounded by the per-connection budget).
+    pub inbuf: Vec<u8>,
+    /// Unsent reply/feed bytes.
+    pub outbuf: Vec<u8>,
+    /// Lines consumed so far (1-based numbering for the *next* line).
+    pub lineno: usize,
+    /// No further reads: EOF, hangup, or poisoned by a protocol error.
+    pub eof: bool,
+    /// Control connection subscribed to the JSONL window feed.
+    pub subscribed: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted socket.
+    pub fn socket(stream: UnixStream, role: Role) -> Conn {
+        Conn {
+            transport: Transport::Socket(stream),
+            role,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            lineno: 0,
+            eof: false,
+            subscribed: false,
+        }
+    }
+
+    /// Wraps the process's stdin as a data-plane source.
+    pub fn stdin() -> Conn {
+        Conn {
+            transport: Transport::Stdin(io::stdin()),
+            role: Role::Data,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            lineno: 0,
+            eof: false,
+            subscribed: false,
+        }
+    }
+
+    /// The raw descriptor to poll.
+    pub fn fd(&self) -> i32 {
+        match &self.transport {
+            Transport::Socket(s) => s.as_raw_fd(),
+            Transport::Stdin(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Reads once through `scratch` into the input buffer.
+    pub fn read_some(&mut self, scratch: &mut [u8]) -> io::Result<ReadStatus> {
+        let read = match &mut self.transport {
+            Transport::Socket(s) => s.read(scratch),
+            Transport::Stdin(s) => s.read(scratch),
+        };
+        match read {
+            Ok(0) => Ok(ReadStatus::Eof),
+            Ok(k) => {
+                self.inbuf.extend_from_slice(&scratch[..k]);
+                Ok(ReadStatus::Data(k))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(ReadStatus::Blocked)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Queues a reply for the producer: socket connections buffer it for
+    /// the next writable round; stdin (no reply channel) routes to
+    /// stderr immediately.
+    pub fn push_reply(&mut self, text: &str) {
+        match &self.transport {
+            Transport::Socket(_) => self.outbuf.extend_from_slice(text.as_bytes()),
+            Transport::Stdin(_) => eprint!("{text}"),
+        }
+    }
+
+    /// Writes as much buffered output as the transport accepts right
+    /// now; `Ok(true)` when the buffer fully drained.
+    pub fn flush_out(&mut self) -> io::Result<bool> {
+        while !self.outbuf.is_empty() {
+            let wrote = match &mut self.transport {
+                Transport::Socket(s) => s.write(&self.outbuf),
+                // Stdin replies already went to stderr; nothing to drain.
+                Transport::Stdin(_) => Ok(self.outbuf.len()),
+            };
+            match wrote {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "connection accepted no bytes",
+                    ))
+                }
+                Ok(k) => {
+                    self.outbuf.drain(..k);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Splits off every complete (newline-terminated) line currently
+    /// buffered, leaving the partial tail in place. `None` when no
+    /// complete line is buffered.
+    pub fn take_complete_lines(&mut self) -> Option<Vec<u8>> {
+        let cut = self.inbuf.iter().rposition(|&b| b == b'\n')? + 1;
+        let rest = self.inbuf.split_off(cut);
+        Some(std::mem::replace(&mut self.inbuf, rest))
+    }
+
+    /// Takes the whole input buffer — the final, unterminated line at
+    /// EOF (matching `read_line`'s treatment of a missing trailing
+    /// newline, which keeps serve framing identical to `watch`'s).
+    pub fn take_tail(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.inbuf)
+    }
+
+    /// `true` once the connection has nothing left to do: read side
+    /// finished, input fully framed, replies fully sent.
+    pub fn done(&self) -> bool {
+        self.eof && self.inbuf.is_empty() && self.outbuf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_splits_on_the_last_newline() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let mut conn = Conn::socket(a, Role::Data);
+        b.write_all(b"api 1\nweb 2\npartial").unwrap();
+        conn.transport = {
+            let Transport::Socket(s) = conn.transport else {
+                unreachable!()
+            };
+            s.set_nonblocking(true).unwrap();
+            Transport::Socket(s)
+        };
+        let mut scratch = [0u8; 64];
+        assert!(matches!(
+            conn.read_some(&mut scratch).unwrap(),
+            ReadStatus::Data(_)
+        ));
+        let lines = conn.take_complete_lines().unwrap();
+        assert_eq!(&lines, b"api 1\nweb 2\n");
+        assert_eq!(&conn.inbuf, b"partial");
+        assert!(conn.take_complete_lines().is_none());
+        assert_eq!(conn.take_tail(), b"partial");
+        assert!(matches!(
+            conn.read_some(&mut scratch).unwrap(),
+            ReadStatus::Blocked
+        ));
+    }
+
+    #[test]
+    fn replies_buffer_and_flush() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut conn = Conn::socket(a, Role::Control);
+        conn.push_reply("ERR line 3: nope\n");
+        assert!(!conn.done());
+        assert!(conn.flush_out().unwrap());
+        let mut got = [0u8; 64];
+        let k = b.read(&mut got).unwrap();
+        assert_eq!(&got[..k], b"ERR line 3: nope\n");
+        conn.eof = true;
+        assert!(conn.done());
+    }
+}

@@ -1,0 +1,60 @@
+#![forbid(unsafe_code)]
+//! `khist serve`: a single-threaded async keyed-ingest server over the
+//! [`Engine`](khist_core::api::Engine).
+//!
+//! The library crates compute per-window verdicts from sub-linear
+//! samples; this crate turns them into a *process you point traffic at*.
+//! One reactor thread multiplexes every source — Unix-socket connections
+//! and stdin — over the vendored [`polling`] readiness shim (`poll(2)`;
+//! no network crates, no thread-per-connection), frames `key value`
+//! lines, and drains accumulated records into
+//! [`Engine::ingest_batch`](khist_core::api::Engine::ingest_batch) on a
+//! size-or-deadline trigger. Completed windows stream out as JSONL — the
+//! same lines `khist watch --key-field --json` emits, bit for bit per
+//! stream.
+//!
+//! # Error isolation
+//!
+//! A malformed line (wrong field count, non-integer value, a record
+//! outside the declared domain) poisons **only its own connection**: the
+//! producer gets one `ERR line <n>: …` reply and the connection closes;
+//! every other connection's streams are untouched. A mid-stream
+//! disconnect keeps everything the connection already delivered.
+//!
+//! # Backpressure
+//!
+//! Buffering is bounded in two places. Each connection may hold at most
+//! [`ServerConfig::conn_buffer`] bytes of unframed input (a longer line
+//! is a protocol error). Across connections, at most
+//! [`ServerConfig::global_budget`] bytes of parsed-but-uningested
+//! records accumulate; when the budget fills mid-iteration the reactor
+//! parks the remaining readable connections (stops reading them — the
+//! kernel socket buffer, and eventually the producer's `write`, absorb
+//! the stall) and drains into the engine before reading on.
+//!
+//! # Control plane
+//!
+//! A second Unix socket accepts line-oriented control requests:
+//!
+//! | request | reply |
+//! |---------|-------|
+//! | `STATS` | one JSON line: fleet totals + per-stream `seen` in debut order |
+//! | `STATS <key>` | one JSON line: a mid-window snapshot (the standing batch run on the partial window) + the stream's sample ledger |
+//! | `SUB` | subscribes the connection to the JSONL window feed |
+//! | `SHUTDOWN` | flushes every stream's partial tail (debut order), then exits |
+//!
+//! # Threading and clocks
+//!
+//! The reactor is one thread and owns the crate's **only** wall-clock
+//! read ([`reactor`]'s `clock` fn) — khist-lint's `wall-clock` rule
+//! budgets `crates/serve` exactly that one `Instant::now` call site, and
+//! its `thread-discipline` rule keeps the crate free of `thread::spawn`.
+//! Determinism therefore degrades gracefully: batch *boundaries* depend
+//! on arrival timing, but per-stream window contents and reports do not
+//! (windows are record-counted, never timed).
+
+mod conn;
+pub mod protocol;
+pub mod reactor;
+
+pub use reactor::{run, ServerConfig, ServerSummary};

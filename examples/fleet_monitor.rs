@@ -95,10 +95,25 @@ fn main() {
         );
     }
 
+    // The control-plane accessors answer fleet questions without touching
+    // a single report: how many tenants, who they are (debut order), and
+    // what each one has sent. `khist serve`'s STATS replies are built from
+    // exactly these calls.
+    let roster = engine.stream_seen();
+    assert_eq!(roster.len(), engine.stream_count());
+    assert!(
+        roster.iter().map(|&(key, _)| key).eq(keys.iter().map(String::as_str)),
+        "stream_seen reports tenants in debut order"
+    );
+    let per_tenant = roster.first().map_or(0, |&(_, seen)| seen);
+    assert!(
+        roster.iter().all(|&(_, seen)| seen == per_tenant),
+        "round-robin interleave feeds every tenant evenly"
+    );
     println!(
-        "ingested {} records over {} streams; alarms: {alarms:?}",
+        "ingested {} records over {} streams ({per_tenant} per tenant); alarms: {alarms:?}",
         engine.seen(),
-        engine.streams()
+        engine.stream_count(),
     );
     assert_eq!(
         alarms,

@@ -116,6 +116,42 @@ pub enum Command {
         /// Worker shards stream keys are hashed onto (`1` = unsharded).
         shards: usize,
     },
+    /// Serve keyed ingest over Unix sockets / stdin: the reactor in
+    /// [`khist_serve`], with `watch --key-field`'s analysis options.
+    Serve {
+        /// Data-plane Unix socket path (`None` = stdin only).
+        socket: Option<String>,
+        /// Control-plane Unix socket path (`STATS`/`SUB`/`SHUTDOWN`).
+        control: Option<String>,
+        /// Read stdin as a data source (implied when no `--socket`).
+        stdin: bool,
+        /// Number of pieces (for `learn`/`l1`/`l2`).
+        k: usize,
+        /// Accuracy parameter.
+        eps: f64,
+        /// Domain size (required — a live stream cannot be pre-scanned).
+        n: usize,
+        /// RNG seed for the window reservoirs.
+        seed: u64,
+        /// Report cadence in records.
+        every: u64,
+        /// `"tumbling"` or `"sliding"`.
+        window: String,
+        /// Which analyses to run per window.
+        runs: Vec<String>,
+        /// Which of the two whitespace-separated fields is the key.
+        key_field: usize,
+        /// Worker shards stream keys are routed onto.
+        shards: usize,
+        /// Drain into the engine at this many accumulated records.
+        batch: usize,
+        /// … or after this many milliseconds, whichever first.
+        flush_ms: u64,
+        /// Per-connection unframed-input budget (bytes).
+        conn_buffer: usize,
+        /// Global parsed-but-uningested budget (bytes).
+        budget: usize,
+    },
     /// Print summary statistics of the file's empirical distribution.
     Summarize {
         /// Input path.
@@ -146,8 +182,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut runs: Vec<String> = vec!["learn".into(), "l2".into(), "uniformity".into()];
     let mut key_field: Option<usize> = None;
     let mut shards = 1usize;
+    let mut socket: Option<String> = None;
+    let mut control: Option<String> = None;
+    let mut stdin = false;
+    let mut batch = 4096usize;
+    let mut flush_ms = 50u64;
+    let mut conn_buffer = 64 * 1024usize;
+    let mut budget = 4 * 1024 * 1024usize;
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket requires a path")?.clone()),
+            "--control" => control = Some(it.next().ok_or("--control requires a path")?.clone()),
+            "--stdin" => stdin = true,
+            "--batch" => {
+                batch = next_parsed(&mut it, "--batch")?;
+                if batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
+            "--flush-ms" => flush_ms = next_parsed(&mut it, "--flush-ms")?,
+            "--conn-buffer" => {
+                conn_buffer = next_parsed(&mut it, "--conn-buffer")?;
+                if conn_buffer == 0 {
+                    return Err("--conn-buffer must be positive".into());
+                }
+            }
+            "--budget" => {
+                budget = next_parsed(&mut it, "--budget")?;
+                if budget == 0 {
+                    return Err("--budget must be positive".into());
+                }
+            }
             "--k" => k = next_parsed(&mut it, "--k")?,
             "--eps" => eps = next_parsed(&mut it, "--eps")?,
             "--n" => n = next_parsed(&mut it, "--n")?,
@@ -257,6 +322,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 json,
                 key_field,
                 shards,
+            })
+        }
+        "serve" => {
+            if path.is_some() {
+                return Err(
+                    "serve takes no input path: records arrive over --socket and/or stdin"
+                        .into(),
+                );
+            }
+            Ok(Command::Serve {
+                // No socket means stdin is the only possible source.
+                stdin: stdin || socket.is_none(),
+                socket,
+                control,
+                k,
+                eps,
+                n,
+                seed,
+                every,
+                window,
+                runs,
+                key_field: key_field.unwrap_or(0),
+                shards,
+                batch,
+                flush_ms,
+                conn_buffer,
+                budget,
             })
         }
         "summarize" => Ok(Command::Summarize {
@@ -850,7 +942,10 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
         Some(emitted) => windows += emitted,
         None => return Ok(String::new()),
     }
-    let tails = engine.flush().map_err(fmt_err)?;
+    // Tails come out in debut order — the order streams first appeared —
+    // not key-lexicographic order, so the end-of-stream output lines up
+    // with the input's own history.
+    let tails = engine.flush_debut_ordered().map_err(fmt_err)?;
     match emit(out, tails)? {
         Some(emitted) => windows += emitted,
         None => return Ok(String::new()),
@@ -895,6 +990,10 @@ pub fn usage() -> &'static str {
      \x20 khist watch     <records.txt|-> [--every N] [--window tumbling|sliding]\n\
      \x20                 [--key-field 0|1] [--shards N]\n\
      \x20                 [--k K] [--eps E] [--n N] [--seed S] [--json] [--run ...]\n\
+     \x20 khist serve     --n N [--socket PATH] [--control PATH] [--stdin]\n\
+     \x20                 [--key-field 0|1] [--shards N] [--every N] [--window ...]\n\
+     \x20                 [--batch R] [--flush-ms MS] [--conn-buffer B] [--budget B]\n\
+     \x20                 [--k K] [--eps E] [--seed S] [--run ...]\n\
      \x20 khist summarize <records.txt> [--n N]\n\
      \n\
      input: one integer record per line; '#' comments and blank lines ignored.\n\
@@ -920,7 +1019,20 @@ pub fn usage() -> &'static str {
      shards. Per-stream output is bit-identical for every shard count.\n\
      Keyed watch requires an explicit --n; --shards > 1 requires\n\
      --key-field. Un-keyed (single-field) lines are rejected with their\n\
-     line number.\n"
+     line number.\n\
+     \n\
+     serve runs keyed watch as a long-lived process: a single-threaded\n\
+     reactor accepts 'key value' lines on a Unix socket (--socket) and/or\n\
+     stdin, drains them into the sharded engine every --batch records or\n\
+     --flush-ms milliseconds, and emits per-window JSONL on stdout —\n\
+     bit-identical per stream to watch --key-field --json. A bad line\n\
+     poisons only its own connection (ERR reply with the line number);\n\
+     --conn-buffer and --budget bound per-connection and global buffering\n\
+     (slow producers are parked, never buffered unboundedly). --control\n\
+     opens a second socket answering STATS (fleet totals), STATS <key>\n\
+     (mid-window snapshot + sample ledger), SUB (subscribe to the JSONL\n\
+     feed) and SHUTDOWN (flush tails in debut order, then exit). With no\n\
+     --socket, serve reads stdin and exits at EOF.\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
@@ -1074,6 +1186,70 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
                 run_watch(std::io::BufReader::new(file), &mut stdout.lock(), &opts)
             }
         }
+        Command::Serve {
+            socket,
+            control,
+            stdin,
+            k,
+            eps,
+            n,
+            seed,
+            every,
+            window,
+            runs,
+            key_field,
+            shards,
+            batch,
+            flush_ms,
+            conn_buffer,
+            budget,
+        } => {
+            if n == 0 {
+                return Err(
+                    "serve needs an explicit --n: a live stream cannot be pre-scanned to \
+                     infer its domain"
+                        .into(),
+                );
+            }
+            let span = if window == "sliding" {
+                every
+                    .checked_mul(SLIDING_STEPS)
+                    .ok_or_else(|| format!("--every {every} overflows the sliding span"))?
+            } else {
+                every
+            };
+            let analyses = analyze_batch(n, k, eps, span as usize, &runs)?;
+            let mut builder = Engine::builder(n).seed(seed).shards(shards).analyses(analyses);
+            builder = if window == "sliding" {
+                builder.sliding(span, every)
+            } else {
+                builder.tumbling(span)
+            };
+            let engine = builder.build().map_err(fmt_err)?;
+            let cfg = khist_serve::ServerConfig {
+                socket: socket.map(std::path::PathBuf::from),
+                control: control.map(std::path::PathBuf::from),
+                stdin,
+                key_field,
+                batch_records: batch,
+                flush_ms,
+                conn_buffer,
+                global_budget: budget,
+            };
+            let stdout = std::io::stdout();
+            let summary = khist_serve::run(engine, cfg, &mut stdout.lock())?;
+            // Stdout is the JSONL window feed; the human summary goes to
+            // stderr so the feed stays machine-parseable.
+            eprintln!(
+                "served {} records from {} streams over {} windows on {} shard{}",
+                summary.records,
+                summary.streams,
+                summary.windows,
+                summary.shards,
+                if summary.shards == 1 { "" } else { "s" },
+            );
+            Ok(String::new())
+        }
         Command::Summarize { path, n } => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             run_summarize(&parse_samples_text(&text)?, n)
@@ -1163,6 +1339,59 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&strings(&["analyze", "d.txt", "--run", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_serve() {
+        // No socket: stdin is implied.
+        let cmd = parse_args(&strings(&["serve", "--n", "64"])).unwrap();
+        match cmd {
+            Command::Serve {
+                stdin,
+                socket,
+                control,
+                key_field,
+                batch,
+                flush_ms,
+                ..
+            } => {
+                assert!(stdin && socket.is_none() && control.is_none());
+                assert_eq!((key_field, batch, flush_ms), (0, 4096, 50));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A socket suppresses implied stdin unless --stdin is explicit.
+        let cmd = parse_args(&strings(&[
+            "serve", "--n", "64", "--socket", "/tmp/k.sock", "--control", "/tmp/c.sock",
+            "--key-field", "1", "--shards", "4", "--batch", "512", "--flush-ms", "10",
+            "--conn-buffer", "1024", "--budget", "8192",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                stdin,
+                socket,
+                control,
+                key_field,
+                shards,
+                batch,
+                flush_ms,
+                conn_buffer,
+                budget,
+                ..
+            } => {
+                assert!(!stdin);
+                assert_eq!(socket.as_deref(), Some("/tmp/k.sock"));
+                assert_eq!(control.as_deref(), Some("/tmp/c.sock"));
+                assert_eq!(
+                    (key_field, shards, batch, flush_ms, conn_buffer, budget),
+                    (1, 4, 512, 10, 1024, 8192)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strings(&["serve", "extra.txt", "--n", "64"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--n", "64", "--batch", "0"])).is_err());
         assert!(parse_args(&strings(&["analyze"])).is_err());
     }
 
@@ -1480,6 +1709,31 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("--n") && err.contains("key"), "{err}");
+    }
+
+    #[test]
+    fn keyed_watch_emits_partial_tails_in_debut_order() {
+        // No stream ever completes a window (every = 1_000, 300 records
+        // each), so everything the command emits is flushed tails. Those
+        // must come out in *debut* order — "web" connected first — not
+        // the lexicographic order Engine::flush sorts by (which would put
+        // "api" first), and regardless of the shard count.
+        let mut text = String::new();
+        for i in 0..300 {
+            text.push_str(&format!("web {}\napi {}\n", (i * 7) % 64, (i * 11) % 64));
+        }
+        for shards in [1usize, 2] {
+            let mut out = Vec::new();
+            run_watch(text.as_bytes(), &mut out, &keyed_opts(shards, true)).unwrap();
+            let rendered = String::from_utf8(out).unwrap();
+            let tails: Vec<WindowReport> = rendered
+                .lines()
+                .map(|l| WindowReport::from_json(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+                .collect();
+            let order: Vec<&str> = tails.iter().filter_map(|w| w.stream.as_deref()).collect();
+            assert_eq!(order, ["web", "api"], "debut order @ {shards} shards");
+            assert!(tails.iter().all(|w| !w.complete && w.seen == 300));
+        }
     }
 
     #[test]

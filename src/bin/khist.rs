@@ -5,6 +5,7 @@
 //! khist test      records.txt --k 8 --eps 0.2 --norm l1 [--json]
 //! khist analyze   records.txt --k 8 --run learn,l2,uniformity [--json]
 //! khist watch     -           --every 100000 --n 1024 [--window sliding] [--json]
+//! khist serve     --n 1024 --socket /run/khist.sock --control /run/khist-ctl.sock
 //! khist summarize records.txt
 //! ```
 //!
@@ -16,8 +17,11 @@
 //! push-based dual: it ingests an unbounded stream (`-` = stdin) into a
 //! windowed `Monitor` and emits a report — the analysis batch plus an
 //! `ℓ₂` drift check against the previous window — every `--every`
-//! records, in bounded memory. All logic lives (and is tested) in
-//! [`khist::app`].
+//! records, in bounded memory. `serve` runs keyed watch as a long-lived
+//! process: a single-threaded reactor multiplexes Unix-socket and stdin
+//! producers into the sharded engine and serves `STATS` snapshot/ledger
+//! queries on a control socket, with per-window JSONL on stdout. All
+//! logic lives (and is tested) in [`khist::app`] and `khist_serve`.
 
 use std::process::ExitCode;
 

@@ -1,0 +1,331 @@
+//! End-to-end acceptance for `khist serve`: the real binary, real Unix
+//! sockets, concurrent producers, a live control plane, and the
+//! serve ≡ watch bit-identity contract.
+//!
+//! Two scenarios:
+//!
+//! 1. **Throughput + identity** — two concurrent writers push 50 000
+//!    keyed records over one data socket (disjoint key sets, so each
+//!    stream's arrival order is well defined); `STATS` is polled
+//!    mid-stream on the control socket; after `SHUTDOWN`, the per-stream
+//!    JSONL is bit-identical (modulo `wall_seconds`, which is wall time)
+//!    to `khist watch --key-field` over the same records — with the
+//!    server sharded and the watch single-threaded, exercising the
+//!    routing-is-invisible guarantee across the process boundary.
+//! 2. **Error isolation** — one connection sends garbage and gets an
+//!    `ERR line <n>` reply that poisons only itself; another disconnects
+//!    mid-stream; a third keeps streaming unaffected and every record
+//!    that made it through is accounted for.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use khist::prelude::*;
+
+const N: usize = 64;
+
+/// A running `khist serve` child and its socket paths.
+struct Server {
+    child: Child,
+    data: PathBuf,
+    control: PathBuf,
+}
+
+impl Server {
+    /// Spawns `khist serve` with uniformity analysis on `shards` shards
+    /// and waits until both sockets accept connections.
+    fn start(tag: &str, every: u64, shards: usize) -> Server {
+        let dir = std::env::temp_dir();
+        let unique = format!("khist-e2e-{}-{tag}", std::process::id());
+        let data = dir.join(format!("{unique}.sock"));
+        let control = dir.join(format!("{unique}-ctl.sock"));
+        let child = Command::new(env!("CARGO_BIN_EXE_khist"))
+            .args([
+                "serve",
+                "--socket",
+                data.to_str().unwrap(),
+                "--control",
+                control.to_str().unwrap(),
+                "--n",
+                &N.to_string(),
+                "--every",
+                &every.to_string(),
+                "--run",
+                "uniformity",
+                "--seed",
+                "7",
+                "--shards",
+                &shards.to_string(),
+                "--flush-ms",
+                "20",
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn khist serve");
+        let server = Server { child, data, control };
+        // The first connect doubles as the readiness probe.
+        drop(server.connect_data());
+        server
+    }
+
+    fn connect(path: &Path) -> UnixStream {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => return stream,
+                Err(e) if Instant::now() > deadline => {
+                    panic!("connect {}: {e}", path.display())
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    fn connect_data(&self) -> UnixStream {
+        Server::connect(&self.data)
+    }
+
+    fn connect_control(&self) -> UnixStream {
+        Server::connect(&self.control)
+    }
+
+    /// Sends `SHUTDOWN`, waits for a clean exit, and returns the JSONL
+    /// stdout. Also asserts the socket files were removed.
+    fn shutdown(mut self, control: &mut Control) -> String {
+        control.send("SHUTDOWN");
+        let status = self.child.wait().expect("server exit");
+        assert!(status.success(), "serve exited {status:?}");
+        let mut out = String::new();
+        self.child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut out)
+            .unwrap();
+        assert!(!self.data.exists(), "data socket file removed on exit");
+        assert!(!self.control.exists(), "control socket file removed on exit");
+        out
+    }
+}
+
+/// A control-plane connection: line-oriented request/reply.
+struct Control {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Control {
+    fn new(stream: UnixStream) -> Control {
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Control { writer: stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(reply.ends_with('\n'), "truncated reply to {line}: {reply}");
+        reply
+    }
+
+    /// Polls `STATS` until `pred` accepts the reply (drains are
+    /// deadline-driven, so totals are eventually consistent).
+    fn stats_until(&mut self, pred: impl Fn(&str) -> bool) -> String {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let reply = self.request("STATS");
+            if pred(&reply) {
+                return reply;
+            }
+            assert!(Instant::now() < deadline, "STATS never settled: {reply}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// Pulls `"field":<integer>` out of a one-line JSON reply.
+fn json_u64(reply: &str, field: &str) -> Option<u64> {
+    let pat = format!("\"{field}\":");
+    let rest = &reply[reply.find(&pat)? + pat.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses JSONL into per-stream report sequences with `wall_seconds`
+/// zeroed — everything else must match bit for bit, so the comparison
+/// re-serializes and compares strings.
+fn per_stream_jsonl(jsonl: &str) -> Vec<(String, Vec<String>)> {
+    let mut grouped: Vec<(String, Vec<String>)> = Vec::new();
+    for line in jsonl.lines() {
+        let mut report =
+            WindowReport::from_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        for r in report.reports.iter_mut().chain(report.drift.iter_mut()) {
+            r.wall_seconds = 0.0;
+        }
+        let key = report.stream.clone().expect("keyed reports carry a stream");
+        let normalized = report.to_json();
+        match grouped.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, lines)) => lines.push(normalized),
+            None => grouped.push((key, vec![normalized])),
+        }
+    }
+    grouped.sort_by(|a, b| a.0.cmp(&b.0));
+    grouped
+}
+
+/// The records one writer sends: 25 000 lines round-robining over three
+/// keys with the given prefix, values deterministic in the line index.
+fn writer_lines(prefix: &str, mul: usize) -> String {
+    let mut text = String::new();
+    for i in 0..25_000 {
+        text.push_str(&format!("{prefix}{} {}\n", i % 3, (i * mul + 1) % N));
+    }
+    text
+}
+
+#[test]
+fn fifty_thousand_records_from_two_writers_match_watch_bit_for_bit() {
+    let server = Server::start("identity", 2_000, 3);
+    let mut control = Control::new(server.connect_control());
+
+    let alpha = writer_lines("alpha", 7);
+    let beta = writer_lines("beta", 11);
+    std::thread::scope(|scope| {
+        for text in [&alpha, &beta] {
+            scope.spawn(|| {
+                let mut conn = server.connect_data();
+                // Write in awkward chunk sizes so record frames straddle
+                // socket reads.
+                for chunk in text.as_bytes().chunks(1_777) {
+                    conn.write_all(chunk).unwrap();
+                }
+            });
+        }
+        // Mid-stream control plane: totals while both writers are live.
+        let reply = control.stats_until(|r| json_u64(r, "records").unwrap_or(0) > 0);
+        assert_eq!(json_u64(&reply, "shards"), Some(3), "{reply}");
+    });
+
+    // Writers are done; wait for every record to drain, then inspect one
+    // stream mid-window before shutting down.
+    let reply = control.stats_until(|r| json_u64(r, "records") == Some(50_000));
+    assert_eq!(json_u64(&reply, "streams"), Some(6), "{reply}");
+    let keyed = control.request("STATS alpha0");
+    assert!(keyed.contains("\"key\":\"alpha0\""), "{keyed}");
+    assert_eq!(json_u64(&keyed, "seen"), Some(8_334), "{keyed}");
+    assert!(keyed.contains("\"ledger\":["), "{keyed}");
+
+    let served = server.shutdown(&mut control);
+
+    // The reference: the same records through `khist watch --key-field`,
+    // single-threaded, concatenated writer-by-writer (per-stream order is
+    // what matters, and the key sets are disjoint).
+    let mut watch = Command::new(env!("CARGO_BIN_EXE_khist"))
+        .args([
+            "watch", "-", "--key-field", "0", "--n", &N.to_string(), "--every", "2000",
+            "--run", "uniformity", "--seed", "7", "--json",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn khist watch");
+    let mut stdin = watch.stdin.take().unwrap();
+    stdin.write_all(alpha.as_bytes()).unwrap();
+    stdin.write_all(beta.as_bytes()).unwrap();
+    drop(stdin);
+    let watched = watch.wait_with_output().expect("watch exit");
+    assert!(watched.status.success());
+
+    let served = per_stream_jsonl(&served);
+    let watched = per_stream_jsonl(&String::from_utf8(watched.stdout).unwrap());
+    assert_eq!(
+        served.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+        ["alpha0", "alpha1", "alpha2", "beta0", "beta1", "beta2"],
+    );
+    for ((key, serve_lines), (_, watch_lines)) in served.iter().zip(&watched) {
+        // 8 333–8 334 records per stream at every=2000: four complete
+        // windows plus the flushed partial tail.
+        assert_eq!(serve_lines.len(), 5, "stream {key}");
+        assert_eq!(serve_lines, watch_lines, "stream {key} serve ≡ watch");
+    }
+}
+
+#[test]
+fn bad_lines_and_disconnects_poison_only_their_own_connection() {
+    let server = Server::start("isolation", 100, 2);
+    let mut control = Control::new(server.connect_control());
+
+    // A healthy long-lived producer.
+    let mut good = server.connect_data();
+    for i in 0..230usize {
+        good.write_all(format!("good {}\n", (i * 3) % N).as_bytes()).unwrap();
+    }
+
+    // A connection that sends one valid record, then garbage: the reply
+    // names the offending line, the connection is closed, the record
+    // before the garbage survives.
+    let mut bad = server.connect_data();
+    bad.write_all(b"evil 5\nthis is not a record\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(bad.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.starts_with("ERR line 2:"), "{reply}");
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closes the poisoned connection");
+
+    // A producer that disconnects mid-stream without ceremony.
+    {
+        let mut dropped = server.connect_data();
+        for i in 0..150usize {
+            dropped
+                .write_all(format!("drop {}\n", (i * 5) % N).as_bytes())
+                .unwrap();
+        }
+    }
+
+    // Neither neighbor affects the healthy stream: it keeps writing and
+    // everything that reached the engine is accounted for.
+    control.stats_until(|r| json_u64(r, "records") == Some(381));
+    for i in 0..50usize {
+        good.write_all(format!("good {}\n", (i * 7) % N).as_bytes()).unwrap();
+    }
+    let reply = control.stats_until(|r| json_u64(r, "records") == Some(431));
+    assert_eq!(json_u64(&reply, "streams"), Some(3), "{reply}");
+    drop(good);
+
+    let jsonl = server.shutdown(&mut control);
+    let streams = per_stream_jsonl(&jsonl);
+    let of = |key: &str| -> Vec<WindowReport> {
+        jsonl
+            .lines()
+            .map(|l| WindowReport::from_json(l).unwrap())
+            .filter(|w| w.stream.as_deref() == Some(key))
+            .collect()
+    };
+    assert_eq!(
+        streams.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+        ["drop", "evil", "good"],
+    );
+    let good_windows = of("good");
+    assert_eq!(good_windows.len(), 3, "280 records at every=100");
+    assert!(good_windows[0].complete && good_windows[1].complete);
+    assert_eq!(good_windows[2].seen, 80, "flushed tail");
+    let drop_windows = of("drop");
+    assert_eq!(drop_windows.len(), 2, "disconnected stream still reported");
+    assert_eq!(drop_windows[1].seen, 50, "records up to the disconnect kept");
+    assert_eq!(of("evil").len(), 1, "the record before the garbage survives");
+    assert_eq!(of("evil")[0].seen, 1);
+}

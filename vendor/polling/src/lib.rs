@@ -1,0 +1,266 @@
+//! Offline shim of a `poll(2)` readiness API — the event substrate under
+//! the `khist-serve` single-threaded reactor.
+//!
+//! The build environment has no network access, so the usual reactor
+//! crates (`mio`, `polling`, `tokio`) cannot be fetched; this shim
+//! implements exactly the slice the reactor needs, mirroring how the
+//! `crossbeam`/`rand` shims stand in for their crates.io namesakes:
+//!
+//! * [`Poller::wait`] — level-triggered readiness over a set of file
+//!   descriptors via the `poll(2)` syscall (no `epoll` instance to
+//!   manage: the reactor re-submits its interest set each iteration,
+//!   which for the tens-to-hundreds of connections a `khist serve`
+//!   process multiplexes is indistinguishable from `epoll` and far
+//!   simpler to reason about);
+//! * [`set_nonblocking`] — `fcntl(F_SETFL, O_NONBLOCK)` for descriptors
+//!   `std` gives no nonblocking switch for (stdin, inherited pipes).
+//!
+//! # Safety and scoping notes
+//!
+//! This crate is the **only** non-test place in the workspace that may
+//! contain `unsafe`: the workspace policy (`[workspace.lints]` +
+//! khist-lint's `forbid-unsafe` rule) forbids it everywhere else, and
+//! vendored shims are exactly the carve-out — like `alloc-counter`'s
+//! `GlobalAlloc` impl, a readiness syscall cannot be expressed in safe
+//! Rust. The unsafe surface is confined to two audited `extern "C"`
+//! calls:
+//!
+//! 1. `poll(fds, nfds, timeout)` — sound because `fds` points into a
+//!    live, exclusively borrowed `Vec<RawPollFd>` whose length equals
+//!    `nfds`, and `RawPollFd` is `#[repr(C)]`-identical to `struct
+//!    pollfd`. The kernel writes only the `revents` field of each entry.
+//!    A caller-supplied *closed* fd does not invalidate memory — the
+//!    kernel reports `POLLNVAL` for it.
+//! 2. `fcntl(fd, F_GETFL/F_SETFL, arg)` — sound for any integer `fd`;
+//!    the worst a stale descriptor produces is `EBADF`, surfaced as an
+//!    [`std::io::Error`].
+//!
+//! Neither call retains the pointers past the call, spawns threads,
+//! installs handlers, or touches process-global state. Constants are the
+//! Linux ABI values (this workspace builds and runs on Linux only); the
+//! crate links no `libc` crate — the symbols resolve from the C runtime
+//! `std` already links.
+//!
+//! The reactor built on top stays single-threaded and owns the only
+//! clock site in `crates/serve` (khist-lint scopes `wall-clock` and
+//! `thread-discipline` accordingly); this shim itself never reads time.
+
+use std::io;
+
+/// Raw file descriptor, as [`std::os::fd::RawFd`] (an `i32` on Unix).
+pub type RawFd = i32;
+
+/// Linux ABI constants and FFI declarations for the two syscalls.
+mod sys {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    /// `struct pollfd` from `<poll.h>`, field for field.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct RawPollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut RawPollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+}
+
+/// One descriptor's interest and readiness for a [`Poller::wait`] round.
+///
+/// The caller sets `fd` and the `read`/`write` interest flags; `wait`
+/// fills the `readable`/`writable`/`hangup`/`invalid` results. Hangup and
+/// error conditions are always reported, interest or not — a reactor must
+/// notice a peer closing even when it parked the connection's reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Wake when `fd` is readable (or a peer hung up).
+    pub read: bool,
+    /// Wake when `fd` accepts writes without blocking.
+    pub write: bool,
+    /// Result: a read will not block (data, EOF, or a pending accept).
+    pub readable: bool,
+    /// Result: a write will not block.
+    pub writable: bool,
+    /// Result: peer hung up or the descriptor errored (`POLLHUP|POLLERR`).
+    pub hangup: bool,
+    /// Result: `fd` is not an open descriptor (`POLLNVAL`).
+    pub invalid: bool,
+}
+
+impl PollFd {
+    /// Interest in reading `fd`.
+    pub fn read(fd: RawFd) -> PollFd {
+        PollFd {
+            fd,
+            read: true,
+            ..PollFd::default()
+        }
+    }
+
+    /// Interest in writing `fd`.
+    pub fn write(fd: RawFd) -> PollFd {
+        PollFd {
+            fd,
+            write: true,
+            ..PollFd::default()
+        }
+    }
+}
+
+/// A reusable `poll(2)` front end: holds the raw `pollfd` buffer so a
+/// reactor looping over [`Poller::wait`] allocates nothing per iteration
+/// once the buffer has grown to the working set size.
+#[derive(Debug, Default)]
+pub struct Poller {
+    raw: Vec<sys::RawPollFd>,
+}
+
+impl Poller {
+    /// A poller with an empty scratch buffer.
+    pub fn new() -> Poller {
+        Poller::default()
+    }
+
+    /// Blocks until at least one descriptor in `fds` is ready, the
+    /// timeout elapses, or a signal interrupts the wait.
+    ///
+    /// `timeout_ms < 0` waits indefinitely; `0` polls without blocking.
+    /// Returns the number of ready descriptors (0 on timeout) after
+    /// filling each entry's result flags. A signal interruption (`EINTR`)
+    /// is reported as `Ok(0)` — callers re-evaluate deadlines and loop,
+    /// which is what a reactor does on timeout anyway.
+    pub fn wait(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        self.raw.clear();
+        self.raw.extend(fds.iter().map(|f| sys::RawPollFd {
+            fd: f.fd,
+            events: if f.read { sys::POLLIN } else { 0 } | if f.write { sys::POLLOUT } else { 0 },
+            revents: 0,
+        }));
+        // SAFETY: `self.raw` is a live, exclusively borrowed buffer of
+        // `#[repr(C)]` pollfd-identical entries; its pointer/length pair
+        // is valid for the duration of the call and the kernel writes
+        // only within it (the `revents` fields). See the module docs.
+        let rc = unsafe {
+            sys::poll(
+                self.raw.as_mut_ptr(),
+                self.raw.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                for f in fds.iter_mut() {
+                    f.readable = false;
+                    f.writable = false;
+                    f.hangup = false;
+                    f.invalid = false;
+                }
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for (f, raw) in fds.iter_mut().zip(&self.raw) {
+            f.readable = raw.revents & sys::POLLIN != 0;
+            f.writable = raw.revents & sys::POLLOUT != 0;
+            f.hangup = raw.revents & (sys::POLLHUP | sys::POLLERR) != 0;
+            f.invalid = raw.revents & sys::POLLNVAL != 0;
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// Switches `O_NONBLOCK` on a raw descriptor — the missing `std` API for
+/// stdin and inherited pipes (sockets use `set_nonblocking` on their
+/// handles). Errors surface as [`std::io::Error`] (`EBADF` for a stale
+/// descriptor).
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    // SAFETY: fcntl on an arbitrary integer descriptor cannot touch
+    // memory; an invalid fd yields EBADF. See the module docs.
+    let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let wanted = if nonblocking {
+        flags | sys::O_NONBLOCK
+    } else {
+        flags & !sys::O_NONBLOCK
+    };
+    if wanted == flags {
+        return Ok(());
+    }
+    // SAFETY: as above — no memory is involved.
+    if unsafe { sys::fcntl(fd, sys::F_SETFL, wanted) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn pipe_readiness_and_timeout() {
+        // A connected Unix stream pair: writable immediately, readable
+        // only once bytes arrive.
+        let (mut a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut poller = Poller::new();
+
+        let mut fds = [PollFd::read(a.as_raw_fd())];
+        let n = poller.wait(&mut fds, 0).unwrap();
+        assert_eq!(n, 0, "nothing written yet");
+        assert!(!fds[0].readable);
+
+        b.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut fds, 1_000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable && !fds[0].hangup);
+        let mut buf = [0u8; 4];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        let mut wfds = [PollFd::write(b.as_raw_fd())];
+        assert_eq!(poller.wait(&mut wfds, 0).unwrap(), 1);
+        assert!(wfds[0].writable);
+    }
+
+    #[test]
+    fn hangup_is_reported_even_without_interest() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(b);
+        let mut poller = Poller::new();
+        let mut fds = [PollFd::read(a.as_raw_fd())];
+        assert_eq!(poller.wait(&mut fds, 1_000).unwrap(), 1);
+        assert!(fds[0].readable || fds[0].hangup, "EOF wakes the poll");
+    }
+
+    #[test]
+    fn nonblocking_toggle_round_trips() {
+        let (mut a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        set_nonblocking(a.as_raw_fd(), true).unwrap();
+        let mut buf = [0u8; 1];
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        set_nonblocking(a.as_raw_fd(), false).unwrap();
+        assert!(set_nonblocking(-1, true).is_err(), "EBADF surfaces");
+    }
+}
