@@ -122,5 +122,51 @@ fn bench_warm_ingest_100k_streams(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput, bench_warm_ingest_100k_streams);
+/// The rollup itself: fold the per-shard `FleetSummary` partials and
+/// render the `FleetReport` for a fleet that has completed one window on
+/// every stream. This is the whole cost of serve's `FLEET` verb and of
+/// each `watch --fleet` line — the accumulation side rides the window
+/// pipeline for free (zero extra oracle draws), so the fold + render is
+/// the only part left to pin, and it must stay trivially cheap next to
+/// ingest.
+fn bench_fleet_rollup(c: &mut Criterion) {
+    let n = 256;
+    let p = generators::staircase(n, 4).expect("valid staircase");
+    let mut rng = StdRng::seed_from_u64(13);
+    let values = p.sample_many(STREAMS * SPAN, &mut rng);
+    let records: Vec<(String, usize)> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (format!("tenant-{:04}", i % STREAMS), v))
+        .collect();
+
+    let mut group = c.benchmark_group("fleet_rollup");
+    group.sample_size(10);
+    for &shards in &[1usize, 4] {
+        let mut engine = Engine::builder(n)
+            .seed(13)
+            .shards(shards)
+            .tumbling(SPAN as u64)
+            .analyses(standing())
+            .build()
+            .expect("valid engine config");
+        let reports = engine.ingest_batch(&records).expect("clean ingest");
+        assert_eq!(reports.len(), STREAMS, "one window per stream");
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let fleet = engine.fleet_report();
+                assert_eq!(fleet.streams as usize, STREAMS);
+                fleet.top_drift.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_warm_ingest_100k_streams,
+    bench_fleet_rollup
+);
 criterion_main!(benches);

@@ -106,7 +106,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             r.to_string(),
             fmt::int(m),
             fmt::sci(khist_stats::mean(&errs)),
-            fmt::sci(khist_stats::quantile(&errs, 0.95)),
+            fmt::sci(khist_stats::quantile(&errs, 0.95).unwrap_or(f64::NAN)),
         ]
     });
     for r in boost_rows {

@@ -69,7 +69,7 @@ fn ablation_r(trials: usize) -> Table {
             r.to_string(),
             fmt::int(budget.m),
             fmt::sci(khist_stats::mean(&errs)),
-            fmt::sci(khist_stats::quantile(&errs, 0.95)),
+            fmt::sci(khist_stats::quantile(&errs, 0.95).unwrap_or(f64::NAN)),
         ]
     });
     let mut t = Table::new(

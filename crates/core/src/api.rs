@@ -85,6 +85,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 pub use crate::engine::{Engine, EngineBuilder};
 pub use crate::monitor::{Monitor, MonitorBuilder, MonitorState, WindowReport};
+pub use khist_fleet::{FleetReport, FleetSummary, TopStream};
 
 use crate::compress::compress_to_k;
 use crate::greedy::{learn_from_samples, CandidatePolicy, GreedyParams};

@@ -114,6 +114,7 @@ use std::sync::Arc;
 
 use crossbeam::Courier;
 use khist_dist::DistError;
+use khist_fleet::{FleetReport, FleetSummary, WindowObservation};
 use khist_oracle::{stream_seed, SinkShape, Window};
 
 use crate::api::{Analysis, LedgerEntry, Report, SamplePlan};
@@ -374,6 +375,12 @@ struct StreamSlot {
     /// Retained per-label ledger totals (see [`absorb_ledger`]) — the
     /// stream's lifetime cost, served by [`Engine::ledger`].
     ledger: Vec<LedgerEntry>,
+    /// The stream's global debut index (engine interner id) — the fleet
+    /// rollup's stream key, stable across live resizes.
+    debut: u32,
+    /// Whether the stream has ever produced a non-quiet window; gates the
+    /// fleet rollup's "alarming streams" counter to first alarms only.
+    alarmed: bool,
 }
 
 /// One worker's worth of streams, plus its reusable batch scratch. Shards
@@ -398,6 +405,58 @@ struct Shard {
     spans: Vec<(u32, usize, usize)>,
     /// The batch's record values scattered into per-slot contiguous runs.
     grouped: Vec<usize>,
+    /// The shard's fleet rollup partial, accumulated at window production
+    /// inside the worker (zero extra oracle draws) and folded shard-wise
+    /// by [`Engine::fleet_report`].
+    fleet: FleetSummary,
+}
+
+/// Digests freshly produced window reports into the shard's fleet partial.
+/// Runs inside shard workers at window production, so stashed reports
+/// (collected later after a partial batch failure) are never re-counted.
+// lint:hot-path
+fn observe_windows(fleet: &mut FleetSummary, slot: &mut StreamSlot, reports: &[WindowReport]) {
+    for w in reports {
+        let alarmed = !w.all_quiet();
+        let first_alarm = alarmed && !slot.alarmed;
+        if first_alarm {
+            slot.alarmed = true;
+        }
+        let mut verdicts = 0u32;
+        let mut rejects = 0u32;
+        for r in &w.reports {
+            if r.verdict.is_some() {
+                verdicts += 1;
+                if !r.accepted() {
+                    rejects += 1;
+                }
+            }
+        }
+        fleet.observe_window(WindowObservation {
+            debut: slot.debut,
+            window: w.window,
+            seen: w.seen,
+            kept: w.kept,
+            complete: w.complete,
+            alarmed,
+            first_alarm,
+            verdicts,
+            rejects,
+            drift_score: w.drift.as_ref().and_then(drift_severity),
+        });
+    }
+}
+
+/// Normalizes a drift report into one severity score: `statistic /
+/// threshold` when the check publishes a positive threshold (> 1 means the
+/// check rejected that window), the raw statistic otherwise. `None` when
+/// the check produced no statistic (e.g. a window too small to score).
+fn drift_severity(r: &Report) -> Option<f64> {
+    let s = r.statistic?;
+    match r.threshold {
+        Some(t) if t > 0.0 => Some(s / t),
+        _ => Some(s),
+    }
 }
 
 impl Shard {
@@ -464,7 +523,10 @@ impl Shard {
             let drained = slot.state.drain_ledger();
             absorb_ledger(&mut slot.ledger, drained);
             match result {
-                Ok(reports) => out.extend(reports),
+                Ok(reports) => {
+                    observe_windows(&mut self.fleet, slot, &reports);
+                    out.extend(reports);
+                }
                 Err(e) => errors.push((slot.key.clone(), e)),
             }
         }
@@ -483,7 +545,10 @@ impl Shard {
             let drained = slot.state.drain_ledger();
             absorb_ledger(&mut slot.ledger, drained);
             match result {
-                Ok(reports) => out.extend(reports),
+                Ok(reports) => {
+                    observe_windows(&mut self.fleet, slot, &reports);
+                    out.extend(reports);
+                }
                 Err(e) => errors.push((slot.key.clone(), e)),
             }
         }
@@ -644,6 +709,7 @@ impl EngineBuilder {
             busy: Vec::new(),
             outcomes: Vec::new(),
             stashed: Vec::new(),
+            fleet_base: FleetSummary::new(),
         })
     }
 }
@@ -677,6 +743,11 @@ pub struct Engine {
     /// sorted position) by the next successful
     /// [`ingest_batch`](Engine::ingest_batch) or [`flush`](Engine::flush).
     stashed: Vec<WindowReport>,
+    /// Fleet partials retired by past [`Engine::resize`] calls (each
+    /// resize folds every old shard's partial here before redistributing
+    /// its slots). [`Engine::fleet_report`] merges this base with every
+    /// live shard's partial.
+    fleet_base: FleetSummary,
 }
 
 impl Engine {
@@ -814,11 +885,17 @@ impl Engine {
             return 0;
         };
         let slot = shard.slots.len() as u32;
+        // The interner assigns ids densely in debut order, so the id this
+        // insert will return is the current entry count.
+        let debut = self.interner.entries.len() as u32;
         shard.slots.push(StreamSlot {
             key: key.to_string(),
             state: self.cfg.new_state(key),
             ledger: Vec::new(),
+            debut,
+            alarmed: false,
         });
+        shard.fleet.observe_debut();
         self.interner.insert(key, hash, shard_idx as u32, slot)
     }
 
@@ -899,9 +976,16 @@ impl Engine {
         // until its new owner claims it (debut order = entry order, so
         // claims arrive in increasing slot order per donor).
         let old = std::mem::take(&mut self.shards);
+        let fleet_base = &mut self.fleet_base;
         let mut donors: Vec<Vec<Option<StreamSlot>>> = old
             .into_iter()
-            .map(|s| s.slots.into_iter().map(Some).collect())
+            .map(|s| {
+                // A shard's fleet partial outlives the shard: fold it into
+                // the engine-level base before the slab is redistributed,
+                // so the rollup is invariant under any resize history.
+                fleet_base.merge(&s.fleet);
+                s.slots.into_iter().map(Some).collect()
+            })
             .collect();
         let mut fresh: Vec<Shard> = Vec::with_capacity(shards);
         fresh.resize_with(shards, Shard::default);
@@ -1014,10 +1098,32 @@ impl Engine {
             None => return Ok(Vec::new()), // unreachable: intern just returned id
         };
         // lint:allow(checked-indexing): intern placed this (shard, slot) coordinate
-        let state = &mut self.shards[shard_idx].slots[slot_idx].state;
-        let result = state.ingest(records);
-        state.drain_ledger();
+        let shard = &mut self.shards[shard_idx];
+        let Some(slot) = shard.slots.get_mut(slot_idx) else {
+            return Ok(Vec::new()); // unreachable: intern placed the slot
+        };
+        let result = slot.state.ingest(records);
+        slot.state.drain_ledger();
+        if let Ok(reports) = &result {
+            observe_windows(&mut shard.fleet, slot, reports);
+        }
         result
+    }
+
+    /// The fleet-wide rollup: every live shard's partial (plus the
+    /// partials retired by past [`resize`](Engine::resize) calls) folded
+    /// into one [`FleetReport`], with top-K entries resolved through the
+    /// debut-ordered key table. Composed purely from the window reports
+    /// the shards already produced — **zero extra oracle draws** — and
+    /// bit-identical for every shard count, batch partitioning, and
+    /// resize history, because the fold is associative and commutative
+    /// (see [`khist_fleet::FleetSummary::merge`]).
+    pub fn fleet_report(&self) -> FleetReport {
+        let mut total = self.fleet_base.clone();
+        for shard in &self.shards {
+            total.merge(&shard.fleet);
+        }
+        total.report(&self.stream_keys())
     }
 
     /// Ingests a batch of keyed records in arrival order — the engine's

@@ -1,0 +1,266 @@
+//! The rendered rollup: [`FleetReport`] and its JSONL wire shape.
+
+use serde::{json, Deserialize, Error as SerdeError, Serialize, Value};
+
+/// One ranked entry of the fleet's top-K drifting streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopStream {
+    /// The stream key.
+    pub stream: String,
+    /// The stream's best drift severity (`statistic / threshold`; > 1
+    /// means the drift check rejected that window).
+    pub score: f64,
+    /// The window id that produced the score.
+    pub window: u64,
+}
+
+/// A point-in-time fleet rollup, rendered from merged per-shard
+/// [`FleetSummary`](crate::FleetSummary) partials.
+///
+/// The JSON line leads with `"fleet": true` so consumers of a mixed JSONL
+/// feed (per-stream window lines interleaved with fleet lines) can route
+/// on the first few bytes. Deliberately **no wall-time field**: a fleet
+/// line is a pure function of the ingested records, so `khist serve`'s
+/// `FLEET` reply and `khist watch --fleet` output compare byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Streams that have debuted.
+    pub streams: u64,
+    /// Streams that have alarmed at least once.
+    pub alarming_streams: u64,
+    /// Completed windows observed fleet-wide.
+    pub windows_complete: u64,
+    /// Flushed partial windows observed fleet-wide.
+    pub windows_partial: u64,
+    /// Sum of per-window `seen` record counts.
+    pub records_seen: u64,
+    /// Sum of per-window `kept` sample counts.
+    pub records_kept: u64,
+    /// Windows that were not all-quiet.
+    pub alarm_windows: u64,
+    /// `alarm_windows / windows`, `None` before any window closed.
+    pub alarm_rate: Option<f64>,
+    /// Standing-tester rejections fleet-wide.
+    pub rejected_verdicts: u64,
+    /// Standing-tester verdicts fleet-wide.
+    pub verdicts: u64,
+    /// `rejected_verdicts / verdicts`, `None` before any verdict.
+    pub rejection_rate: Option<f64>,
+    /// Drift scores absorbed by the quantile sketch.
+    pub drift_observations: u64,
+    /// Exact smallest drift severity.
+    pub drift_min: Option<f64>,
+    /// Median drift severity (sketched past 256 observations).
+    pub drift_p50: Option<f64>,
+    /// 90th-percentile drift severity.
+    pub drift_p90: Option<f64>,
+    /// 99th-percentile drift severity.
+    pub drift_p99: Option<f64>,
+    /// Exact largest drift severity.
+    pub drift_max: Option<f64>,
+    /// The top-K drifting streams, best first.
+    pub top_drift: Vec<TopStream>,
+}
+
+impl FleetReport {
+    /// Renders the report as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::to_string(&self.serialize())
+            // lint:allow(no-panic): serialize() routes every float through finite_or_null
+            .expect("fleet reports serialize finite numbers only")
+    }
+
+    /// Parses a fleet report back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        FleetReport::deserialize(&json::from_str(text)?)
+    }
+
+    /// `true` when a JSONL line carries a fleet report rather than a
+    /// per-stream window report — the router for mixed feeds.
+    pub fn is_fleet_line(line: &str) -> bool {
+        line.trim_start().starts_with("{\"fleet\":true")
+    }
+}
+
+/// Floats go to JSON as numbers only when finite; the rollup's optional
+/// rates/quantiles render `null` otherwise (same discipline as the report
+/// layer's `finite_or_null`).
+fn num(v: Option<f64>) -> Value {
+    match v {
+        // lint:allow(float-cmp): this IS the finite_or_null boundary — the match guard proves x.is_finite()
+        Some(x) if x.is_finite() => Value::F64(x),
+        _ => Value::Null,
+    }
+}
+
+fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, SerdeError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| SerdeError::new(format!("fleet report field '{key}' is not a number"))),
+    }
+}
+
+fn req_u64(value: &Value, key: &str) -> Result<u64, SerdeError> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SerdeError::new(format!("fleet report missing count '{key}'")))
+}
+
+impl Serialize for FleetReport {
+    fn serialize(&self) -> Value {
+        Value::map([
+            // The routing marker: always first so line sniffing is O(1).
+            ("fleet", Value::Bool(true)),
+            ("streams", self.streams.serialize()),
+            ("alarming_streams", self.alarming_streams.serialize()),
+            ("windows_complete", self.windows_complete.serialize()),
+            ("windows_partial", self.windows_partial.serialize()),
+            ("records_seen", self.records_seen.serialize()),
+            ("records_kept", self.records_kept.serialize()),
+            ("alarm_windows", self.alarm_windows.serialize()),
+            ("alarm_rate", num(self.alarm_rate)),
+            ("rejected_verdicts", self.rejected_verdicts.serialize()),
+            ("verdicts", self.verdicts.serialize()),
+            ("rejection_rate", num(self.rejection_rate)),
+            ("drift_observations", self.drift_observations.serialize()),
+            ("drift_min", num(self.drift_min)),
+            ("drift_p50", num(self.drift_p50)),
+            ("drift_p90", num(self.drift_p90)),
+            ("drift_p99", num(self.drift_p99)),
+            ("drift_max", num(self.drift_max)),
+            (
+                "top_drift",
+                Value::Seq(
+                    self.top_drift
+                        .iter()
+                        .map(|t| {
+                            Value::map([
+                                ("stream", Value::Str(t.stream.clone())),
+                                ("score", num(Some(t.score))),
+                                ("window", t.window.serialize()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FleetReport {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        if value.get("fleet").and_then(|v| match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }) != Some(true)
+        {
+            return Err(SerdeError::new("not a fleet report (missing fleet marker)"));
+        }
+        let top_drift = match value.get("top_drift") {
+            Some(Value::Seq(items)) => items
+                .iter()
+                .map(|item| {
+                    let stream = item
+                        .get("stream")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| SerdeError::new("top_drift entry missing stream"))?
+                        .to_string();
+                    let score = item
+                        .get("score")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| SerdeError::new("top_drift entry missing score"))?;
+                    let window = req_u64(item, "window")?;
+                    Ok(TopStream {
+                        stream,
+                        score,
+                        window,
+                    })
+                })
+                .collect::<Result<Vec<TopStream>, SerdeError>>()?,
+            _ => return Err(SerdeError::new("fleet report missing top_drift")),
+        };
+        Ok(FleetReport {
+            streams: req_u64(value, "streams")?,
+            alarming_streams: req_u64(value, "alarming_streams")?,
+            windows_complete: req_u64(value, "windows_complete")?,
+            windows_partial: req_u64(value, "windows_partial")?,
+            records_seen: req_u64(value, "records_seen")?,
+            records_kept: req_u64(value, "records_kept")?,
+            alarm_windows: req_u64(value, "alarm_windows")?,
+            alarm_rate: opt_f64(value, "alarm_rate")?,
+            rejected_verdicts: req_u64(value, "rejected_verdicts")?,
+            verdicts: req_u64(value, "verdicts")?,
+            rejection_rate: opt_f64(value, "rejection_rate")?,
+            drift_observations: req_u64(value, "drift_observations")?,
+            drift_min: opt_f64(value, "drift_min")?,
+            drift_p50: opt_f64(value, "drift_p50")?,
+            drift_p90: opt_f64(value, "drift_p90")?,
+            drift_p99: opt_f64(value, "drift_p99")?,
+            drift_max: opt_f64(value, "drift_max")?,
+            top_drift,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            streams: 100,
+            alarming_streams: 1,
+            windows_complete: 400,
+            windows_partial: 100,
+            records_seen: 2_000_000,
+            records_kept: 51_200,
+            alarm_windows: 4,
+            alarm_rate: Some(0.008),
+            rejected_verdicts: 4,
+            verdicts: 500,
+            rejection_rate: Some(0.008),
+            drift_observations: 300,
+            drift_min: Some(0.01),
+            drift_p50: Some(0.2),
+            drift_p90: Some(0.6),
+            drift_p99: Some(1.4),
+            drift_max: Some(2.5),
+            top_drift: vec![TopStream {
+                stream: "tenant-042".into(),
+                score: 2.5,
+                window: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let line = r.to_json();
+        assert!(FleetReport::is_fleet_line(&line), "{line}");
+        assert_eq!(FleetReport::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_rates_render_null() {
+        let mut r = sample();
+        r.alarm_rate = None;
+        r.drift_p50 = None;
+        let line = r.to_json();
+        assert!(line.contains("\"alarm_rate\":null"), "{line}");
+        assert!(line.contains("\"drift_p50\":null"), "{line}");
+        assert_eq!(FleetReport::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn window_report_lines_are_not_fleet_lines() {
+        assert!(!FleetReport::is_fleet_line(
+            r#"{"stream":"api","window":0}"#
+        ));
+        assert!(FleetReport::from_json(r#"{"stream":"api"}"#).is_err());
+    }
+}

@@ -218,6 +218,19 @@ fn hot_path_alloc_fixtures() {
 }
 
 #[test]
+fn hot_path_alloc_covers_the_fleet_crate() {
+    // The rollup accumulation in khist-fleet carries `lint:hot-path`
+    // marks; the rule must bite under that crate's paths exactly as it
+    // does in core — and leave cold report rendering alone.
+    check_pair(
+        "crates/fleet/src/summary.rs",
+        include_str!("fixtures/bad_hot_path_alloc_fleet.rs"),
+        include_str!("fixtures/good_hot_path_alloc_fleet.rs"),
+        &[("hot-path-alloc", 5), ("hot-path-alloc", 6)],
+    );
+}
+
+#[test]
 fn malformed_allow_directive_is_itself_a_diagnostic() {
     let got = run(
         "crates/core/src/fixture.rs",

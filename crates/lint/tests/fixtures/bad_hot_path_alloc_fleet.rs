@@ -1,0 +1,9 @@
+//! Fixture: khist-fleet's per-window accumulation is `lint:hot-path`;
+//! allocating per observation there is exactly what the mark forbids.
+// lint:hot-path
+fn observe_window(scores: &mut [f64; 8], stream: u32, score: f64) {
+    let label = format!("stream-{stream}");
+    let key = label.to_string();
+    scores[0] = scores[0].max(score);
+    drop(key);
+}

@@ -1,0 +1,15 @@
+//! Fixture: the fleet rollup stays allocation-free on its hot path —
+//! fixed-width counters, a bounded sketch slot, a K-slot maxima array —
+//! while report *rendering* (cold, once per poll) may allocate freely.
+
+// lint:hot-path
+fn observe_window(counts: &mut [u64; 4], seen: u64, alarmed: bool) {
+    counts[0] += seen;
+    if alarmed {
+        counts[1] += 1;
+    }
+}
+
+fn render_report(streams: u64) -> String {
+    format!("fleet of {streams} streams")
+}

@@ -40,8 +40,14 @@
 //! |---------|-------|
 //! | `STATS` | one JSON line: fleet totals + per-stream `seen` in debut order |
 //! | `STATS <key>` | one JSON line: a mid-window snapshot (the standing batch run on the partial window) + the stream's sample ledger |
-//! | `SUB` | subscribes the connection to the JSONL window feed |
+//! | `SUB` | subscribes the connection to the JSONL window feed, fleet rollup lines included |
+//! | `FLEET` | one `{"fleet":true,…}` JSON line: the mergeable fleet rollup (`khist watch --fleet`'s closing line, byte for byte) |
 //! | `SHUTDOWN` | flushes every stream's partial tail (debut order), then exits |
+//!
+//! The fleet rollup never appears on the main JSONL sink — stdout stays
+//! a pure per-stream window feed. Subscribers receive a fleet line after
+//! every drain that completed windows and one closing line after the
+//! tail flush; one-shot readers poll `FLEET` instead.
 //!
 //! # Threading and clocks
 //!

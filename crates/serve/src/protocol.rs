@@ -82,6 +82,8 @@ pub enum ControlRequest<'a> {
     StatsKey(&'a str),
     /// `SUB` — subscribe this connection to the JSONL window feed.
     Subscribe,
+    /// `FLEET` — the fleet rollup as one `{"fleet":true,…}` JSON line.
+    Fleet,
     /// `SHUTDOWN` — flush all tails (debut order) and exit.
     Shutdown,
 }
@@ -107,10 +109,11 @@ pub fn parse_control_line(
         ("STATS", None) => Ok(Some(ControlRequest::Stats)),
         ("STATS", Some(key)) => Ok(Some(ControlRequest::StatsKey(key))),
         ("SUB", None) => Ok(Some(ControlRequest::Subscribe)),
+        ("FLEET", None) => Ok(Some(ControlRequest::Fleet)),
         ("SHUTDOWN", None) => Ok(Some(ControlRequest::Shutdown)),
         _ => Err(format!(
             "line {lineno}: unknown control request (expected STATS, STATS <key>, SUB, \
-             or SHUTDOWN): {trimmed}"
+             FLEET, or SHUTDOWN): {trimmed}"
         )),
     }
 }
@@ -146,6 +149,15 @@ pub fn stats_summary(engine: &Engine) -> String {
         ("shards", engine.shards().serialize()),
         ("per_stream", Value::Seq(per_stream)),
     ]))
+}
+
+/// The `FLEET` reply: the engine's fleet rollup as one
+/// `{"fleet":true,…}` JSON line — byte-identical to the fleet lines
+/// `khist watch --fleet` emits over the same records (the rollup carries
+/// no wall time), so a dashboard can poll serve and replay `watch`
+/// offline against the same capture and diff the two.
+pub fn fleet(engine: &Engine) -> String {
+    format!("{}\n", engine.fleet_report().to_json())
 }
 
 /// The `STATS <key>` reply: one JSON line holding the stream's
@@ -224,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn control_lines_parse_the_four_verbs() {
+    fn control_lines_parse_the_five_verbs() {
         assert_eq!(
             parse_control_line("STATS", 1).unwrap(),
             Some(ControlRequest::Stats)
@@ -238,12 +250,44 @@ mod tests {
             Some(ControlRequest::Subscribe)
         );
         assert_eq!(
-            parse_control_line("SHUTDOWN", 4).unwrap(),
+            parse_control_line("FLEET", 4).unwrap(),
+            Some(ControlRequest::Fleet)
+        );
+        assert_eq!(
+            parse_control_line("SHUTDOWN", 5).unwrap(),
             Some(ControlRequest::Shutdown)
         );
-        assert_eq!(parse_control_line("# hi", 5).unwrap(), None);
-        assert!(parse_control_line("FLUSH", 6).is_err());
-        assert!(parse_control_line("SUB now", 7).is_err());
+        assert_eq!(parse_control_line("# hi", 6).unwrap(), None);
+        let err = parse_control_line("FLUSH", 7).unwrap_err();
+        assert!(err.contains("FLEET"), "error lists the verbs: {err}");
+        assert!(parse_control_line("SUB now", 8).is_err());
+        assert!(parse_control_line("FLEET api", 9).is_err());
+    }
+
+    #[test]
+    fn fleet_replies_are_single_fleet_marked_lines() {
+        use khist_core::api::{FleetReport, Uniformity};
+        let mut engine = Engine::builder(64)
+            .tumbling(4)
+            .analysis(Uniformity::eps(0.3))
+            .build()
+            .unwrap();
+        engine
+            .ingest_batch(&[
+                ("api", 1usize),
+                ("api", 2),
+                ("api", 3),
+                ("api", 1),
+                ("web", 2),
+            ])
+            .unwrap();
+        let line = fleet(&engine);
+        assert!(line.ends_with('\n') && line.matches('\n').count() == 1);
+        assert!(FleetReport::is_fleet_line(&line), "{line}");
+        let report = FleetReport::from_json(line.trim()).unwrap();
+        assert_eq!(report.streams, 2);
+        assert_eq!(report.windows_complete, 1);
+        assert_eq!(report.records_seen, 4, "only the completed window counts");
     }
 
     #[test]

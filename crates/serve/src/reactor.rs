@@ -197,6 +197,11 @@ fn process_lines(
                         conn.push_reply("{\"subscribed\":true}\n");
                         Ok(())
                     }
+                    Ok(Some(ControlRequest::Fleet)) => {
+                        let reply = protocol::fleet(engine);
+                        conn.push_reply(&reply);
+                        Ok(())
+                    }
                     Ok(Some(ControlRequest::Shutdown)) => {
                         *shutdown = true;
                         conn.push_reply("{\"shutting_down\":true}\n");
@@ -256,6 +261,32 @@ fn emit_reports<W: Write>(
         *windows += 1;
     }
     Ok(())
+}
+
+/// Pushes the current fleet rollup line to every subscribed control
+/// connection — `khist watch --fleet`'s interleaved rollup, serve-side.
+/// The line never touches the main JSONL sink: serve's stdout stays a
+/// pure per-stream window feed (bit-compatible with
+/// `khist watch --key-field --json`); subscribers opt into the rollup
+/// the way `watch --fleet` users do, and one-shot readers poll the
+/// `FLEET` verb instead.
+fn emit_fleet_line(engine: &Engine, conns: &mut [Conn], sub_cap: usize) {
+    if !conns.iter().any(|c| c.subscribed) {
+        return;
+    }
+    let line = protocol::fleet(engine);
+    for conn in conns.iter_mut() {
+        if conn.subscribed {
+            conn.outbuf.extend_from_slice(line.as_bytes());
+            if conn.outbuf.len() > sub_cap {
+                // Same slow-consumer policy as the window feed.
+                conn.subscribed = false;
+                conn.eof = true;
+                conn.outbuf.clear();
+                conn.inbuf.clear();
+            }
+        }
+    }
 }
 
 /// One engine-ingest failure as a JSONL error line (the feed carries
@@ -452,9 +483,14 @@ pub fn run<W: Write>(
             || (shutdown && !pending.is_empty())
         {
             match pending.drain_into(&mut engine) {
-                Ok(reports) => emit_reports(
-                    &reports, out, &mut out_ok, &mut conns, sub_cap, &mut windows,
-                )?,
+                Ok(reports) => {
+                    emit_reports(
+                        &reports, out, &mut out_ok, &mut conns, sub_cap, &mut windows,
+                    )?;
+                    if !reports.is_empty() {
+                        emit_fleet_line(&engine, &mut conns, sub_cap);
+                    }
+                }
                 Err(msg) => {
                     let line = error_line(&msg);
                     if out_ok && out.write_all(line.as_bytes()).is_err() {
@@ -475,11 +511,17 @@ pub fn run<W: Write>(
     if !pending.is_empty() {
         let reports = pending.drain_into(&mut engine)?;
         emit_reports(&reports, out, &mut out_ok, &mut conns, sub_cap, &mut windows)?;
+        if !reports.is_empty() {
+            emit_fleet_line(&engine, &mut conns, sub_cap);
+        }
     }
     let tails = engine
         .flush_debut_ordered()
         .map_err(|e| format!("tail flush failed: {e}"))?;
     emit_reports(&tails, out, &mut out_ok, &mut conns, sub_cap, &mut windows)?;
+    // Closing rollup: subscribers get the same final fleet line a
+    // `FLEET` poll (or `watch --fleet`'s last line) would show.
+    emit_fleet_line(&engine, &mut conns, sub_cap);
 
     // Best-effort delivery of buffered replies/feed lines: switch the
     // sockets back to blocking and drain.
@@ -636,6 +678,94 @@ mod tests {
         // fifty from the healthy one.
         assert_eq!(summary.records, 51);
         assert_eq!(summary.streams, 2);
+    }
+
+    #[test]
+    fn fleet_verb_and_subscribers_share_the_rollup_off_the_main_sink() {
+        use khist_core::api::FleetReport;
+        let socket = tmp_path("data-c");
+        let control = tmp_path("ctl-c");
+        let cfg = ServerConfig {
+            socket: Some(socket.clone()),
+            control: Some(control.clone()),
+            stdin: false,
+            flush_ms: 5,
+            ..ServerConfig::default()
+        };
+        let mut feed: Vec<String> = Vec::new();
+        let (summary, jsonl) = drive(cfg, 2, || {
+            let mut ctl = loop {
+                match UnixStream::connect(&control) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let mut reader = BufReader::new(ctl.try_clone().unwrap());
+            writeln!(ctl, "SUB").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("subscribed"), "{line}");
+            // 80 records per stream over span-40 windows: 2 complete
+            // windows each and no tails, so the FLEET poll below sees
+            // the same state as the post-shutdown closing rollup.
+            let mut data = UnixStream::connect(&socket).unwrap();
+            for i in 0..80u32 {
+                writeln!(data, "api {}", i % 64).unwrap();
+                writeln!(data, "web {}", (i * 3) % 64).unwrap();
+            }
+            drop(data);
+            // Wait until the drain landed, keeping every feed line the
+            // polling reads (window lines interleave with the replies).
+            loop {
+                writeln!(ctl, "STATS").unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let done = line.contains("\"records\":160");
+                feed.push(line.trim_end().to_string());
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            writeln!(ctl, "FLEET").unwrap();
+            writeln!(ctl, "SHUTDOWN").unwrap();
+            line.clear();
+            while reader.read_line(&mut line).unwrap() > 0 {
+                feed.push(line.trim_end().to_string());
+                line.clear();
+            }
+        });
+        assert_eq!(summary.records, 160);
+        assert_eq!(summary.windows, 4);
+        // The main sink stays a pure per-stream window feed.
+        assert!(
+            jsonl.lines().all(|l| !FleetReport::is_fleet_line(l)),
+            "no fleet line may reach the main JSONL sink"
+        );
+        let fleet_lines: Vec<&String> = feed
+            .iter()
+            .filter(|l| FleetReport::is_fleet_line(l))
+            .collect();
+        assert!(
+            fleet_lines.len() >= 2,
+            "a FLEET reply plus at least one feed rollup: {feed:?}"
+        );
+        // No tails pending at poll time, so the FLEET reply (second to
+        // last) and the post-shutdown closing rollup (last) describe the
+        // same state — byte for byte (fleet lines carry no wall time).
+        let last = fleet_lines.last().unwrap().as_str();
+        assert_eq!(fleet_lines[fleet_lines.len() - 2].as_str(), last);
+        let report = FleetReport::from_json(last).unwrap();
+        assert_eq!(report.streams, 2);
+        assert_eq!(report.windows_complete, 4);
+        assert_eq!(report.records_seen, 160);
+        // The subscription feed carries the window lines too (only
+        // `WindowReport` lines have a top-level `"complete":` field).
+        let windows = feed
+            .iter()
+            .filter(|l| l.contains("\"complete\":"))
+            .count();
+        assert_eq!(windows, 4, "{feed:?}");
     }
 
     #[test]

@@ -24,32 +24,40 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Median of a slice (average of the two central order statistics for even
-/// lengths). Returns `0.0` for an empty slice.
-pub fn median(xs: &[f64]) -> f64 {
+/// lengths). Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
     quantile(xs, 0.5)
 }
 
 /// Empirical `q`-quantile with linear interpolation between order statistics.
 ///
-/// `q` is clamped to `[0, 1]`. Returns `0.0` for an empty slice. This is the
-/// "type 7" estimator (the default in R and NumPy), chosen because experiment
-/// tables report interpolated tail quantiles of error distributions.
-pub fn quantile(xs: &[f64], q: f64) -> f64 {
+/// `q` is clamped to `[0, 1]`. This is the "type 7" estimator (the default
+/// in R and NumPy), chosen because experiment tables report interpolated
+/// tail quantiles of error distributions.
+///
+/// # Contract
+///
+/// Never panics. An empty slice has no order statistics, so it yields
+/// `None` — there is no honest number to make up (the old `0.0` sentinel
+/// was indistinguishable from a real zero quantile). `NaN` inputs sort
+/// greatest via [`f64::total_cmp`] instead of aborting, so a poisoned
+/// observation surfaces in the top quantiles rather than as a panic.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 /// One-pass summary of a sample: count, mean, standard deviation and extrema.
@@ -207,32 +215,47 @@ mod tests {
 
     #[test]
     fn median_odd_length() {
-        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
     }
 
     #[test]
     fn median_even_length_interpolates() {
-        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
     }
 
     #[test]
     fn quantile_endpoints() {
         let xs = [10.0, 20.0, 30.0];
-        assert_eq!(quantile(&xs, 0.0), 10.0);
-        assert_eq!(quantile(&xs, 1.0), 30.0);
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(30.0));
     }
 
     #[test]
     fn quantile_interpolation() {
         let xs = [0.0, 10.0];
-        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25).unwrap() - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn quantile_clamps_out_of_range() {
         let xs = [1.0, 2.0];
-        assert_eq!(quantile(&xs, -3.0), 1.0);
-        assert_eq!(quantile(&xs, 7.0), 2.0);
+        assert_eq!(quantile(&xs, -3.0), Some(1.0));
+        assert_eq!(quantile(&xs, 7.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none_not_a_sentinel() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan_without_panicking() {
+        // total_cmp sorts NaN greatest: the poison shows up at q=1, the
+        // finite order statistics below stay meaningful.
+        let xs = [2.0, f64::NAN, 1.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert!(quantile(&xs, 1.0).unwrap().is_nan());
     }
 
     #[test]

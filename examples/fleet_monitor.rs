@@ -121,4 +121,43 @@ fn main() {
         "exactly the hot tenant's second window must alarm"
     );
     println!("✓ only {hot_tenant} was paged — 99 healthy tenants stayed quiet");
+
+    // The fleet rollup tells the same story from one aggregate line —
+    // composed purely from the window reports above (zero extra oracle
+    // draws), bit-identical for any shard count, and exactly what
+    // `khist watch --fleet` / `khist serve`'s FLEET verb emit as JSONL.
+    let fleet = engine.fleet_report();
+    println!(
+        "\nfleet rollup: {}/{} streams alarming, {} windows, drift p50 {:.3} p99 {:.3}",
+        fleet.alarming_streams,
+        fleet.streams,
+        fleet.windows_complete + fleet.windows_partial,
+        fleet.drift_p50.unwrap_or(f64::NAN),
+        fleet.drift_p99.unwrap_or(f64::NAN),
+    );
+    for (rank, top) in fleet.top_drift.iter().enumerate() {
+        println!(
+            "  #{} {} — drift severity {:.2} (window {})",
+            rank + 1,
+            top.stream,
+            top.score,
+            top.window
+        );
+    }
+    assert_eq!(
+        (fleet.streams, fleet.alarming_streams),
+        (tenants as u64, 1),
+        "the rollup counts exactly 1 alarming stream out of 100"
+    );
+    let leader = fleet.top_drift.first().expect("phase 2 produced drift scores");
+    assert_eq!(leader.stream, hot_tenant, "the hot tenant ranks #1 by drift");
+    assert!(
+        leader.score > 1.0,
+        "the leader's severity (statistic/threshold) shows a rejection"
+    );
+    assert!(
+        fleet.top_drift[1..].iter().all(|t| t.score < 1.0),
+        "every runner-up stayed below its drift threshold"
+    );
+    println!("✓ the fleet line ranks {hot_tenant} #1 and counts 1/100 alarming streams");
 }

@@ -22,8 +22,8 @@
 //! human rendering for the serde [`Report`] JSON.
 
 use khist_core::api::{
-    run_analyses, Analysis, AnalysisKind, Engine, Learn, LedgerEntry, Monitor, Monotone, Report,
-    TestL1, TestL2, Uniformity, WindowReport,
+    run_analyses, Analysis, AnalysisKind, Engine, FleetReport, Learn, LedgerEntry, Monitor,
+    Monotone, Report, TestL1, TestL2, Uniformity, WindowReport,
 };
 use khist_core::monotone::monotonicity_budget;
 use khist_core::uniformity::UniformityBudget;
@@ -115,6 +115,9 @@ pub enum Command {
         key_field: Option<usize>,
         /// Worker shards stream keys are hashed onto (`1` = unsharded).
         shards: usize,
+        /// Interleave fleet-level rollup lines next to the per-stream
+        /// output (requires `key_field`).
+        fleet: bool,
     },
     /// Serve keyed ingest over Unix sockets / stdin: the reactor in
     /// [`khist_serve`], with `watch --key-field`'s analysis options.
@@ -182,6 +185,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut runs: Vec<String> = vec!["learn".into(), "l2".into(), "uniformity".into()];
     let mut key_field: Option<usize> = None;
     let mut shards = 1usize;
+    let mut fleet = false;
     let mut socket: Option<String> = None;
     let mut control: Option<String> = None;
     let mut stdin = false;
@@ -240,6 +244,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--json" => json = true,
+            "--fleet" => fleet = true,
             "--norm" => {
                 norm = it.next().ok_or("--norm requires a value")?.clone();
                 if norm != "l1" && norm != "l2" {
@@ -310,6 +315,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if fleet && key_field.is_none() {
+                return Err(
+                    "--fleet needs --key-field: the fleet rollup aggregates keyed \
+                     streams, and un-keyed input is a single stream"
+                        .into(),
+                );
+            }
             Ok(Command::Watch {
                 path: need_path(path)?,
                 k,
@@ -322,6 +334,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 json,
                 key_field,
                 shards,
+                fleet,
             })
         }
         "serve" => {
@@ -669,6 +682,10 @@ pub struct WatchOptions {
     /// Worker shards stream keys are hashed onto (`1` = unsharded; only
     /// meaningful with `key_field`).
     pub shards: usize,
+    /// Interleave fleet-level rollup lines next to the per-stream output:
+    /// one after every chunk that reported a window, plus a final rollup
+    /// after the tails (requires `key_field`).
+    pub fleet: bool,
 }
 
 /// How many steps a sliding `khist watch` window covers.
@@ -682,6 +699,35 @@ pub fn render_window(report: &WindowReport, json: bool) -> String {
     } else {
         format!("{report}\n")
     }
+}
+
+/// Renders one [`FleetReport`] in the format the options select: the
+/// `{"fleet":true,…}` JSON line (the wire shape `khist serve`'s `FLEET`
+/// verb answers with, byte for byte), or a one-line human summary.
+pub fn render_fleet(report: &FleetReport, json: bool) -> String {
+    if json {
+        return format!("{}\n", report.to_json());
+    }
+    let mut text = format!(
+        "fleet: {}/{} streams alarming, {} windows ({} partial), {} records, {} alarm windows",
+        report.alarming_streams,
+        report.streams,
+        report.windows_complete + report.windows_partial,
+        report.windows_partial,
+        report.records_seen,
+        report.alarm_windows,
+    );
+    if let (Some(p50), Some(p99)) = (report.drift_p50, report.drift_p99) {
+        text.push_str(&format!(", drift p50 {p50:.3} p99 {p99:.3}"));
+    }
+    if let Some(top) = report.top_drift.first() {
+        text.push_str(&format!(
+            ", top drift {} ({:.3} @ window {})",
+            top.stream, top.score, top.window
+        ));
+    }
+    text.push('\n');
+    text
 }
 
 /// Streams records from `input` through a push-based [`Monitor`], writing
@@ -702,6 +748,13 @@ pub fn run_watch<R: std::io::BufRead, W: std::io::Write>(
     }
     if let Some(field) = opts.key_field {
         return run_watch_keyed(input, out, opts, field);
+    }
+    if opts.fleet {
+        return Err(
+            "--fleet needs --key-field: the fleet rollup aggregates keyed streams, and \
+             un-keyed input is a single stream"
+                .into(),
+        );
     }
     let span = if opts.sliding {
         opts.every
@@ -882,6 +935,19 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
         }
         Ok(Some(windows))
     };
+    // With --fleet, a rollup line follows every chunk that reported a
+    // window (and the final tails): the fleet state as of everything
+    // ingested so far. `Ok(false)` = consumer hung up.
+    let emit_fleet = |out: &mut W, engine: &Engine| -> Result<bool, String> {
+        let write = out
+            .write_all(render_fleet(&engine.fleet_report(), opts.json).as_bytes())
+            .and_then(|()| out.flush());
+        match write {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+            Err(e) => Err(fmt_err(e)),
+        }
+    };
 
     let mut windows = 0u64;
     // Each chunk costs one mailbox round per busy shard, so the chunk must
@@ -929,18 +995,26 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
             let reports = ingest_chunk(&mut engine, &arena, &spans)?;
             spans.clear();
             arena.clear();
+            let reported = !reports.is_empty();
             match emit(out, reports)? {
                 Some(emitted) => windows += emitted,
                 None => return Ok(String::new()),
+            }
+            if opts.fleet && reported && !emit_fleet(out, &engine)? {
+                return Ok(String::new());
             }
         }
     }
     // Emit the final buffer's completed windows before flushing the tails,
     // so a tail-flush failure can never lose an already-computed report.
     let reports = ingest_chunk(&mut engine, &arena, &spans)?;
+    let reported = !reports.is_empty();
     match emit(out, reports)? {
         Some(emitted) => windows += emitted,
         None => return Ok(String::new()),
+    }
+    if opts.fleet && reported && !emit_fleet(out, &engine)? {
+        return Ok(String::new());
     }
     // Tails come out in debut order — the order streams first appeared —
     // not key-lexicographic order, so the end-of-stream output lines up
@@ -949,6 +1023,10 @@ fn run_watch_keyed<R: std::io::BufRead, W: std::io::Write>(
     match emit(out, tails)? {
         Some(emitted) => windows += emitted,
         None => return Ok(String::new()),
+    }
+    // The closing rollup: the whole stream's fleet state, tails included.
+    if opts.fleet && !emit_fleet(out, &engine)? {
+        return Ok(String::new());
     }
     if opts.json {
         return Ok(String::new());
@@ -988,7 +1066,7 @@ pub fn usage() -> &'static str {
      \x20 khist analyze   <records.txt> [--k K] [--eps E] [--n N] [--seed S] [--json]\n\
      \x20                 [--run learn,l1,l2,uniformity,monotone]\n\
      \x20 khist watch     <records.txt|-> [--every N] [--window tumbling|sliding]\n\
-     \x20                 [--key-field 0|1] [--shards N]\n\
+     \x20                 [--key-field 0|1] [--shards N] [--fleet]\n\
      \x20                 [--k K] [--eps E] [--n N] [--seed S] [--json] [--run ...]\n\
      \x20 khist serve     --n N [--socket PATH] [--control PATH] [--stdin]\n\
      \x20                 [--key-field 0|1] [--shards N] [--every N] [--window ...]\n\
@@ -1019,7 +1097,12 @@ pub fn usage() -> &'static str {
      shards. Per-stream output is bit-identical for every shard count.\n\
      Keyed watch requires an explicit --n; --shards > 1 requires\n\
      --key-field. Un-keyed (single-field) lines are rejected with their\n\
-     line number.\n\
+     line number. --fleet (requires --key-field) interleaves fleet-level\n\
+     rollup lines — stream/window/alarm counters, drift-severity\n\
+     quantiles, the top drifting streams — after every chunk that\n\
+     reported a window plus a final rollup after the tails; in JSON mode\n\
+     these are {\"fleet\":true,...} JSONL lines, identical byte-for-byte\n\
+     to serve's FLEET replies over the same records.\n\
      \n\
      serve runs keyed watch as a long-lived process: a single-threaded\n\
      reactor accepts 'key value' lines on a Unix socket (--socket) and/or\n\
@@ -1030,9 +1113,11 @@ pub fn usage() -> &'static str {
      --conn-buffer and --budget bound per-connection and global buffering\n\
      (slow producers are parked, never buffered unboundedly). --control\n\
      opens a second socket answering STATS (fleet totals), STATS <key>\n\
-     (mid-window snapshot + sample ledger), SUB (subscribe to the JSONL\n\
-     feed) and SHUTDOWN (flush tails in debut order, then exit). With no\n\
-     --socket, serve reads stdin and exits at EOF.\n"
+     (mid-window snapshot + sample ledger), FLEET (the fleet rollup as\n\
+     one {\"fleet\":true,...} JSON line — watch --fleet's closing line,\n\
+     byte-for-byte), SUB (subscribe to the JSONL feed, fleet lines\n\
+     included) and SHUTDOWN (flush tails in debut order, then exit).\n\
+     With no --socket, serve reads stdin and exits at EOF.\n"
 }
 
 /// Clamps the paper's budget to the data actually available in the file.
@@ -1145,6 +1230,7 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
             json,
             key_field,
             shards,
+            fleet,
         } => {
             let n = if n > 0 {
                 n
@@ -1176,6 +1262,7 @@ pub fn dispatch(cmd: Command) -> Result<String, String> {
                 json,
                 key_field,
                 shards,
+                fleet,
             };
             let stdout = std::io::stdout();
             if path == "-" {
@@ -1459,6 +1546,7 @@ mod tests {
             json: false,
             key_field: None,
             shards: 1,
+            fleet: false,
         };
         let mut out = Vec::new();
         let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
@@ -1492,6 +1580,7 @@ mod tests {
             json: true,
             key_field: None,
             shards: 1,
+            fleet: false,
         };
         let mut out = Vec::new();
         let summary = run_watch(text.as_bytes(), &mut out, &opts).unwrap();
@@ -1521,6 +1610,7 @@ mod tests {
             json: false,
             key_field: None,
             shards: 1,
+            fleet: false,
         };
         let mut out = Vec::new();
         let err = run_watch("1\n2\n".as_bytes(), &mut out, &opts).unwrap_err();
@@ -1538,6 +1628,7 @@ mod tests {
             json: false,
             key_field: None,
             shards: 1,
+            fleet: false,
         })
         .unwrap_err();
         assert!(err.contains("--n") && err.contains("stdin"), "{err}");
@@ -1556,6 +1647,7 @@ mod tests {
             json: false,
             key_field: None,
             shards: 1,
+            fleet: false,
         };
         let mut out = Vec::new();
         let err = run_watch("1\nfoo\n".as_bytes(), &mut out, &opts).unwrap_err();
@@ -1588,9 +1680,21 @@ mod tests {
         assert!(err.contains("--key-field must be 0 or 1"), "{err}");
         let err = parse_args(&strings(&["watch", "-", "--shards", "2"])).unwrap_err();
         assert!(err.contains("--shards needs --key-field"), "{err}");
+        // --fleet rides on keyed watch only.
+        let err = parse_args(&strings(&["watch", "-", "--fleet", "--n", "64"])).unwrap_err();
+        assert!(err.contains("--fleet needs --key-field"), "{err}");
+        let cmd = parse_args(&strings(&[
+            "watch", "-", "--key-field", "0", "--fleet", "--n", "64",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch { fleet, .. } => assert!(fleet),
+            other => panic!("unexpected {other:?}"),
+        }
         // Documented in --help.
         let help = usage();
         assert!(help.contains("--key-field") && help.contains("--shards"), "{help}");
+        assert!(help.contains("--fleet") && help.contains("FLEET"), "{help}");
     }
 
     fn keyed_opts(shards: usize, json: bool) -> WatchOptions {
@@ -1605,6 +1709,7 @@ mod tests {
             json,
             key_field: Some(0),
             shards,
+            fleet: false,
         }
     }
 
@@ -1673,6 +1778,67 @@ mod tests {
     }
 
     #[test]
+    fn keyed_watch_fleet_interleaves_rollup_lines() {
+        let text = keyed_text(7_500); // 2 500 records per stream
+        let mut opts = keyed_opts(2, true);
+        opts.fleet = true;
+        let mut out = Vec::new();
+        run_watch(text.as_bytes(), &mut out, &opts).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        let (fleet_lines, stream_lines): (Vec<&str>, Vec<&str>) = rendered
+            .lines()
+            .partition(|l| FleetReport::is_fleet_line(l));
+        // The per-stream feed is exactly what --fleet-less watch emits
+        // (compared minus wall time, the one field that varies per run).
+        let mut plain = Vec::new();
+        run_watch(text.as_bytes(), &mut plain, &keyed_opts(2, true)).unwrap();
+        let skeleton = |lines: &[&str]| -> Vec<(Option<String>, u64, u64, bool, bool)> {
+            lines
+                .iter()
+                .map(|l| {
+                    let w = WindowReport::from_json(l).unwrap_or_else(|e| panic!("{e}: {l}"));
+                    (w.stream.clone(), w.window, w.seen, w.complete, w.all_quiet())
+                })
+                .collect()
+        };
+        let plain = String::from_utf8(plain).unwrap();
+        assert_eq!(
+            skeleton(&stream_lines),
+            skeleton(&plain.lines().collect::<Vec<_>>()),
+            "--fleet must not perturb the per-stream lines"
+        );
+        // Rollup lines parse, grow monotonically, and the closing one
+        // covers the whole stream (tails included).
+        assert!(!fleet_lines.is_empty());
+        let rollups: Vec<FleetReport> = fleet_lines
+            .iter()
+            .map(|l| FleetReport::from_json(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+            .collect();
+        for pair in rollups.windows(2) {
+            assert!(pair[0].records_seen <= pair[1].records_seen);
+        }
+        let last = rollups.last().unwrap();
+        assert_eq!(last.streams, 3);
+        assert_eq!(last.records_seen, 7_500);
+        assert_eq!(last.windows_partial, 3, "one flushed tail per stream");
+        // Human mode renders the rollup as a prefixed summary line.
+        let mut opts = keyed_opts(1, false);
+        opts.fleet = true;
+        let mut out = Vec::new();
+        run_watch(text.as_bytes(), &mut out, &opts).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("fleet: "), "{rendered}");
+        // Un-keyed --fleet is rejected even when the options are built
+        // programmatically (parse_args already rejects the flag combo).
+        let mut opts = keyed_opts(1, false);
+        opts.key_field = None;
+        opts.fleet = true;
+        let mut out = Vec::new();
+        let err = run_watch("1\n2\n".as_bytes(), &mut out, &opts).unwrap_err();
+        assert!(err.contains("--fleet needs --key-field"), "{err}");
+    }
+
+    #[test]
     fn keyed_watch_rejects_unkeyed_input_with_line_numbers() {
         let opts = keyed_opts(1, false);
         let mut out = Vec::new();
@@ -1706,6 +1872,7 @@ mod tests {
             json: false,
             key_field: Some(0),
             shards: 2,
+            fleet: false,
         })
         .unwrap_err();
         assert!(err.contains("--n") && err.contains("key"), "{err}");

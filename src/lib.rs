@@ -31,6 +31,7 @@
 //! | [`dist`] | `khist-dist` | distributions, intervals, histograms, distances, generators |
 //! | [`oracle`] | `khist-oracle` | the pull `SampleOracle` seam + backends, the push `SampleSink`/`WindowedSink` ingest layer, sample multisets, collision estimators, budgets |
 //! | [`stats`] | `khist-stats` | summaries, Wilson intervals, scaling fits |
+//! | [`fleet`] | `khist-fleet` | mergeable fleet rollups: counters, drift quantile sketch, top-K drifting streams |
 //! | [`baseline`] | `khist-baseline` | exact v-optimal DP, `ℓ₁` DP, equi-width/depth, MaxDiff, greedy-merge |
 //! | [`greedy`], [`tester`], [`flatness`], [`mod@partition_search`], [`lower_bound`], [`cost`], [`tiling_state`] | `khist-core` | the paper's algorithms |
 //!
@@ -154,6 +155,7 @@ mod readme_doctests {}
 
 pub use khist_baseline as baseline;
 pub use khist_dist as dist;
+pub use khist_fleet as fleet;
 pub use khist_oracle as oracle;
 pub use khist_stats as stats;
 
@@ -169,9 +171,9 @@ pub mod prelude {
         v_optimal,
     };
     pub use khist_core::api::{
-        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, Engine, EngineBuilder, IdentityL2,
-        Learn, Monitor, MonitorBuilder, MonitorState, Monotone, Report, SamplePlan, Session,
-        TestL1, TestL2, Uniformity, WindowReport,
+        Analysis, AnalysisKind, BudgetSpec, ClosenessL2, Engine, EngineBuilder, FleetReport,
+        FleetSummary, IdentityL2, Learn, Monitor, MonitorBuilder, MonitorState, Monotone,
+        Report, SamplePlan, Session, TestL1, TestL2, TopStream, Uniformity, WindowReport,
     };
     pub use khist_core::compress::compress_to_k;
     pub use khist_core::greedy::{learn, learn_from_samples, CandidatePolicy, GreedyParams};

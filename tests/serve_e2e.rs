@@ -16,6 +16,11 @@
 //!    `ERR line <n>` reply that poisons only itself; another disconnects
 //!    mid-stream; a third keeps streaming unaffected and every record
 //!    that made it through is accounted for.
+//! 3. **Fleet rollup** — `FLEET` polled mid-stream answers one
+//!    `{"fleet":true,…}` line; `SUB` receives interleaved fleet lines;
+//!    the final poll is byte-identical to `khist watch --fleet`'s
+//!    closing rollup over the same records; stdout never carries a
+//!    fleet line.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
@@ -259,6 +264,97 @@ fn fifty_thousand_records_from_two_writers_match_watch_bit_for_bit() {
         assert_eq!(serve_lines.len(), 5, "stream {key}");
         assert_eq!(serve_lines, watch_lines, "stream {key} serve ≡ watch");
     }
+}
+
+#[test]
+fn fleet_verb_matches_watch_fleet_byte_for_byte() {
+    // 3 streams × 2 000 records at every=500: window boundaries land
+    // exactly on the two write phases (2 then 4 complete windows per
+    // stream, no partial tails), so both FLEET polls read a settled
+    // rollup and the final one must equal watch --fleet's closing line.
+    let keys = ["api", "web", "edge"];
+    let mut phase1 = String::new();
+    let mut phase2 = String::new();
+    for i in 0..3_000usize {
+        phase1.push_str(&format!("{} {}\n", keys[i % 3], (i * 7 + 1) % N));
+        phase2.push_str(&format!("{} {}\n", keys[i % 3], (i * 11 + 2) % N));
+    }
+
+    let server = Server::start("fleet", 500, 3);
+    let mut sub = Control::new(server.connect_control());
+    let mut control = Control::new(server.connect_control());
+    let ack = sub.request("SUB");
+    assert!(ack.contains("\"subscribed\":true"), "{ack}");
+
+    let mut data = server.connect_data();
+    data.write_all(phase1.as_bytes()).unwrap();
+    control.stats_until(|r| json_u64(r, "records") == Some(3_000));
+    let mid = control.request("FLEET");
+    assert!(FleetReport::is_fleet_line(&mid), "{mid}");
+    let mid_report = FleetReport::from_json(mid.trim()).unwrap();
+    assert_eq!(mid_report.streams, 3, "{mid}");
+    assert_eq!(mid_report.windows_complete, 6, "2 windows per stream so far");
+    assert_eq!(mid_report.records_seen, 3_000);
+    assert_eq!(mid_report.windows_partial, 0, "mid-windows are not rolled up");
+
+    data.write_all(phase2.as_bytes()).unwrap();
+    drop(data);
+    control.stats_until(|r| json_u64(r, "records") == Some(6_000));
+    let fin = control.request("FLEET");
+    let fin_report = FleetReport::from_json(fin.trim()).unwrap();
+    assert_eq!(fin_report.windows_complete, 12);
+    assert_eq!(fin_report.records_seen, 6_000);
+    assert_ne!(fin.trim(), mid.trim(), "the rollup advanced between polls");
+
+    // Shut down, then drain the subscription feed to EOF.
+    let jsonl = server.shutdown(&mut control);
+    let mut feed = String::new();
+    sub.reader.read_to_string(&mut feed).unwrap();
+
+    // stdout stays a pure per-stream window feed (per_stream_jsonl would
+    // reject a fleet line; the explicit check makes the contract loud).
+    assert!(jsonl.lines().all(|l| !FleetReport::is_fleet_line(l)));
+    assert_eq!(per_stream_jsonl(&jsonl).len(), 3);
+
+    // The subscriber saw interleaved fleet lines; the closing one is the
+    // final poll, byte for byte (fleet lines carry no wall time).
+    let fleet_lines: Vec<&str> = feed
+        .lines()
+        .filter(|l| FleetReport::is_fleet_line(l))
+        .collect();
+    assert!(fleet_lines.len() >= 2, "{feed}");
+    assert_eq!(*fleet_lines.last().unwrap(), fin.trim());
+    let windows = feed
+        .lines()
+        .filter(|l| !FleetReport::is_fleet_line(l))
+        .filter(|l| l.contains("\"complete\":"))
+        .count();
+    assert_eq!(windows, 12, "the feed still carries every window line");
+
+    // The reference: the same records through `khist watch --fleet`; its
+    // closing rollup line must equal the server's final FLEET reply.
+    let mut watch = Command::new(env!("CARGO_BIN_EXE_khist"))
+        .args([
+            "watch", "-", "--key-field", "0", "--n", &N.to_string(), "--every", "500",
+            "--run", "uniformity", "--seed", "7", "--json", "--fleet",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn khist watch");
+    let mut stdin = watch.stdin.take().unwrap();
+    stdin.write_all(phase1.as_bytes()).unwrap();
+    stdin.write_all(phase2.as_bytes()).unwrap();
+    drop(stdin);
+    let watched = watch.wait_with_output().expect("watch exit");
+    assert!(watched.status.success());
+    let watched = String::from_utf8(watched.stdout).unwrap();
+    let closing = watched
+        .lines()
+        .rfind(|l| FleetReport::is_fleet_line(l))
+        .expect("watch --fleet emits a closing rollup");
+    assert_eq!(closing, fin.trim(), "serve FLEET ≡ watch --fleet, bit for bit");
 }
 
 #[test]
