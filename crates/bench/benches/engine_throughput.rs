@@ -13,6 +13,12 @@
 //! that trade: on a ≥ 4-core machine the multi-shard rows should beat the
 //! 1-shard row wall-clock.
 //!
+//! An `engine_scaling` group re-runs the cold windowed workload fed in
+//! watch-shaped sub-batches (4096·shards records per call) so the
+//! two-phase parallel route engages on every call — the scaling curve the
+//! shards=4 vs shards=1 acceptance bar reads from, with the host's core
+//! count printed alongside.
+//!
 //! A second group measures the *warm steady state* at fleet scale: an
 //! engine already holding 100 000 debuted streams ingests batches that
 //! complete no window, so each iteration pays only the allocation-free
@@ -73,6 +79,60 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 let reports = engine.ingest_batch(&records).expect("clean ingest");
                 assert_eq!(reports.len(), STREAMS, "one window per stream");
                 reports.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Streams in the scaling group: enough per-window work to shard out, few
+/// enough that routing cost stays visible next to the analysis compute.
+const SCALE_STREAMS: usize = 256;
+/// Records per stream in the scaling group (= the tumbling span).
+const SCALE_SPAN: usize = 500;
+
+/// The parallel-route scaling curve: a *cold* engine (workers spawned,
+/// nothing debuted) ingests a full windowed workload fed in the CLI watch
+/// feed shape — sub-batches of `4096 · shards` records, every one of which
+/// crosses [`Engine::PARALLEL_ROUTE_MIN`] on multi-shard engines — so each
+/// iteration pays debut interning, the chunked route fan-out, and one
+/// completed window per stream. This is the group the shards=4 ≥ 1.8×
+/// shards=1 acceptance bar reads from (on a ≥ 4-core host; the recorded
+/// `cores` line tells the baseline curator what this run could express).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let n = 256;
+    let p = generators::staircase(n, 4).expect("valid staircase");
+    let mut rng = StdRng::seed_from_u64(17);
+    let values = p.sample_many(SCALE_STREAMS * SCALE_SPAN, &mut rng);
+    let records: Vec<(String, usize)> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (format!("tenant-{:03}", i % SCALE_STREAMS), v))
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("engine_scaling cores: {cores}");
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        let chunk = 4096 * shards;
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut engine = Engine::builder(n)
+                    .seed(17)
+                    .shards(shards)
+                    .tumbling(SCALE_SPAN as u64)
+                    .analyses(standing())
+                    .build()
+                    .expect("valid engine config");
+                let mut windows = 0usize;
+                for slice in records.chunks(chunk) {
+                    windows += engine.ingest_batch(slice).expect("clean ingest").len();
+                }
+                assert_eq!(windows, SCALE_STREAMS, "one window per stream");
+                windows
             });
         });
     }
@@ -166,6 +226,7 @@ fn bench_fleet_rollup(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine_throughput,
+    bench_engine_scaling,
     bench_warm_ingest_100k_streams,
     bench_fleet_rollup
 );

@@ -9,39 +9,59 @@
 //!
 //! ```text
 //!   ingest_batch(&[(key, value), …])
-//!        │  key ──interner──▶ (shard, slot): FNV-1a hashed once at debut
-//!        ▼                    and routed on a consistent-hash virtual-node
-//!                             ring, then a u32 id — no String, no ring
-//!                             walk on the hot path
+//!        │  phase 1 — parallel route: the batch splits into chunks; each
+//!        ▼  chunk fans to a worker that hashes its keys (batched FNV-1a,
+//!           one hash per record, reused for the interner probe *and* the
+//!           consistent-hash ring at debut) and buckets records into
+//!           per-(chunk, shard) sub-partitions over reusable scratch
+//!   ┌ chunk 0 ┐ ┌ chunk 1 ┐ ┌ chunk 2 ┐ ┌ chunk 3 ┐   debuting keys miss
+//!   │ w0 route│ │ w1 route│ │ w0 route│ │ w1 route│   every chunk and are
+//!   └─┬─────┬─┘ └─┬─────┬─┘ └─┬─────┬─┘ └─┬─────┬─┘   interned serially in
+//!     ▼     ▼     ▼     ▼     ▼     ▼     ▼     ▼     arrival order after
+//!   s0-sub s1-…  s0-…  s1-…  s0-…  s1-…  s0-…  s1-…   the routed chunks land
+//!        │  phase 2 — shard ingest: each busy shard concatenates the
+//!        ▼  sub-partitions addressed to it *in chunk order* (restoring
+//!           every stream's global arrival order — bit-identity) and
+//!           ingests on its persistent worker
 //!   ┌─────────┐  ┌─────────┐       ┌─────────┐   one *persistent* worker
 //!   │ shard 0 │  │ shard 1 │  ...  │ shard S │   thread per shard, spawned
 //!   │ ┌─────┐ │  │ ┌─────┐ │       │ ┌─────┐ │   at build and parked when
-//!   │ │state│ │  │ │state│ │       │ │state│ │   idle; the shard's slab is
-//!   │ │state│ │  │ └─────┘ │       │ │state│ │   handed through a one-slot
-//!   │ └─────┘ │  └─────────┘       │ └─────┘ │   mailbox per batch
-//!   └─────────┘                    └─────────┘
+//!   │ │state│ │  │ │state│ │       │ │state│ │   idle; shard slabs and
+//!   │ │state│ │  │ └─────┘ │       │ │state│ │   route chunks travel by
+//!   │ └─────┘ │  └─────────┘       │ └─────┘ │   value through a bounded
+//!   └─────────┘                    └─────────┘   two-deep mailbox ring
 //!        │              │               │        state = MonitorState of
 //!        └──────────────┴───────────────┘        one stream key (a slab
 //!                       ▼                        slot in debut order)
 //!     Vec<WindowReport> tagged by stream, sorted by (stream, window)
 //! ```
 //!
+//! Batches smaller than [`Engine::PARALLEL_ROUTE_MIN`] (and single-shard
+//! engines) skip phase 1's fan-out and route serially on the caller
+//! thread — the output is bit-identical either way; the threshold only
+//! decides who does the hashing.
+//!
 //! # The allocation-free batch pipeline
 //!
 //! Steady-state `ingest_batch` (every key already interned, no window
-//! closing) performs **zero heap allocations** — asserted by a
-//! counting-allocator integration test (`tests/engine_zero_alloc.rs`):
+//! closing) performs **zero heap allocations** on both the serial and the
+//! parallel route path — asserted by a counting-allocator integration
+//! test (`tests/engine_zero_alloc.rs`):
 //!
 //! * keys resolve through the interner's open-addressing table (hash +
-//!   probe, no `String`, no `BTreeMap`);
-//! * records partition into per-shard scratch buffers reused across
-//!   batches;
-//! * each shard groups its slice with a counting sort over reused scratch
-//!   (counts / touched-slot list / scatter buffer);
-//! * busy shards move through their worker's single-slot mailbox by value
-//!   (`mem::take` of the shard slab — no copy, no channel allocation) and
-//!   move back when collected. When at most one shard is busy the batch
-//!   runs inline on the caller thread — no handoff at all.
+//!   probe, no `String`, no `BTreeMap`); the parallel path shares the
+//!   table as a frozen `Arc` snapshot, cloned by refcount only;
+//! * records partition into per-shard scratch buffers (serial) or
+//!   per-chunk arenas + sub-partition buckets (parallel), all reused
+//!   across batches and round-tripped by value through the mailboxes;
+//! * each shard groups its sub-partitions with a counting sort over
+//!   reused scratch (counts / touched-slot list / scatter buffer) that
+//!   concatenates logically — no copy of the routed records;
+//! * busy shards move through their worker's bounded mailbox ring by
+//!   value (`mem::take` of the shard slab — no copy, no channel
+//!   allocation) and move back when collected. When at most one shard is
+//!   busy the ingest runs inline on the caller thread — no handoff at
+//!   all.
 //!
 //! # Sharding is semantics-free
 //!
@@ -136,8 +156,17 @@ type ShardOutcome = (Vec<WindowReport>, Vec<(String, DistError)>);
 /// batch appearance; the [`Interner`] caches the hash at debut so rehash
 /// and shard routing never recompute it.
 fn key_hash(key: &str) -> u64 {
+    key_hash_bytes(key.as_bytes())
+}
+
+/// FNV-1a over raw key bytes — the byte-slice twin of [`key_hash`] (UTF-8
+/// string equality is byte equality, so hashing the bytes of a `&str`
+/// yields the identical value). The parallel route phase hashes keys out
+/// of a per-chunk byte arena, where no `&str` exists to hash.
+// lint:hot-path
+fn key_hash_bytes(key: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in key.bytes() {
+    for &byte in key {
         h ^= u64::from(byte);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -278,6 +307,10 @@ impl EngineConfig {
 }
 
 /// One interned stream key: its cached hash and its home `(shard, slot)`.
+/// `Clone` is derived for `Arc::make_mut` on the [`Interner`]; the engine
+/// only mutates the interner when its `Arc` is unique (no route job in
+/// flight), so the clone never actually runs.
+#[derive(Clone)]
 struct KeyEntry {
     key: String,
     hash: u64,
@@ -292,9 +325,17 @@ struct KeyEntry {
 /// cold path) allocates the entry and, rarely, regrows the table.
 ///
 /// The table stores `entry index + 1` so `0` marks an empty bucket; its
-/// length is always a power of two. Stream counts are capped at `u32`
-/// range (4 billion keys) by the id width — far beyond the slab sizes the
-/// monitor layer supports in memory anyway.
+/// length is always a power of two; the probe start index runs the raw
+/// FNV-1a hash through [`mix64`] (the same finalizer the ring applies) so
+/// short-key clustering cannot pile entries into one probe chain — the
+/// *stored* hash stays raw, because seeds derive from it. Stream counts
+/// are capped at `u32` range (4 billion keys) by the id width — far
+/// beyond the slab sizes the monitor layer supports in memory anyway.
+///
+/// Lives behind an `Arc` on the engine so the parallel route phase can
+/// probe it from every worker at once; `Clone` is derived purely for
+/// `Arc::make_mut` (see [`KeyEntry`]).
+#[derive(Clone)]
 struct Interner {
     entries: Vec<KeyEntry>,
     table: Vec<u32>,
@@ -308,11 +349,14 @@ impl Interner {
         }
     }
 
-    /// Steady-state key resolution: no allocation, no `String`.
+    /// Steady-state key resolution: no allocation, no `String`. Takes the
+    /// key as raw bytes so the parallel route phase can resolve keys
+    /// straight out of a chunk arena; `&str` callers pass `.as_bytes()`
+    /// (UTF-8 equality is byte equality).
     // lint:hot-path
-    fn lookup(&self, key: &str, hash: u64) -> Option<u32> {
+    fn lookup(&self, key: &[u8], hash: u64) -> Option<u32> {
         let mask = self.table.len() - 1;
-        let mut i = (hash as usize) & mask;
+        let mut i = (mix64(hash) as usize) & mask;
         loop {
             // lint:allow(checked-indexing): i is masked onto the table length
             let probe = self.table[i];
@@ -322,7 +366,7 @@ impl Interner {
             let id = probe - 1;
             // lint:allow(checked-indexing): the table only stores ids of live entries
             let entry = &self.entries[id as usize];
-            if entry.hash == hash && entry.key == key {
+            if entry.hash == hash && entry.key.as_bytes() == key {
                 return Some(id);
             }
             i = (i + 1) & mask;
@@ -358,13 +402,112 @@ impl Interner {
 
     fn place(table: &mut [u32], hash: u64, id: u32) {
         let mask = table.len() - 1;
-        let mut i = (hash as usize) & mask;
+        let mut i = (mix64(hash) as usize) & mask;
         // lint:allow(checked-indexing): i is masked onto the table length
         while table[i] != 0 {
             i = (i + 1) & mask;
         }
         // lint:allow(checked-indexing): i is masked onto the table length
         table[i] = id + 1;
+    }
+}
+
+/// Reusable scratch for one chunk of the parallel route phase. The caller
+/// thread fills `arena`/`spans` (a pure memcpy of key bytes — no hashing,
+/// no probing), ships the chunk to a route worker by value through the
+/// courier ring, and gets it back with `hashes`, `buckets`, and `misses`
+/// filled. Every buffer keeps its capacity across batches, so a warm
+/// batch's route phase allocates nothing.
+///
+/// `Default` is derived so chunks `mem::take` in and out of the scratch
+/// pool without a heap touch.
+#[derive(Default)]
+struct RouteChunk {
+    /// Concatenated key bytes of the chunk's records, in arrival order.
+    arena: Vec<u8>,
+    /// Per-record `(key start, key end, value)` spans into `arena`, in
+    /// arrival order.
+    spans: Vec<(usize, usize, usize)>,
+    /// Per-record FNV-1a key hashes, filled by the batched hash pass
+    /// (index-aligned with `spans`).
+    hashes: Vec<u64>,
+    /// Per-shard `(slot, value)` sub-partitions of the chunk's records
+    /// whose keys resolved through the interner, each in arrival order.
+    buckets: Vec<Vec<(u32, usize)>>,
+    /// Span indices of records whose keys missed the interner snapshot —
+    /// debuts, interned serially (and cold) by the engine afterwards.
+    misses: Vec<usize>,
+}
+
+impl RouteChunk {
+    /// Fresh chunk scratch for a pool of `shards` shards (cold path:
+    /// engine build and resize only).
+    fn new(shards: usize) -> Self {
+        let mut chunk = RouteChunk::default();
+        chunk.buckets.resize_with(shards, Vec::new);
+        chunk
+    }
+}
+
+/// Phase-1 route work, run inside a shard worker: a batched FNV-1a pass
+/// over the chunk's key arena, then one interner probe per record — the
+/// hash is computed once and reused for the probe here and for the ring
+/// lookup if the key turns out to be a debut. Known keys bucket into the
+/// per-shard sub-partitions in arrival order; unknown keys are recorded
+/// as misses for the engine's serial debut pass.
+fn route_chunk(chunk: &mut RouteChunk, interner: &Interner) {
+    hash_spans(&chunk.arena, &chunk.spans, &mut chunk.hashes);
+    bucket_records(chunk, interner);
+}
+
+/// The batched hash pass: one tight FNV-1a loop over every key span,
+/// touching nothing but the arena and the output vector.
+// lint:hot-path
+fn hash_spans(arena: &[u8], spans: &[(usize, usize, usize)], hashes: &mut Vec<u64>) {
+    hashes.clear();
+    for &(start, end, _) in spans {
+        let hash = match arena.get(start..end) {
+            Some(key) => key_hash_bytes(key),
+            // Unreachable: the caller builds spans by appending to the
+            // arena, so every span indexes it. Hash of the empty key keeps
+            // the vectors index-aligned without panicking.
+            None => key_hash_bytes(&[]),
+        };
+        hashes.push(hash);
+    }
+}
+
+/// The bucketing pass: resolve each record's key against the frozen
+/// interner snapshot and append `(slot, value)` to its shard's
+/// sub-partition; keys the snapshot does not know become misses. Arrival
+/// order is preserved within every bucket — chunk-ordered concatenation
+/// on the shard side then restores each stream's global arrival order.
+// lint:hot-path
+fn bucket_records(chunk: &mut RouteChunk, interner: &Interner) {
+    let RouteChunk {
+        arena,
+        spans,
+        hashes,
+        buckets,
+        misses,
+    } = chunk;
+    misses.clear();
+    for (i, (&(start, end, value), &hash)) in spans.iter().zip(hashes.iter()).enumerate() {
+        let resolved = arena
+            .get(start..end)
+            .and_then(|key| interner.lookup(key, hash))
+            .and_then(|id| interner.entries.get(id as usize));
+        match resolved {
+            Some(entry) => match buckets.get_mut(entry.shard as usize) {
+                Some(bucket) => bucket.push((entry.slot, value)),
+                // Unreachable: interned shard indices are < the pool
+                // width the buckets were sized for. Treat as a miss so
+                // the record reaches the (bounds-checked) debut pass
+                // instead of being dropped.
+                None => misses.push(i),
+            },
+            None => misses.push(i),
+        }
     }
 }
 
@@ -459,53 +602,85 @@ fn drift_severity(r: &Report) -> Option<f64> {
     }
 }
 
+/// The concat + group pass of a shard's batch: logically concatenates the
+/// chunk-ordered sub-partitions addressed to one shard (no copy happens
+/// until the scatter) and groups their records per stream slot with a
+/// counting sort over the shard's reused scratch. Iterating the
+/// sub-partitions in chunk order is what restores each stream's global
+/// arrival order — the bit-identity invariant the shuffle hangs on.
+// lint:hot-path
+fn concat_group(
+    parts: &[Vec<(u32, usize)>],
+    counts: &mut [usize],
+    touched: &mut Vec<u32>,
+    spans: &mut Vec<(u32, usize, usize)>,
+    grouped: &mut Vec<usize>,
+) {
+    let mut total = 0usize;
+    for part in parts {
+        total += part.len();
+        for &(slot, _) in part.iter() {
+            // lint:allow(checked-indexing): the engine only routes interned slots here
+            let c = &mut counts[slot as usize];
+            if *c == 0 {
+                touched.push(slot);
+            }
+            *c += 1;
+        }
+    }
+    // Ascending slot index == per-shard debut order: deterministic.
+    touched.sort_unstable();
+    let mut offset = 0usize;
+    for &slot in touched.iter() {
+        // lint:allow(checked-indexing): touched slots were counted above
+        let count = counts[slot as usize];
+        spans.push((slot, offset, offset + count));
+        // Repurpose the count as the scatter cursor.
+        // lint:allow(checked-indexing): same touched slot
+        counts[slot as usize] = offset;
+        offset += count;
+    }
+    grouped.clear();
+    grouped.resize(total, 0);
+    for part in parts {
+        for &(slot, value) in part.iter() {
+            // lint:allow(checked-indexing): cursor stays within this slot's span
+            let cursor = &mut counts[slot as usize];
+            // lint:allow(checked-indexing): spans tile 0..total exactly
+            grouped[*cursor] = value;
+            *cursor += 1;
+        }
+    }
+}
+
 impl Shard {
-    /// Ingests one shard's slice of a keyed batch: records are grouped per
-    /// stream with a counting sort over reused scratch (preserving each
-    /// stream's arrival order — the only order a stream's state can
-    /// observe) and each touched stream ingests its group independently; a
-    /// failing stream does not stop its shard-mates. Ledgers drain into
-    /// the slot's retained per-label totals (served by
-    /// [`Engine::ledger`]); windows are the only producers of ledger
-    /// entries, so a warm batch drains an empty vector — no allocation.
+    /// Ingests one shard's share of a keyed batch, handed over as
+    /// chunk-ordered sub-partitions of `(slot, value)` records (one per
+    /// route chunk, plus the engine's serial/debut partition last; the
+    /// serial path passes a single sub-partition). Records are grouped
+    /// per stream with a counting sort over reused scratch (see
+    /// [`concat_group`] — preserving each stream's arrival order, the
+    /// only order a stream's state can observe) and each touched stream
+    /// ingests its group independently; a failing stream does not stop
+    /// its shard-mates. Ledgers drain into the slot's retained per-label
+    /// totals (served by [`Engine::ledger`]); windows are the only
+    /// producers of ledger entries, so a warm batch drains an empty
+    /// vector — no allocation.
     ///
     /// Slot index order is debut order, so the processing order is
     /// deterministic for every batch partitioning — and the whole pass
     /// allocates nothing once the scratch has grown to the working size.
-    fn ingest(&mut self, cfg: &EngineConfig, records: &[(u32, usize)]) -> ShardOutcome {
-        let _ = cfg; // shards no longer create streams; debut happens in the engine
+    fn ingest_parts(&mut self, parts: &[Vec<(u32, usize)>]) -> ShardOutcome {
         if self.counts.len() < self.slots.len() {
             self.counts.resize(self.slots.len(), 0);
         }
-        for &(slot, _) in records {
-            // lint:allow(checked-indexing): the engine only routes interned slots here
-            let c = &mut self.counts[slot as usize];
-            if *c == 0 {
-                self.touched.push(slot);
-            }
-            *c += 1;
-        }
-        // Ascending slot index == per-shard debut order: deterministic.
-        self.touched.sort_unstable();
-        let mut offset = 0usize;
-        for &slot in &self.touched {
-            // lint:allow(checked-indexing): touched slots were counted above
-            let count = self.counts[slot as usize];
-            self.spans.push((slot, offset, offset + count));
-            // Repurpose the count as the scatter cursor.
-            // lint:allow(checked-indexing): same touched slot
-            self.counts[slot as usize] = offset;
-            offset += count;
-        }
-        self.grouped.clear();
-        self.grouped.resize(records.len(), 0);
-        for &(slot, value) in records {
-            // lint:allow(checked-indexing): cursor stays within this slot's span
-            let cursor = &mut self.counts[slot as usize];
-            // lint:allow(checked-indexing): spans tile 0..records.len() exactly
-            self.grouped[*cursor] = value;
-            *cursor += 1;
-        }
+        concat_group(
+            parts,
+            &mut self.counts,
+            &mut self.touched,
+            &mut self.spans,
+            &mut self.grouped,
+        );
         let mut out = Vec::new();
         let mut errors = Vec::new();
         for j in 0..self.spans.len() {
@@ -573,13 +748,23 @@ impl Shard {
     }
 }
 
-/// A job handed to a shard's persistent worker: the shard slab moves in by
-/// value and moves back out inside [`ShardReply`].
+/// A job handed to a shard's persistent worker. Owned state (the shard
+/// slab, a route chunk, the sub-partition list) moves in by value and
+/// moves back out inside the matching [`ShardReply`] variant, so every
+/// buffer's capacity survives the round trip.
 enum ShardJob {
-    /// Ingest a partitioned batch slice (`(slot, value)` records).
+    /// Phase 1 of the parallel shuffle: hash and bucket one chunk of the
+    /// incoming batch against a frozen interner snapshot. Any worker can
+    /// run any chunk — routing is stateless.
+    Route {
+        chunk: RouteChunk,
+        interner: Arc<Interner>,
+    },
+    /// Phase 2: ingest the chunk-ordered sub-partitions addressed to this
+    /// worker's shard (the serial path passes a single sub-partition).
     Ingest {
         shard: Shard,
-        records: Vec<(u32, usize)>,
+        subs: Vec<Vec<(u32, usize)>>,
     },
     /// Flush every stream the shard owns.
     Flush { shard: Shard },
@@ -591,15 +776,53 @@ enum ShardJob {
     },
 }
 
-/// A worker's answer: the shard slab (reinstalled by the engine), the
-/// batch outcome, and the partition buffer (returned so its capacity is
-/// recycled; empty for flush jobs). Control-plane snapshot jobs answer in
-/// `snapshot` instead of `outcome`.
-struct ShardReply {
-    shard: Shard,
-    outcome: ShardOutcome,
-    records: Vec<(u32, usize)>,
-    snapshot: Option<Result<Vec<Report>, DistError>>,
+/// A worker's answer, mirroring [`ShardJob`] variant for variant. Moved
+/// state comes back so the engine can reinstall slabs and recycle scratch
+/// capacity.
+enum ShardReply {
+    /// The routed chunk: `hashes`, `buckets`, and `misses` filled.
+    Routed { chunk: RouteChunk },
+    /// The shard slab back, the batch outcome, and the sub-partition list
+    /// (cleared by the engine on restore; every buffer keeps its capacity).
+    Ingested {
+        shard: Shard,
+        outcome: ShardOutcome,
+        subs: Vec<Vec<(u32, usize)>>,
+    },
+    /// The flushed shard slab and its outcome.
+    Flushed { shard: Shard, outcome: ShardOutcome },
+    /// The shard slab back plus the snapshot's answer.
+    Snapped {
+        shard: Shard,
+        snapshot: Result<Vec<Report>, DistError>,
+    },
+}
+
+/// The deterministic error for a record the engine could not route — the
+/// loud replacement for what used to be a silent `continue`. Only
+/// reachable through states the routing invariants make unreachable
+/// (an interned id without a backing entry, a span that does not index
+/// its arena); if one ever trips, the batch fails with this instead of
+/// dropping the record.
+#[cold]
+fn lost_record(key: &str) -> DistError {
+    DistError::BadParameter {
+        reason: format!(
+            "internal: a record for stream '{key}' could not be routed \
+             (interner entry missing); failing the batch instead of \
+             silently dropping the record"
+        ),
+    }
+}
+
+/// The deterministic error for a shard worker answering with a mismatched
+/// reply variant — unreachable while the courier ring is FIFO, surfaced
+/// as an error rather than a panic to keep the no-panic discipline.
+#[cold]
+fn protocol_error() -> DistError {
+    DistError::BadParameter {
+        reason: "internal: shard worker answered with a mismatched reply variant".into(),
+    }
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -696,16 +919,21 @@ impl EngineBuilder {
         });
         // Persistent workers: spawned once here, parked on their mailbox
         // between batches. A 1-shard engine has no workers at all.
-        let workers = Engine::spawn_workers(&cfg, self.shards);
+        let workers = Engine::spawn_workers(self.shards);
         let mut parts = Vec::with_capacity(self.shards);
         parts.resize_with(self.shards, Vec::new);
+        let route = Engine::route_scratch(workers.len(), self.shards);
+        let mut gather = Vec::with_capacity(self.shards);
+        gather.resize_with(self.shards, Vec::new);
         Ok(Engine {
             cfg,
             ring: Ring::new(self.shards),
             shards,
             workers,
-            interner: Interner::new(),
+            interner: Arc::new(Interner::new()),
             parts,
+            route,
+            gather,
             busy: Vec::new(),
             outcomes: Vec::new(),
             stashed: Vec::new(),
@@ -729,10 +957,23 @@ pub struct Engine {
     /// shard i's dedicated worker; dropping the engine parks-then-joins
     /// them.
     workers: Vec<Courier<ShardJob, ShardReply>>,
-    interner: Interner,
+    /// The key interner, shared read-only with in-flight route jobs. The
+    /// engine mutates it through `Arc::make_mut` only between batches,
+    /// when no route job holds a clone — so the copy-on-write never
+    /// actually copies.
+    interner: Arc<Interner>,
     /// Per-shard partition scratch: `(slot, value)` records, reused across
-    /// batches (round-tripped through the workers to keep capacity).
+    /// batches (round-tripped through the workers to keep capacity). On
+    /// the parallel route path this holds only the debut (miss) records;
+    /// the bulk rides the route chunks' buckets.
     parts: Vec<Vec<(u32, usize)>>,
+    /// Route-chunk scratch for the parallel shuffle:
+    /// `Courier::DEPTH × workers` chunks so every worker's ring pipelines
+    /// two route jobs. Empty for a single-shard engine.
+    route: Vec<RouteChunk>,
+    /// Per-shard sub-partition gather lists (the `subs` vector shipped
+    /// with each `ShardJob::Ingest`), reused across batches.
+    gather: Vec<Vec<Vec<(u32, usize)>>>,
     /// Indices of the shards busy in the current call.
     busy: Vec<u32>,
     /// Per-call shard outcomes, drained by [`Engine::settle`].
@@ -764,6 +1005,14 @@ impl Engine {
             drift_eps: 0.25,
         }
     }
+
+    /// Minimum batch size (in records) at which a multi-shard engine
+    /// routes in parallel. Below this, [`Engine::ingest_batch`] hashes
+    /// and partitions on the caller thread: waking the worker ring costs
+    /// more than the hashing it would spread. Public so callers sizing
+    /// their feed chunks (the CLI uses `4096 × shards`) can reason about
+    /// which path a batch takes; the output is bit-identical either way.
+    pub const PARALLEL_ROUTE_MIN: usize = 2048;
 
     /// The seed stream `key` samples with under base seed `base`: the
     /// SplitMix64 stream of the key's deterministic FNV-1a hash. A
@@ -858,7 +1107,7 @@ impl Engine {
     /// Read access to one stream's state machine (e.g. to check `seen` or
     /// probe [`drift`](MonitorState::drift) for a single tenant).
     pub fn stream_state(&self, key: &str) -> Option<&MonitorState> {
-        let id = self.interner.lookup(key, key_hash(key))?;
+        let id = self.interner.lookup(key.as_bytes(), key_hash(key))?;
         let entry = self.interner.entries.get(id as usize)?;
         let shard = self.shards.get(entry.shard as usize)?;
         shard.slots.get(entry.slot as usize).map(|s| &s.state)
@@ -875,7 +1124,15 @@ impl Engine {
     /// state machine) on debut. Steady state touches no `String`.
     fn intern(&mut self, key: &str) -> u32 {
         let hash = key_hash(key);
-        if let Some(id) = self.interner.lookup(key, hash) {
+        self.intern_hashed(key, hash)
+    }
+
+    /// [`Engine::intern`] with the FNV-1a hash already in hand — the
+    /// parallel route phase hashed every key once in the workers, and the
+    /// debut pass reuses that value for the lookup, the ring owner, *and*
+    /// the cached entry (the "hash computed once" contract).
+    fn intern_hashed(&mut self, key: &str, hash: u64) -> u32 {
+        if let Some(id) = self.interner.lookup(key.as_bytes(), hash) {
             return id;
         }
         let shard_idx = self.ring.owner(hash) as usize;
@@ -896,61 +1153,61 @@ impl Engine {
             alarmed: false,
         });
         shard.fleet.observe_debut();
-        self.interner.insert(key, hash, shard_idx as u32, slot)
+        // Debut is a cold path and runs with no route job in flight, so
+        // the Arc is unique and make_mut mutates in place (no clone).
+        Arc::make_mut(&mut self.interner).insert(key, hash, shard_idx as u32, slot)
     }
 
     /// Spawns the persistent worker pool for `shards` shards: one parked
-    /// thread per shard, each owning one end of a single-slot mailbox. A
-    /// pool of one (or zero) shards has no workers — every job runs
-    /// inline on the caller thread.
-    fn spawn_workers(
-        cfg: &Arc<EngineConfig>,
-        shards: usize,
-    ) -> Vec<Courier<ShardJob, ShardReply>> {
+    /// thread per shard, each owning one end of a bounded two-deep
+    /// mailbox ring. A pool of one (or zero) shards has no workers —
+    /// every job runs inline on the caller thread.
+    fn spawn_workers(shards: usize) -> Vec<Courier<ShardJob, ShardReply>> {
         if shards <= 1 {
             return Vec::new();
         }
         (0..shards)
             .map(|i| {
-                let cfg = Arc::clone(cfg);
                 Courier::spawn(&format!("khist-shard-{i}"), move |job: ShardJob| match job {
-                    ShardJob::Ingest {
-                        mut shard,
-                        records,
+                    ShardJob::Route {
+                        mut chunk,
+                        interner,
                     } => {
-                        let outcome = shard.ingest(&cfg, &records);
-                        ShardReply {
+                        route_chunk(&mut chunk, &interner);
+                        ShardReply::Routed { chunk }
+                    }
+                    ShardJob::Ingest { mut shard, subs } => {
+                        let outcome = shard.ingest_parts(&subs);
+                        ShardReply::Ingested {
                             shard,
                             outcome,
-                            records,
-                            snapshot: None,
+                            subs,
                         }
                     }
                     ShardJob::Flush { mut shard } => {
                         let outcome = shard.flush();
-                        ShardReply {
-                            shard,
-                            outcome,
-                            records: Vec::new(),
-                            snapshot: None,
-                        }
+                        ShardReply::Flushed { shard, outcome }
                     }
                     ShardJob::Snapshot {
                         mut shard,
                         slot,
                         analyses,
                     } => {
-                        let result = shard.snapshot(slot, &analyses);
-                        ShardReply {
-                            shard,
-                            outcome: (Vec::new(), Vec::new()),
-                            records: Vec::new(),
-                            snapshot: Some(result),
-                        }
+                        let snapshot = shard.snapshot(slot, &analyses);
+                        ShardReply::Snapped { shard, snapshot }
                     }
                 })
             })
             .collect()
+    }
+
+    /// Fresh route-chunk scratch: [`Courier::DEPTH`] chunks per worker so
+    /// each worker's mailbox ring stays two deep during the route phase.
+    /// Empty when the pool has no workers (single-shard engines route
+    /// serially — there is nobody to parallelize across).
+    fn route_scratch(workers: usize, shards: usize) -> Vec<RouteChunk> {
+        let chunks = workers * Courier::<ShardJob, ShardReply>::DEPTH;
+        (0..chunks).map(|_| RouteChunk::new(shards)).collect()
     }
 
     /// Re-routes the pool onto `shards` shards, **migrating only the
@@ -990,7 +1247,9 @@ impl Engine {
         let mut fresh: Vec<Shard> = Vec::with_capacity(shards);
         fresh.resize_with(shards, Shard::default);
         let mut moved = 0usize;
-        for entry in &mut self.interner.entries {
+        // No route job is in flight between batches, so the Arc is unique
+        // and make_mut mutates the interner in place (no clone).
+        for entry in &mut Arc::make_mut(&mut self.interner).entries {
             let slot = donors
                 .get_mut(entry.shard as usize)
                 .and_then(|d| d.get_mut(entry.slot as usize))
@@ -1012,10 +1271,13 @@ impl Engine {
         self.shards = fresh;
         self.ring = ring;
         // Old couriers drop (park → join) when replaced; fresh scratch for
-        // the new pool width.
-        self.workers = Engine::spawn_workers(&self.cfg, shards);
+        // the new pool width (partitions, route chunks, gather lists).
+        self.workers = Engine::spawn_workers(shards);
         self.parts.clear();
         self.parts.resize_with(shards, Vec::new);
+        self.route = Engine::route_scratch(self.workers.len(), shards);
+        self.gather.clear();
+        self.gather.resize_with(shards, Vec::new);
         self.busy.clear();
         Ok(moved)
     }
@@ -1039,7 +1301,10 @@ impl Engine {
         let unknown = || DistError::BadParameter {
             reason: format!("unknown stream key '{key}'"),
         };
-        let id = self.interner.lookup(key, key_hash(key)).ok_or_else(unknown)?;
+        let id = self
+            .interner
+            .lookup(key.as_bytes(), key_hash(key))
+            .ok_or_else(unknown)?;
         let (shard_idx, slot) = match self.interner.entries.get(id as usize) {
             Some(entry) => (entry.shard as usize, entry.slot),
             None => return Err(unknown()), // unreachable: lookup returned id
@@ -1059,14 +1324,17 @@ impl Engine {
             analyses: Arc::new(analyses.to_vec()),
         });
         // lint:allow(checked-indexing): same worker index as above
-        let reply = self.workers[shard_idx].collect();
-        // lint:allow(checked-indexing): interned shard indices are < shards.len()
-        self.shards[shard_idx] = reply.shard;
-        match reply.snapshot {
-            Some(result) => result,
-            None => Err(DistError::BadParameter {
-                reason: "shard worker answered a snapshot job without a snapshot".into(),
-            }),
+        match self.workers[shard_idx].collect() {
+            ShardReply::Snapped { shard, snapshot } => {
+                // lint:allow(checked-indexing): interned shard indices are < shards.len()
+                self.shards[shard_idx] = shard;
+                snapshot
+            }
+            // Unreachable: snapshot jobs answer Snapped (FIFO ring).
+            other => {
+                drop(other);
+                Err(protocol_error())
+            }
         }
     }
 
@@ -1076,7 +1344,7 @@ impl Engine {
     /// Bounded memory: one entry per label, however long the stream runs.
     /// `None` for keys the engine has never seen.
     pub fn ledger(&self, key: &str) -> Option<&[LedgerEntry]> {
-        let id = self.interner.lookup(key, key_hash(key))?;
+        let id = self.interner.lookup(key.as_bytes(), key_hash(key))?;
         let entry = self.interner.entries.get(id as usize)?;
         let shard = self.shards.get(entry.shard as usize)?;
         shard
@@ -1127,14 +1395,22 @@ impl Engine {
     }
 
     /// Ingests a batch of keyed records in arrival order — the engine's
-    /// main entry point. Records are partitioned onto shards through the
-    /// interner (keys hash once; steady state touches no `String`); busy
-    /// shards move by value to their persistent workers (shared-nothing: a
-    /// shard's states are touched only by its worker), and completed
-    /// windows come back sorted by `(stream, window id)` — a deterministic
-    /// interleaving with every stream's reports in window order. When at
-    /// most one shard is busy the batch runs inline on the caller thread:
-    /// no handoff, no wakeup.
+    /// main entry point, a two-phase parallel shuffle on multi-shard
+    /// engines. Batches of at least [`Engine::PARALLEL_ROUTE_MIN`]
+    /// records are chunked and fanned across the persistent workers,
+    /// which hash (once per record — the same FNV-1a value feeds the
+    /// interner probe, the ring lookup, and the cached entry) and bucket
+    /// their chunks into per-(chunk, shard) sub-partitions in parallel;
+    /// each busy shard then concatenates the sub-partitions addressed to
+    /// it in chunk order — restoring every stream's global arrival order,
+    /// hence bit-identity — and ingests. Smaller batches (and single-shard
+    /// engines) route serially on the caller thread; the output is
+    /// bit-identical either way. Busy shards move by value to their
+    /// persistent workers (shared-nothing: a shard's states are touched
+    /// only by its worker), and completed windows come back sorted by
+    /// `(stream, window id)` — a deterministic interleaving with every
+    /// stream's reports in window order. When at most one shard is busy
+    /// the ingest runs inline on the caller thread: no handoff, no wakeup.
     ///
     /// A warm call — every key interned, no window completing — performs
     /// zero heap allocations (see the [module docs](self)).
@@ -1153,67 +1429,308 @@ impl Engine {
         &mut self,
         records: &[(K, usize)],
     ) -> Result<Vec<WindowReport>, DistError> {
+        // A single-shard engine routes serially no matter the batch size:
+        // with nothing to overlap, fanning chunks to its one worker would
+        // only add arena copies and a cross-thread handoff.
+        let chunk_count = if self.workers.len() > 1 && records.len() >= Self::PARALLEL_ROUTE_MIN {
+            self.route_parallel(records)?
+        } else {
+            self.route_serial(records)?;
+            0
+        };
+        self.dispatch_ingest(chunk_count)
+    }
+
+    /// The serial route: hash, intern, and partition every record on the
+    /// caller thread — right for small batches (below
+    /// [`Engine::PARALLEL_ROUTE_MIN`]) and single-shard engines, where
+    /// waking the worker ring would cost more than the hashing it spreads.
+    fn route_serial<K: AsRef<str>>(&mut self, records: &[(K, usize)]) -> Result<(), DistError> {
         for (key, value) in records {
             let id = self.intern(key.as_ref());
-            let (shard_idx, slot) = match self.interner.entries.get(id as usize) {
-                Some(entry) => (entry.shard as usize, entry.slot),
-                None => continue, // unreachable: intern just returned id
+            let Some(entry) = self.interner.entries.get(id as usize) else {
+                // Unreachable: intern just returned this id. If it ever
+                // trips, the record must not vanish silently — fail the
+                // batch deterministically (and loudly under debug).
+                debug_assert!(false, "intern returned id {id} without a backing entry");
+                self.reset_partitions();
+                return Err(lost_record(key.as_ref()));
             };
+            let (shard_idx, slot) = (entry.shard as usize, entry.slot);
             // lint:allow(checked-indexing): interned shard indices are < shards.len()
             self.parts[shard_idx].push((slot, *value));
         }
+        Ok(())
+    }
+
+    /// Phase 1 of the parallel shuffle: slice the batch into
+    /// `Courier::DEPTH × workers` chunks, memcpy each chunk's key bytes
+    /// into its reusable arena (the only per-record work left on the
+    /// caller thread), and fan the chunks across the worker ring two deep
+    /// — every worker hashes and buckets two chunks back to back without
+    /// a collect round-trip in between. Chunks come back in chunk order
+    /// (the ring is FIFO), after which the interner `Arc` is unique again
+    /// and the (cold) debut pass interns misses in global arrival order.
+    /// Returns the number of chunks routed.
+    fn route_parallel<K: AsRef<str>>(
+        &mut self,
+        records: &[(K, usize)],
+    ) -> Result<usize, DistError> {
+        let workers = self.workers.len();
+        let lanes = self.route.len();
+        let per = records.len().div_ceil(lanes).max(1);
+        let mut submitted = 0usize;
+        for c in 0..lanes {
+            let lo = c * per;
+            if lo >= records.len() {
+                break;
+            }
+            let hi = ((c + 1) * per).min(records.len());
+            let Some(slice) = records.get(lo..hi) else {
+                break; // unreachable: lo < hi <= records.len()
+            };
+            let Some(chunk) = self.route.get_mut(c) else {
+                break; // unreachable: c < lanes == route.len()
+            };
+            chunk.arena.clear();
+            chunk.spans.clear();
+            for (key, value) in slice {
+                let key = key.as_ref().as_bytes();
+                let start = chunk.arena.len();
+                chunk.arena.extend_from_slice(key);
+                chunk.spans.push((start, chunk.arena.len(), *value));
+            }
+            let job = ShardJob::Route {
+                chunk: std::mem::take(chunk),
+                interner: Arc::clone(&self.interner),
+            };
+            // lint:allow(checked-indexing): c % workers < workers == workers.len()
+            self.workers[c % workers].submit(job);
+            submitted += 1;
+        }
+        // Collect in chunk order — each worker's ring is FIFO, so chunk c
+        // is the next reply of worker c % workers.
+        for c in 0..submitted {
+            // lint:allow(checked-indexing): c % workers < workers == workers.len()
+            if let ShardReply::Routed { chunk } = self.workers[c % workers].collect() {
+                if let Some(home) = self.route.get_mut(c) {
+                    *home = chunk;
+                }
+            }
+            // A mismatched reply is unreachable (only Route jobs are in
+            // flight); dropping it costs scratch capacity, never records
+            // or stream state.
+        }
+        for c in 0..submitted {
+            self.absorb_misses(c)?;
+        }
+        Ok(submitted)
+    }
+
+    /// The debut pass of the parallel route: records whose keys missed the
+    /// frozen interner snapshot are interned serially — in global arrival
+    /// order (chunk order, then in-chunk order), which preserves debut
+    /// numbering exactly as the serial route assigns it — and pushed onto
+    /// their shard's partition. A key missing from the snapshot misses in
+    /// *every* chunk, so all its records funnel through here in order.
+    /// Cold: a warm batch has no misses and skips straight through.
+    fn absorb_misses(&mut self, c: usize) -> Result<(), DistError> {
+        let Some(home) = self.route.get_mut(c) else {
+            return Ok(()); // unreachable: c < submitted <= route.len()
+        };
+        if home.misses.is_empty() {
+            return Ok(());
+        }
+        let chunk = std::mem::take(home);
+        let mut failed: Option<DistError> = None;
+        for &i in &chunk.misses {
+            let record = chunk
+                .spans
+                .get(i)
+                .and_then(|&(start, end, value)| chunk.arena.get(start..end).map(|b| (b, value)));
+            let Some((bytes, value)) = record else {
+                // Unreachable: misses hold span indices and spans index
+                // the arena by construction.
+                debug_assert!(false, "route miss {i} does not index its chunk");
+                failed = Some(lost_record("<unindexable route miss>"));
+                break;
+            };
+            let Ok(key) = std::str::from_utf8(bytes) else {
+                // Unreachable: keys arrive as &str, so arena bytes are
+                // valid UTF-8 by construction.
+                debug_assert!(false, "route arena held non-UTF-8 key bytes");
+                failed = Some(lost_record("<non-utf8 key bytes>"));
+                break;
+            };
+            let hash = chunk.hashes.get(i).copied().unwrap_or_else(|| key_hash(key));
+            let id = self.intern_hashed(key, hash);
+            let Some(entry) = self.interner.entries.get(id as usize) else {
+                debug_assert!(false, "intern returned id {id} without a backing entry");
+                failed = Some(lost_record(key));
+                break;
+            };
+            let (shard_idx, slot) = (entry.shard as usize, entry.slot);
+            match self.parts.get_mut(shard_idx) {
+                Some(part) => part.push((slot, value)),
+                None => {
+                    debug_assert!(false, "interned shard {shard_idx} outside the pool");
+                    failed = Some(lost_record(key));
+                    break;
+                }
+            }
+        }
+        if let Some(home) = self.route.get_mut(c) {
+            *home = chunk;
+        }
+        match failed {
+            Some(e) => {
+                self.reset_partitions();
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Phase 2 dispatch: find the busy shards, assemble each one's
+    /// chunk-ordered sub-partition list, and run the ingest — inline on
+    /// the caller thread when at most one shard is busy (a worker handoff
+    /// would buy no parallelism and cost two context switches), over the
+    /// persistent workers otherwise. Collection is in shard order —
+    /// deterministic regardless of which worker finishes first.
+    fn dispatch_ingest(&mut self, chunk_count: usize) -> Result<Vec<WindowReport>, DistError> {
         self.busy.clear();
-        for (i, part) in self.parts.iter().enumerate() {
-            if !part.is_empty() {
-                self.busy.push(i as u32);
+        for s in 0..self.shards.len() {
+            let in_parts = self.parts.get(s).is_some_and(|p| !p.is_empty());
+            let routed = self
+                .route
+                .iter()
+                .take(chunk_count)
+                .any(|chunk| chunk.buckets.get(s).is_some_and(|b| !b.is_empty()));
+            if in_parts || routed {
+                self.busy.push(s as u32);
             }
         }
         if self.busy.len() <= 1 || self.workers.is_empty() {
-            // At most one busy shard (or a single-shard engine): run
-            // inline on the caller thread — a worker handoff would buy no
-            // parallelism and cost two context switches.
             for j in 0..self.busy.len() {
                 // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
                 let i = self.busy[j] as usize;
-                // lint:allow(checked-indexing): busy holds indices < shards.len()
-                let outcome = self.shards[i].ingest(&self.cfg, &self.parts[i]);
-                // lint:allow(checked-indexing): same index as above
-                self.parts[i].clear();
-                self.outcomes.push(outcome);
+                if chunk_count == 0 {
+                    // Serial route, one busy shard: ingest its partition
+                    // in place — no gather, no moves.
+                    // lint:allow(checked-indexing): busy holds indices < shards.len()
+                    let outcome = self.shards[i].ingest_parts(std::slice::from_ref(&self.parts[i]));
+                    // lint:allow(checked-indexing): same index as above
+                    self.parts[i].clear();
+                    self.outcomes.push(outcome);
+                } else {
+                    let subs = self.build_subs(i, chunk_count);
+                    // lint:allow(checked-indexing): busy holds indices < shards.len()
+                    let outcome = self.shards[i].ingest_parts(&subs);
+                    self.restore_subs(i, chunk_count, subs);
+                    self.outcomes.push(outcome);
+                }
             }
         } else {
             for j in 0..self.busy.len() {
                 // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
                 let i = self.busy[j] as usize;
+                let subs = self.build_subs(i, chunk_count);
                 // lint:allow(checked-indexing): busy holds indices < shards.len()
                 let shard = std::mem::take(&mut self.shards[i]);
-                // lint:allow(checked-indexing): same index as above
-                let records = std::mem::take(&mut self.parts[i]);
                 // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
-                self.workers[i].submit(ShardJob::Ingest { shard, records });
+                self.workers[i].submit(ShardJob::Ingest { shard, subs });
             }
-            // Collect in shard order — deterministic regardless of which
-            // worker finishes first.
             for j in 0..self.busy.len() {
                 // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
                 let i = self.busy[j] as usize;
                 // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
-                let reply = self.workers[i].collect();
-                let ShardReply {
-                    shard,
-                    outcome,
-                    mut records,
-                    ..
-                } = reply;
-                records.clear();
-                // lint:allow(checked-indexing): busy holds indices < shards.len()
-                self.shards[i] = shard;
-                // lint:allow(checked-indexing): same index as above
-                self.parts[i] = records;
-                self.outcomes.push(outcome);
+                match self.workers[i].collect() {
+                    ShardReply::Ingested {
+                        shard,
+                        outcome,
+                        subs,
+                    } => {
+                        // lint:allow(checked-indexing): busy holds indices < shards.len()
+                        self.shards[i] = shard;
+                        self.restore_subs(i, chunk_count, subs);
+                        self.outcomes.push(outcome);
+                    }
+                    // Unreachable: ingest jobs answer Ingested (the ring
+                    // is FIFO). Surface the protocol violation as a
+                    // deterministic error instead of losing it silently.
+                    other => {
+                        drop(other);
+                        self.outcomes
+                            .push((Vec::new(), vec![(String::new(), protocol_error())]));
+                    }
+                }
             }
         }
         self.settle()
+    }
+
+    /// Assembles the sub-partition list for shard `s`: the route chunks'
+    /// buckets in chunk order (restoring global arrival order), then the
+    /// engine's serial/debut partition last — pushed unconditionally,
+    /// even when empty, so [`Engine::restore_subs`] can undo the moves by
+    /// position alone. Every move is a `mem::take`; nothing is copied.
+    fn build_subs(&mut self, s: usize, chunk_count: usize) -> Vec<Vec<(u32, usize)>> {
+        let mut subs = match self.gather.get_mut(s) {
+            Some(g) => std::mem::take(g),
+            None => Vec::new(), // unreachable: gather is sized to the pool
+        };
+        for chunk in self.route.iter_mut().take(chunk_count) {
+            if let Some(bucket) = chunk.buckets.get_mut(s) {
+                subs.push(std::mem::take(bucket));
+            }
+        }
+        if let Some(part) = self.parts.get_mut(s) {
+            subs.push(std::mem::take(part));
+        }
+        subs
+    }
+
+    /// Returns a sub-partition list's buffers to their scratch homes —
+    /// the last one to `parts[s]`, the rest to the route chunks' buckets
+    /// in chunk order — cleared but with capacity intact, and parks the
+    /// emptied list itself back in `gather[s]`.
+    fn restore_subs(&mut self, s: usize, chunk_count: usize, mut subs: Vec<Vec<(u32, usize)>>) {
+        if let Some(mut part) = subs.pop() {
+            part.clear();
+            if let Some(home) = self.parts.get_mut(s) {
+                *home = part;
+            }
+        }
+        for c in (0..chunk_count).rev() {
+            let Some(mut bucket) = subs.pop() else {
+                break; // unreachable: build_subs pushed one bucket per chunk
+            };
+            bucket.clear();
+            if let Some(home) = self.route.get_mut(c).and_then(|ch| ch.buckets.get_mut(s)) {
+                *home = bucket;
+            }
+        }
+        subs.clear();
+        if let Some(g) = self.gather.get_mut(s) {
+            *g = subs;
+        }
+    }
+
+    /// Clears every partition and route-bucket scratch buffer — the
+    /// consistent-state bailout when a route pass fails mid-batch (only
+    /// reachable through states that are themselves unreachable; see
+    /// [`lost_record`]). Capacities are retained.
+    #[cold]
+    fn reset_partitions(&mut self) {
+        for part in &mut self.parts {
+            part.clear();
+        }
+        for chunk in &mut self.route {
+            for bucket in &mut chunk.buckets {
+                bucket.clear();
+            }
+            chunk.misses.clear();
+        }
     }
 
     /// Flushes every stream: completed-but-uncollected windows, then each
@@ -1249,10 +1766,20 @@ impl Engine {
                 // lint:allow(checked-indexing): j < busy.len(); busy holds shard indices
                 let i = self.busy[j] as usize;
                 // lint:allow(checked-indexing): workers.len() == shards.len() when non-empty
-                let ShardReply { shard, outcome, .. } = self.workers[i].collect();
-                // lint:allow(checked-indexing): busy holds indices < shards.len()
-                self.shards[i] = shard;
-                self.outcomes.push(outcome);
+                match self.workers[i].collect() {
+                    ShardReply::Flushed { shard, outcome } => {
+                        // lint:allow(checked-indexing): busy holds indices < shards.len()
+                        self.shards[i] = shard;
+                        self.outcomes.push(outcome);
+                    }
+                    // Unreachable: flush jobs answer Flushed (FIFO ring);
+                    // surface the violation deterministically.
+                    other => {
+                        drop(other);
+                        self.outcomes
+                            .push((Vec::new(), vec![(String::new(), protocol_error())]));
+                    }
+                }
             }
         }
         self.settle()
@@ -1271,7 +1798,7 @@ impl Engine {
         tails.sort_by_key(|report| {
             report.stream.as_deref().map_or(u32::MAX, |key| {
                 self.interner
-                    .lookup(key, key_hash(key))
+                    .lookup(key.as_bytes(), key_hash(key))
                     .unwrap_or(u32::MAX)
             })
         });
@@ -1808,7 +2335,7 @@ mod tests {
         assert_eq!(live.stream_count(), keys.len());
         for key in keys {
             assert_eq!(live.shard_of(key), {
-                let id = live.interner.lookup(key, key_hash(key)).unwrap();
+                let id = live.interner.lookup(key.as_bytes(), key_hash(key)).unwrap();
                 live.interner.entries[id as usize].shard as usize
             });
             assert!(live.ledger(key).is_some());

@@ -231,6 +231,20 @@ fn hot_path_alloc_covers_the_fleet_crate() {
 }
 
 #[test]
+fn hot_path_alloc_covers_the_parallel_route_path() {
+    // The engine's route/bucket/concat functions carry `lint:hot-path`
+    // marks; the rule must bite under the engine's own virtual path —
+    // where checked-indexing and no-panic also apply, so both fixtures
+    // are written in the same discipline as the real routing code.
+    check_pair(
+        "crates/core/src/engine.rs",
+        include_str!("fixtures/bad_hot_path_alloc_route.rs"),
+        include_str!("fixtures/good_hot_path_alloc_route.rs"),
+        &[("hot-path-alloc", 5), ("hot-path-alloc", 7)],
+    );
+}
+
+#[test]
 fn malformed_allow_directive_is_itself_a_diagnostic() {
     let got = run(
         "crates/core/src/fixture.rs",

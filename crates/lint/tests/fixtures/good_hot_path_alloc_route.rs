@@ -1,0 +1,22 @@
+//! Fixture: the route phase reuses caller-owned scratch — clear and
+//! refill, never construct — while cold debut handling (once per new
+//! stream, off the marked path) may allocate freely.
+
+// lint:hot-path
+fn bucket_records(spans: &[(usize, usize)], buckets: &mut [Vec<usize>]) {
+    for bucket in buckets.iter_mut() {
+        bucket.clear();
+    }
+    let shards = buckets.len().max(1);
+    for (i, _span) in spans.iter().enumerate() {
+        if let Some(bucket) = buckets.get_mut(i % shards) {
+            bucket.push(i);
+        }
+    }
+}
+
+fn debut_stream(key: &str) -> String {
+    let mut owned = String::from(key);
+    owned.push_str(":slot");
+    owned
+}

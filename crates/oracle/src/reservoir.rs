@@ -169,10 +169,17 @@ impl Reservoir {
     /// same RNG — the skip state machine is shared — but a fully-skipped
     /// slice costs one subtraction instead of a loop, so arbitrary batch
     /// boundaries neither change the kept set nor slow the fast path.
+    ///
+    /// The loop is branchless in the skip/fill sense: the fill branch and
+    /// the `Option<SkipState>` load are hoisted out, so each iteration is
+    /// one bulk `skip = min(gap, remaining)` subtraction followed (only
+    /// when the gap landed inside the slice) by the acceptance's three RNG
+    /// draws in the fixed slot → `W` update → next-gap order.
     // lint:hot-path
     pub fn offer_all<R: Rng + ?Sized>(&mut self, values: &[usize], rng: &mut R) {
         let mut rest = values;
-        // Fill phase: copy records verbatim until the reservoir is full.
+        // Fill phase, hoisted out of the loop: copy records verbatim until
+        // the reservoir is full.
         if self.items.len() < self.capacity {
             let take = (self.capacity - self.items.len()).min(rest.len());
             let (head, tail) = rest.split_at(take);
@@ -180,31 +187,40 @@ impl Reservoir {
             self.seen += take as u64;
             rest = tail;
         }
-        // Skip-sampling phase: jump straight to each accepted record.
-        while !rest.is_empty() {
-            self.ensure_skip(rng);
-            let gap = match self.skip {
-                Some(s) => s.gap,
-                None => 0,
-            };
-            let len = rest.len() as u64;
-            if gap >= len {
-                // The whole remaining slice is passed over.
-                if let Some(s) = self.skip.as_mut() {
-                    s.gap -= len;
-                }
-                self.seen += len;
-                return;
-            }
-            let idx = gap as usize;
-            let j = rng.random_range(0..self.capacity);
-            // lint:allow(checked-indexing): idx < rest.len() (gap < len), j < capacity == items.len()
-            self.items[j] = rest[idx];
-            self.seen += gap + 1;
-            self.advance_skip(rng);
-            // lint:allow(checked-indexing): idx + 1 <= rest.len(), so the slice is in range
-            rest = &rest[idx + 1..];
+        if rest.is_empty() {
+            return;
         }
+        // Skip-sampling phase: jump straight to each accepted record. The
+        // skip state lives in locals — the Option is resolved once here,
+        // not per record — and is written back exactly once on exit.
+        self.ensure_skip(rng);
+        let Some(SkipState { mut gap, mut w }) = self.skip else {
+            debug_assert!(false, "ensure_skip always installs a skip state");
+            return;
+        };
+        let k = self.capacity as f64;
+        loop {
+            let len = rest.len() as u64;
+            let skip = gap.min(len);
+            self.seen += skip;
+            gap -= skip;
+            if skip == len {
+                // The whole remaining slice was passed over.
+                break;
+            }
+            // The gap landed inside the slice: accept the record after it.
+            // lint:allow(checked-indexing): skip < len == rest.len(), so the slice is in range
+            rest = &rest[skip as usize..];
+            let j = rng.random_range(0..self.capacity);
+            // lint:allow(checked-indexing): j < capacity == items.len(); rest is non-empty (skip < len)
+            self.items[j] = rest[0];
+            self.seen += 1;
+            w *= (positive_unit(rng).ln() / k).exp();
+            gap = next_gap(w, rng);
+            // lint:allow(checked-indexing): rest is non-empty, so 1 <= rest.len()
+            rest = &rest[1..];
+        }
+        self.skip = Some(SkipState { gap, w });
     }
 
     /// Number of records offered so far.

@@ -120,6 +120,119 @@ proptest! {
             prop_assert_eq!(covered, got.len(), "no report escapes its stream");
         }
     }
+
+    /// Chunk-boundary acceptance criterion for the parallel route path:
+    /// a single batch at or above `Engine::PARALLEL_ROUTE_MIN` fans out to
+    /// the route workers in chunks, and with interleaved keys every
+    /// stream's records straddle every chunk edge. The chunk-ordered
+    /// concatenation must restore each stream's arrival order exactly —
+    /// per-stream reports bit-identical to a dedicated monitor, for
+    /// shards ∈ {1, 2, 4, 8} (1 = serial reference, the rest split the
+    /// batch into 2·shards chunks at different edge positions).
+    #[test]
+    fn prop_parallel_route_chunk_edges_are_bit_identical(
+        records in proptest::collection::vec(
+            (0usize..KEYS.len(), 0usize..32),
+            // At least PARALLEL_ROUTE_MIN (2048), not chunk-aligned.
+            2048..4200,
+        ),
+        base_seed in 0u64..u64::MAX,
+    ) {
+        let n = 32;
+        let span = 600u64;
+        let keyed: Vec<(String, usize)> = records
+            .iter()
+            .map(|&(k, v)| (KEYS[k].to_string(), v))
+            .collect();
+        prop_assert!(keyed.len() >= Engine::PARALLEL_ROUTE_MIN);
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut engine = Engine::builder(n)
+                .seed(base_seed)
+                .shards(shards)
+                .tumbling(span)
+                .analyses(batch())
+                .build()
+                .unwrap();
+            // One big batch: debuts for every key funnel through the
+            // parallel route's miss path, and the rest of the records
+            // cross the per-chunk sub-partitions.
+            let mut got = engine.ingest_batch(&keyed).unwrap();
+            got.extend(engine.flush().unwrap());
+
+            let mut covered = 0;
+            for key in KEYS {
+                let mine: Vec<usize> = keyed
+                    .iter()
+                    .filter(|(k, _)| k == key)
+                    .map(|&(_, v)| v)
+                    .collect();
+                let want = dedicated_monitor(n, span, base_seed, key, &mine);
+                let stream_reports: Vec<WindowReport> = got
+                    .iter()
+                    .filter(|r| r.stream.as_deref() == Some(key))
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(
+                    &stream_reports,
+                    &want,
+                    "stream {} @ {} shards (parallel route)",
+                    key,
+                    shards
+                );
+                covered += stream_reports.len();
+            }
+            prop_assert_eq!(covered, got.len(), "no report escapes its stream");
+        }
+    }
+}
+
+/// A deterministic adversarial layout for the chunk edges: one hot stream
+/// contributes *consecutive runs* of records positioned across every chunk
+/// boundary for every shard count in {2, 4, 8} (chunk size is
+/// `len.div_ceil(2 · shards)`), so any route-phase reordering of a run
+/// split across two chunks would corrupt that stream's window contents.
+#[test]
+fn parallel_route_hot_stream_runs_across_every_chunk_edge() {
+    let n = 32;
+    let span = 400u64;
+    let len = Engine::PARALLEL_ROUTE_MIN + 777; // not chunk-aligned
+    // Alternate short runs of the hot key with filler from the other keys:
+    // runs of 5 guarantee the hot stream crosses every boundary whose
+    // chunk size exceeds the run length — true for all shard counts here.
+    let keyed: Vec<(String, usize)> = (0..len)
+        .map(|i| {
+            let key = if (i / 5) % 2 == 0 { "hot" } else { KEYS[i % 3] };
+            (key.to_string(), (i * 13 + i / 7) % n)
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut engine = Engine::builder(n)
+            .seed(41)
+            .shards(shards)
+            .tumbling(span)
+            .analyses(batch())
+            .build()
+            .unwrap();
+        let mut got = engine.ingest_batch(&keyed).unwrap();
+        got.extend(engine.flush().unwrap());
+
+        for key in ["hot", KEYS[0], KEYS[1], KEYS[2]] {
+            let mine: Vec<usize> = keyed
+                .iter()
+                .filter(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .collect();
+            let want = dedicated_monitor(n, span, 41, key, &mine);
+            let stream_reports: Vec<WindowReport> = got
+                .iter()
+                .filter(|r| r.stream.as_deref() == Some(key))
+                .cloned()
+                .collect();
+            assert_eq!(stream_reports, want, "stream {key} @ {shards} shards");
+        }
+    }
 }
 
 /// The flushed tail of every stream is reported (partial windows

@@ -9,8 +9,11 @@
 //! The counter is process-global, so this file holds exactly one `#[test]`
 //! (integration tests are separate binaries; within one binary the default
 //! harness would interleave tests on multiple threads and contaminate the
-//! count). Shard counts 1 (inline path) and 2 (persistent-worker path) are
-//! exercised sequentially inside that single test.
+//! count). Shard counts 1 (inline path), 2 and 4 (persistent-worker path)
+//! are exercised sequentially inside that single test, each with a batch
+//! large enough to engage the parallel route fan-out
+//! (`Engine::PARALLEL_ROUTE_MIN`) *and* a small batch that routes serially
+//! on the caller thread — both paths must be allocation-free warm.
 
 use alloc_counter::CountingAllocator;
 use khist::prelude::*;
@@ -57,25 +60,35 @@ fn engine(shards: usize) -> Engine {
 
 #[test]
 fn warm_ingest_batch_allocates_nothing() {
-    let records = batch(64, 4096);
-    for shards in [1usize, 2] {
-        let mut engine = engine(shards);
-        // Warm-up: debut every key, push every reservoir past its fill
-        // phase, and let every scratch buffer (partitions, counting-sort
-        // slots, mailbox round-trip buffers) reach steady-state capacity.
-        for _ in 0..3 {
-            let reports = engine.ingest_batch(&records).unwrap();
-            assert!(reports.is_empty(), "span must outlast the test feed");
-        }
+    // The large batch crosses `Engine::PARALLEL_ROUTE_MIN`, so multi-shard
+    // engines route it through the parallel chunk fan-out; the small batch
+    // stays below the threshold and routes serially on the caller thread.
+    // Both paths must be allocation-free once warm.
+    let large = batch(64, Engine::PARALLEL_ROUTE_MIN * 4);
+    let small = batch(64, Engine::PARALLEL_ROUTE_MIN / 4);
+    assert!(large.len() >= Engine::PARALLEL_ROUTE_MIN);
+    assert!(small.len() < Engine::PARALLEL_ROUTE_MIN);
+    for shards in [1usize, 2, 4] {
+        for (path, records) in [("parallel", &large), ("serial", &small)] {
+            let mut engine = engine(shards);
+            // Warm-up: debut every key, push every reservoir past its fill
+            // phase, and let every scratch buffer (partitions, route-chunk
+            // arenas and buckets, counting-sort slots, mailbox round-trip
+            // buffers) reach steady-state capacity.
+            for _ in 0..3 {
+                let reports = engine.ingest_batch(records).unwrap();
+                assert!(reports.is_empty(), "span must outlast the test feed");
+            }
 
-        let before = ALLOC.allocations();
-        let reports = engine.ingest_batch(&records).unwrap();
-        let delta = ALLOC.allocations() - before;
-        assert!(reports.is_empty(), "span must outlast the test feed");
-        assert_eq!(
-            delta, 0,
-            "warm ingest_batch on {shards} shard(s) performed {delta} heap \
-             allocation(s); the warm path must not allocate"
-        );
+            let before = ALLOC.allocations();
+            let reports = engine.ingest_batch(records).unwrap();
+            let delta = ALLOC.allocations() - before;
+            assert!(reports.is_empty(), "span must outlast the test feed");
+            assert_eq!(
+                delta, 0,
+                "warm {path}-route ingest_batch on {shards} shard(s) performed \
+                 {delta} heap allocation(s); the warm path must not allocate"
+            );
+        }
     }
 }

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,44 +54,66 @@ where
     }))
 }
 
-/// Mailbox cell shared between a [`Courier`] and its worker thread.
-enum Cell<J, R> {
-    /// No job pending and no result waiting.
-    Empty,
-    /// A job submitted but not yet picked up by the worker.
-    Job(J),
-    /// A finished result awaiting [`Courier::collect`].
-    Done(R),
+/// Mailbox shared between a [`Courier`] and its worker thread: a bounded
+/// two-deep ring of jobs and results. The deques are preallocated to
+/// [`Courier::DEPTH`] slots at spawn and the submit-side depth check keeps
+/// them there, so pushes never reallocate — the steady-state round trip
+/// stays heap-free exactly like the old single-slot cell.
+struct Mailbox<J, R> {
+    /// Jobs submitted but not yet picked up by the worker, FIFO.
+    jobs: VecDeque<J>,
+    /// Finished results awaiting [`Courier::collect`], FIFO.
+    results: VecDeque<R>,
+    /// Whether the worker is currently running a job it popped (that job
+    /// occupies a ring slot even though it sits in neither deque).
+    running: bool,
     /// The worker panicked while running a job; it has exited.
-    Poisoned,
+    poisoned: bool,
     /// Owner requested shutdown; the worker exits when it sees this.
-    Shutdown,
+    shutdown: bool,
 }
 
-/// A persistent worker thread fed one job at a time through a single-slot
-/// mailbox: spawn once, then `submit`/`collect` per round with no thread
-/// creation, no channel allocation, and no heap traffic beyond what the job
-/// itself does. The worker parks on a condvar while idle.
+/// A persistent worker thread fed jobs through a bounded two-deep ring:
+/// spawn once, then `submit`/`collect` per round with no thread creation,
+/// no channel allocation, and no heap traffic beyond what the job itself
+/// does. The worker parks on a condvar while idle.
 ///
-/// Protocol: every [`Courier::submit`] must be paired with exactly one
-/// [`Courier::collect`] before the next submit. `collect` panics if the
-/// worker panicked while running a job, mirroring how a scoped-spawn
-/// caller would surface a worker panic. Dropping the courier signals
-/// shutdown and joins the thread.
+/// Protocol: at most [`Courier::DEPTH`] jobs may be outstanding
+/// (submitted but not yet collected) at once, and results come back in
+/// submission order. Depth 1 degenerates to the classic strict
+/// submit→collect pairing; depth 2 lets a caller keep the worker busy on
+/// job *n*+1 while it hands off job *n*'s result — the pipelining the
+/// engine's parallel route phase leans on. `collect` panics if the worker
+/// panicked while running a job, mirroring how a scoped-spawn caller
+/// would surface a worker panic (results finished before the panic are
+/// still delivered first). Dropping the courier signals shutdown and
+/// joins the thread.
 pub struct Courier<J, R> {
-    mailbox: Arc<(Mutex<Cell<J, R>>, Condvar)>,
+    mailbox: Arc<(Mutex<Mailbox<J, R>>, Condvar)>,
     worker: Option<JoinHandle<()>>,
 }
 
 impl<J: Send + 'static, R: Send + 'static> Courier<J, R> {
+    /// Ring depth: how many jobs may be in flight (queued, running, or
+    /// finished-but-uncollected) per courier at once.
+    pub const DEPTH: usize = 2;
+
     /// Spawns the worker thread (named `name` for debuggability) running
     /// `work` on every submitted job until the courier is dropped.
     pub fn spawn<F>(name: &str, mut work: F) -> Self
     where
         F: FnMut(J) -> R + Send + 'static,
     {
-        let mailbox: Arc<(Mutex<Cell<J, R>>, Condvar)> =
-            Arc::new((Mutex::new(Cell::Empty), Condvar::new()));
+        let mailbox: Arc<(Mutex<Mailbox<J, R>>, Condvar)> = Arc::new((
+            Mutex::new(Mailbox {
+                jobs: VecDeque::with_capacity(Self::DEPTH),
+                results: VecDeque::with_capacity(Self::DEPTH),
+                running: false,
+                poisoned: false,
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
         let shared = Arc::clone(&mailbox);
         let worker = std::thread::Builder::new()
             .name(name.to_string())
@@ -98,35 +121,34 @@ impl<J: Send + 'static, R: Send + 'static> Courier<J, R> {
                 let (lock, cvar) = &*shared;
                 loop {
                     let job = {
-                        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut mb = lock.lock().unwrap_or_else(|e| e.into_inner());
                         loop {
-                            match &*cell {
-                                Cell::Shutdown => return,
-                                Cell::Job(_) => break,
-                                _ => cell = cvar.wait(cell).unwrap_or_else(|e| e.into_inner()),
+                            // Shutdown wins over queued jobs (they drop
+                            // with the mailbox), matching the old cell's
+                            // drop-the-pending-job semantics.
+                            if mb.shutdown {
+                                return;
                             }
-                        }
-                        match std::mem::replace(&mut *cell, Cell::Empty) {
-                            Cell::Job(job) => job,
-                            // The loop above only breaks on Cell::Job.
-                            _ => unreachable!("mailbox state changed under lock"),
+                            if let Some(job) = mb.jobs.pop_front() {
+                                mb.running = true;
+                                break job;
+                            }
+                            mb = cvar.wait(mb).unwrap_or_else(|e| e.into_inner());
                         }
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| work(job)));
-                    let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
-                    let done = match outcome {
+                    let mut mb = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    mb.running = false;
+                    match outcome {
                         Ok(result) => {
-                            *cell = Cell::Done(result);
-                            false
+                            mb.results.push_back(result);
+                            cvar.notify_all();
                         }
                         Err(_) => {
-                            *cell = Cell::Poisoned;
-                            true
+                            mb.poisoned = true;
+                            cvar.notify_all();
+                            return;
                         }
-                    };
-                    cvar.notify_all();
-                    if done {
-                        return;
                     }
                 }
             })
@@ -137,39 +159,48 @@ impl<J: Send + 'static, R: Send + 'static> Courier<J, R> {
         }
     }
 
-    /// Hands the worker its next job. Must not be called while a previous
-    /// job's result is still uncollected.
+    /// Hands the worker its next job. Up to [`Courier::DEPTH`] jobs may be
+    /// outstanding; results come back in submission order via
+    /// [`Courier::collect`].
     ///
     /// # Panics
-    /// Panics on protocol misuse (submit-before-collect) or if the worker
-    /// has already panicked.
+    /// Panics on protocol misuse (more than `DEPTH` outstanding jobs) or
+    /// if the worker has already panicked.
     pub fn submit(&self, job: J) {
         let (lock, cvar) = &*self.mailbox;
-        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
-        match &*cell {
-            Cell::Empty => *cell = Cell::Job(job),
-            Cell::Poisoned => panic!("courier worker panicked on a previous job"),
-            _ => panic!("courier protocol violation: submit before collect"),
-        }
+        let mut mb = lock.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            !mb.poisoned,
+            "courier worker panicked on a previous job"
+        );
+        let outstanding = mb.jobs.len() + usize::from(mb.running) + mb.results.len();
+        assert!(
+            outstanding < Self::DEPTH,
+            "courier protocol violation: {outstanding} jobs already outstanding \
+             (ring depth {}); collect a result first",
+            Self::DEPTH
+        );
+        mb.jobs.push_back(job);
         cvar.notify_all();
     }
 
-    /// Blocks until the in-flight job finishes and returns its result.
+    /// Blocks until the oldest in-flight job finishes and returns its
+    /// result (FIFO with respect to [`Courier::submit`] order).
     ///
     /// # Panics
-    /// Panics if the worker panicked while running the job.
+    /// Panics if the worker panicked while running a job and no earlier
+    /// result remains queued.
     pub fn collect(&self) -> R {
         let (lock, cvar) = &*self.mailbox;
-        let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut mb = lock.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            match &*cell {
-                Cell::Done(_) => match std::mem::replace(&mut *cell, Cell::Empty) {
-                    Cell::Done(result) => return result,
-                    _ => unreachable!("mailbox state changed under lock"),
-                },
-                Cell::Poisoned => panic!("courier worker panicked"),
-                _ => cell = cvar.wait(cell).unwrap_or_else(|e| e.into_inner()),
+            if let Some(result) = mb.results.pop_front() {
+                return result;
             }
+            if mb.poisoned {
+                panic!("courier worker panicked");
+            }
+            mb = cvar.wait(mb).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -178,17 +209,16 @@ impl<J, R> Drop for Courier<J, R> {
     fn drop(&mut self) {
         {
             let (lock, cvar) = &*self.mailbox;
-            let mut cell = lock.lock().unwrap_or_else(|e| e.into_inner());
+            let mut mb = lock.lock().unwrap_or_else(|e| e.into_inner());
             // A poisoned worker already exited; otherwise ask it to stop
-            // (dropping any un-collected result or un-run job).
-            if !matches!(&*cell, Cell::Poisoned) {
-                *cell = Cell::Shutdown;
-            }
+            // (dropping any un-collected results and un-run jobs).
+            mb.shutdown = true;
             cvar.notify_all();
         }
         if let Some(worker) = self.worker.take() {
-            // The worker never exits by panic path without setting the cell,
-            // and join only errs on panic — which catch_unwind intercepted.
+            // The worker never exits by panic path without poisoning the
+            // mailbox, and join only errs on panic — which catch_unwind
+            // intercepted.
             let _ = worker.join();
         }
     }
@@ -288,6 +318,63 @@ mod tests {
         assert_eq!(courier.collect(), 1);
         drop(courier);
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn courier_pipelines_two_jobs_fifo() {
+        // Two jobs may be outstanding at once; results come back in
+        // submission order, not completion-speed order.
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier-ring", |x| {
+            if x == 1 {
+                // The first job is the slow one: if collection order
+                // followed completion, job 2's result would come first.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x * 10
+        });
+        courier.submit(1);
+        courier.submit(2);
+        assert_eq!(courier.collect(), 10);
+        assert_eq!(courier.collect(), 20);
+        // The ring drains fully: a fresh pair works the same way.
+        courier.submit(3);
+        courier.submit(4);
+        assert_eq!(courier.collect(), 30);
+        assert_eq!(courier.collect(), 40);
+    }
+
+    #[test]
+    fn courier_rejects_overfull_ring() {
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier-depth", |x| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            x
+        });
+        courier.submit(1);
+        courier.submit(2);
+        // A third outstanding job exceeds DEPTH regardless of whether the
+        // first two are queued, running, or already finished.
+        let third = catch_unwind(AssertUnwindSafe(|| courier.submit(3)));
+        assert!(third.is_err(), "ring depth {} enforced", Courier::<u64, u64>::DEPTH);
+        // The poisoned-Mutex recovery path keeps the courier usable.
+        assert_eq!(courier.collect(), 1);
+        assert_eq!(courier.collect(), 2);
+        courier.submit(4);
+        assert_eq!(courier.collect(), 4);
+    }
+
+    #[test]
+    fn courier_panic_mid_ring_delivers_earlier_results_first() {
+        // Job 1 succeeds, job 2 panics: the first collect still returns
+        // job 1's result; only the second collect surfaces the panic.
+        let courier: Courier<u64, u64> = Courier::spawn("test-courier-ring-panic", |x| {
+            assert!(x != 13, "unlucky job");
+            x
+        });
+        courier.submit(1);
+        courier.submit(13);
+        assert_eq!(courier.collect(), 1);
+        let second = catch_unwind(AssertUnwindSafe(|| courier.collect()));
+        assert!(second.is_err());
     }
 
     #[test]
